@@ -1,0 +1,66 @@
+// melissa-client runs one simulation group against a running melissa-server
+// over TCP: it performs the dynamic-connection handshake, runs the p+2
+// pick-freeze simulations in lockstep and streams every timestep through
+// the two-stage transfer, then exits — exactly one batch job of the paper's
+// study.
+//
+// The client reconstructs the group's parameter rows from (study, seed,
+// groups, group), so any number of independent client processes share one
+// consistent design without a coordination service.
+//
+// Example:
+//
+//	melissa-client -server 127.0.0.1:40001 -study synthetic -cells 1024 \
+//	    -timesteps 10 -groups 100 -seed 7 -group 42
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/studies"
+	"melissa/internal/transport"
+)
+
+func main() {
+	serverAddr := flag.String("server", "", "address of the server main process (required)")
+	study := flag.String("study", "synthetic", "study: tubebundle, ishigami or synthetic")
+	nx := flag.Int("nx", 96, "tubebundle grid x")
+	ny := flag.Int("ny", 32, "tubebundle grid y")
+	cells := flag.Int("cells", 1024, "synthetic field size")
+	timesteps := flag.Int("timesteps", 10, "synthetic timesteps")
+	groups := flag.Int("groups", 100, "total groups in the design (n)")
+	seed := flag.Uint64("seed", 2017, "design master seed")
+	group := flag.Int("group", 0, "this group's row index i")
+	simRanks := flag.Int("sim-ranks", 1, "parallel ranks per simulation")
+	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "handshake timeout")
+	flag.Parse()
+
+	if *serverAddr == "" {
+		log.Fatal("melissa-client: -server is required")
+	}
+	st, err := studies.Build(*study, *nx, *ny, *cells, *timesteps)
+	if err != nil {
+		log.Fatalf("melissa-client: %v", err)
+	}
+	design := st.Design(*groups, *seed)
+	if *group < 0 || *group >= design.N() {
+		log.Fatalf("melissa-client: group %d outside design [0,%d)", *group, design.N())
+	}
+
+	start := time.Now()
+	err = client.RunGroup(transport.NewTCPNetwork(transport.Options{}), *serverAddr, client.RunConfig{
+		GroupID:        *group,
+		SimRanks:       *simRanks,
+		Rows:           design.GroupRows(*group),
+		Sim:            st.Sim,
+		ConnectTimeout: *connectTimeout,
+	})
+	if err != nil {
+		log.Fatalf("melissa-client: group %d failed: %v", *group, err)
+	}
+	log.Printf("melissa-client: group %d (%d simulations x %d timesteps) done in %v",
+		*group, st.P()+2, st.Timesteps, time.Since(start).Round(time.Millisecond))
+}

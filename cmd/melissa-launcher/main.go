@@ -1,0 +1,119 @@
+// melissa-launcher orchestrates a complete study over TCP: it starts the
+// parallel server, submits every simulation group to the virtual batch
+// scheduler, supervises heartbeats/timeouts/retries, and writes the final
+// ubiquitous statistic fields — the full three-tier deployment of Fig. 3 in
+// one command.
+//
+// Example:
+//
+//	melissa-launcher -study tubebundle -nx 96 -ny 32 -groups 64 \
+//	    -server-procs 4 -out out/launcher
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"time"
+
+	"melissa/internal/core"
+	"melissa/internal/harness"
+	"melissa/internal/launcher"
+	"melissa/internal/scheduler"
+	"melissa/internal/studies"
+	"melissa/internal/transport"
+)
+
+func main() {
+	study := flag.String("study", "synthetic", "study: tubebundle, ishigami or synthetic")
+	nx := flag.Int("nx", 96, "tubebundle grid x")
+	ny := flag.Int("ny", 32, "tubebundle grid y")
+	cells := flag.Int("cells", 1024, "synthetic field size")
+	timesteps := flag.Int("timesteps", 10, "synthetic timesteps")
+	groups := flag.Int("groups", 64, "simulation groups (n)")
+	seed := flag.Uint64("seed", 2017, "design master seed")
+	serverProcs := flag.Int("server-procs", 2, "parallel server processes")
+	simRanks := flag.Int("sim-ranks", 2, "parallel ranks per simulation")
+	clusterNodes := flag.Int("cluster-nodes", 0, "virtual cluster size (0 = unbounded)")
+	groupNodes := flag.Int("group-nodes", 1, "nodes per group job")
+	ckptDir := flag.String("checkpoint-dir", "", "server checkpoint directory")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "checkpoint period")
+	groupTimeout := flag.Duration("group-timeout", time.Minute, "unresponsive-group timeout")
+	convergence := flag.Float64("converge-at", 0, "stop when every 95% CI is narrower than this (0 = off)")
+	out := flag.String("out", "out/launcher", "output directory for result fields")
+	flag.Parse()
+
+	st, err := studies.Build(*study, *nx, *ny, *cells, *timesteps)
+	if err != nil {
+		log.Fatalf("melissa-launcher: %v", err)
+	}
+	var cluster *scheduler.Cluster
+	if *clusterNodes > 0 {
+		cluster = scheduler.New(*clusterNodes)
+	}
+	cfg := launcher.Config{
+		Design:            st.Design(*groups, *seed),
+		Sim:               st.Sim,
+		Cells:             st.Cells,
+		Timesteps:         st.Timesteps,
+		SimRanks:          *simRanks,
+		Stats:             core.Options{MinMax: true},
+		Network:           transport.NewTCPNetwork(transport.Options{}),
+		Cluster:           cluster,
+		ServerProcs:       *serverProcs,
+		GroupNodes:        *groupNodes,
+		GroupTimeout:      *groupTimeout,
+		ConvergenceTarget: *convergence,
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointInterval = *ckptEvery
+	}
+
+	log.Printf("melissa-launcher: study %q — %d cells x %d timesteps, %d groups x %d simulations, %d server processes, TCP transport",
+		st.Name, st.Cells, st.Timesteps, *groups, st.P()+2, *serverProcs)
+
+	l, err := launcher.New(cfg)
+	if err != nil {
+		log.Fatalf("melissa-launcher: %v", err)
+	}
+	res, stats, err := l.Run()
+	if err != nil {
+		log.Fatalf("melissa-launcher: %v", err)
+	}
+
+	log.Printf("study complete in %v", stats.WallClock.Round(time.Millisecond))
+	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  timeout kills: %d  server restarts: %d",
+		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.TimeoutKills, stats.ServerRestarts)
+	log.Printf("  messages folded: %d  server state: %.1f MB", res.Messages(), float64(res.MemoryBytes())/1e6)
+	if stats.Converged {
+		log.Printf("  stopped early on convergence (widest CI %.4f)", res.MaxCIWidth(0.95))
+	}
+
+	// Write the final statistic fields, one CSV per parameter, mirroring
+	// the results.<field>_<statistic>.<timestep> files of the artifact.
+	last := st.Timesteps - 1
+	for k := 0; k < st.P(); k++ {
+		rows := make([][]float64, st.Cells)
+		first := res.FirstField(last, k)
+		total := res.TotalField(last, k)
+		for c := 0; c < st.Cells; c++ {
+			rows[c] = []float64{float64(c), first[c], total[c]}
+		}
+		path := filepath.Join(*out, fmt.Sprintf("results.%s_sobol.%d.csv", st.ParamNames[k], last))
+		if err := harness.WriteCSV(path, []string{"cell", "first", "total"}, rows); err != nil {
+			log.Fatalf("melissa-launcher: %v", err)
+		}
+	}
+	variance := res.VarianceField(last)
+	rows := make([][]float64, st.Cells)
+	for c := 0; c < st.Cells; c++ {
+		rows[c] = []float64{float64(c), variance[c]}
+	}
+	if err := harness.WriteCSV(filepath.Join(*out, fmt.Sprintf("results.variance.%d.csv", last)),
+		[]string{"cell", "variance"}, rows); err != nil {
+		log.Fatalf("melissa-launcher: %v", err)
+	}
+	log.Printf("  statistic fields written under %s", *out)
+}

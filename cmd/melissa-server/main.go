@@ -1,0 +1,90 @@
+// melissa-server runs a standalone parallel Melissa server over TCP: M
+// processes (goroutines with independent endpoints), each owning one block
+// of the mesh, folding whatever simulation groups connect and push.
+//
+// The main-process address is printed on stdout (and optionally written to
+// a file) so launchers and clients can find it; simulation groups retrieve
+// the full layout through the dynamic-connection handshake.
+//
+// Example (two shells):
+//
+//	melissa-server -cells 4096 -timesteps 10 -p 3 -procs 4 -addr-file /tmp/melissa.addr
+//	melissa-client -server $(cat /tmp/melissa.addr) -group 0 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"melissa/internal/server"
+	"melissa/internal/transport"
+)
+
+func main() {
+	procs := flag.Int("procs", 2, "server processes (M)")
+	cells := flag.Int("cells", 1024, "mesh cells per field")
+	timesteps := flag.Int("timesteps", 10, "output timesteps per simulation")
+	p := flag.Int("p", 3, "number of uncertain parameters")
+	bind := flag.String("bind", "127.0.0.1:0", "bind address pattern (port 0 = auto)")
+	addrFile := flag.String("addr-file", "", "write the main process address to this file")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (enables checkpointing)")
+	ckptEvery := flag.Duration("checkpoint-interval", 10*time.Minute, "checkpoint period")
+	restore := flag.Bool("restore", false, "restore from the last checkpoint before serving")
+	launcherAddr := flag.String("launcher", "", "launcher address for heartbeats/reports")
+	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
+	flag.Parse()
+
+	cfg := server.Config{
+		Procs:        *procs,
+		Cells:        *cells,
+		Timesteps:    *timesteps,
+		P:            *p,
+		Network:      transport.NewTCPNetwork(transport.Options{}),
+		GroupTimeout: *groupTimeout,
+		LauncherAddr: *launcherAddr,
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointInterval = *ckptEvery
+	}
+	_ = *bind // the TCP network always binds loopback:auto per process
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("melissa-server: %v", err)
+	}
+	if *restore {
+		if err := srv.Restore(); err != nil {
+			log.Fatalf("melissa-server: restore: %v", err)
+		}
+		log.Printf("melissa-server: restored from %s", *ckptDir)
+	}
+
+	fmt.Printf("melissa-server: main process at %s\n", srv.MainAddr())
+	for rank, addr := range srv.Addrs() {
+		log.Printf("  process %d: %s (cells [%d,%d))", rank, addr,
+			srv.Partitions()[rank].Lo, srv.Partitions()[rank].Hi)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.MainAddr()), 0o644); err != nil {
+			log.Fatalf("melissa-server: %v", err)
+		}
+	}
+
+	srv.Start()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("melissa-server: stopping (final checkpoint: %v)", *ckptDir != "")
+	srv.Stop(*ckptDir != "")
+
+	res := srv.Result()
+	tracker := res.Tracker()
+	log.Printf("melissa-server: done — %d messages, %d finished groups, %d running",
+		res.Messages(), len(tracker.Finished()), len(tracker.Running()))
+}

@@ -1,0 +1,52 @@
+package melissa_test
+
+import (
+	"fmt"
+	"math"
+
+	"melissa"
+)
+
+// ExampleEstimateSobol estimates Sobol' indices for a linear model whose
+// exact indices are known: f = x1 + 2·x2 with unit-variance inputs gives
+// S1 = 1/5 and S2 = 4/5.
+func ExampleEstimateSobol() {
+	f := func(x []float64) float64 { return x[0] + 2*x[1] }
+	params := []melissa.Distribution{
+		melissa.Normal{Mean: 0, Std: 1},
+		melissa.Normal{Mean: 0, Std: 1},
+	}
+	res, err := melissa.EstimateSobol(f, params, 200000, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("S1 ≈ %.1f  S2 ≈ %.1f\n", res.First[0], res.First[1])
+	// Output: S1 ≈ 0.2  S2 ≈ 0.8
+}
+
+// ExampleRunStudy pushes a tiny field study through the full in-transit
+// framework: two cells with opposite sensitivities.
+func ExampleRunStudy() {
+	cfg := melissa.StudyConfig{
+		Parameters: []melissa.Distribution{
+			melissa.Normal{Mean: 0, Std: 1},
+			melissa.Normal{Mean: 0, Std: 1},
+		},
+		Groups:    3000,
+		Seed:      1,
+		Cells:     2,
+		Timesteps: 1,
+		Simulation: melissa.SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			// Cell 0 depends only on x1, cell 1 only on x2.
+			emit(0, []float64{math.Sin(row[0]), math.Sin(row[1])})
+		}),
+	}
+	res, stats, err := melissa.RunStudy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	s1 := res.First(0, 0)
+	fmt.Printf("groups=%d S1(cell0)=%.1f S1(cell1)=%.1f\n",
+		stats.GroupsFinished, s1[0], s1[1])
+	// Output: groups=3000 S1(cell0)=1.0 S1(cell1)=0.0
+}

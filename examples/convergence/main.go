@@ -1,0 +1,84 @@
+// Convergence demonstrates the Sec. 3.4 convergence control: confidence
+// intervals shrink as 1/sqrt(n) while groups stream in, and the study stops
+// itself once every index is known to the requested precision — cancelling
+// the simulations that turned out to be unnecessary (the paper's loopback
+// control).
+//
+// Run with:
+//
+//	go run ./examples/convergence
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"melissa"
+	"melissa/internal/harness"
+	"melissa/internal/sampling"
+	"melissa/internal/sobol"
+)
+
+func main() {
+	fn := sobol.Ishigami()
+
+	// Part 1: watch the Eq. 8 interval around S1 tighten as groups stream.
+	fmt.Println("== confidence-interval decay on Ishigami S1 (exact 0.3139) ==")
+	est := sobol.NewMartinez(fn.P())
+	var xs, ys []float64
+	checkpoints := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	next := 0
+	sobolStream(fn, 4096, func(n int, m *sobol.Martinez) {
+		if next < len(checkpoints) && n == checkpoints[next] {
+			iv := m.FirstCI(0, 0.95)
+			fmt.Printf("  n=%5d   S1=%7.4f   CI [%7.4f, %7.4f]   width %.4f\n",
+				n, m.First(0), iv.Low, iv.High, iv.Width())
+			xs = append(xs, math.Log2(float64(n)))
+			ys = append(ys, iv.Width())
+			next++
+		}
+	}, est)
+	fmt.Println("\n  CI width vs log2(n):", harness.Sparkline(ys))
+	fmt.Println("  (halves every 4x groups — the 1/sqrt(n) law of Eq. 8)")
+	_ = xs
+
+	// Part 2: let the full framework stop itself at a target precision.
+	fmt.Println("\n== loopback control: stop when every CI is narrower than 0.35 ==")
+	study := melissa.StudyConfig{
+		Parameters: fn.Params,
+		Groups:     100000, // far more than needed; convergence cancels the rest
+		Seed:       99,
+		Cells:      1,
+		Timesteps:  1,
+		Simulation: melissa.SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			emit(0, []float64{fn.Eval(row)})
+		}),
+		ConvergenceTarget: 0.35,
+	}
+	res, stats, err := melissa.RunStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  submitted budget: %d groups\n", study.Groups)
+	fmt.Printf("  actually run:     %d groups (converged=%v)\n", res.GroupsFolded(0), stats.Converged)
+	fmt.Printf("  final widest CI:  %.3f ≤ 0.35\n", res.MaxCIWidth())
+	fmt.Printf("  S = [%.3f %.3f %.3f]\n",
+		res.First(0, 0)[0], res.First(0, 1)[0], res.First(0, 2)[0])
+	fmt.Println("  pending group jobs were cancelled — compute saved by iterative CIs")
+}
+
+// sobolStream folds groups one at a time, invoking probe after each.
+func sobolStream(fn *sobol.Function, n int, probe func(int, *sobol.Martinez), est *sobol.Martinez) {
+	design := sampling.NewDesign(fn.Params, n, 4242)
+	yC := make([]float64, fn.P())
+	for i := 0; i < n; i++ {
+		yA := fn.Eval(design.RowA(i))
+		yB := fn.Eval(design.RowB(i))
+		for k := 0; k < fn.P(); k++ {
+			yC[k] = fn.Eval(design.RowC(i, k))
+		}
+		est.Update(yA, yB, yC)
+		probe(i+1, est)
+	}
+}

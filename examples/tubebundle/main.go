@@ -1,0 +1,116 @@
+// Tubebundle reproduces the paper's use case (Sec. 5.2, Fig. 7/8): a global
+// sensitivity study of dye transport through a tube bundle with six
+// uncertain injection parameters, run through the complete in-transit
+// framework. It prints ASCII renditions of the six first-order Sobol' maps
+// and the variance map at timestep 80, and saves PGM images plus CSV grids
+// under ./out/tubebundle/.
+//
+// Run with:
+//
+//	go run ./examples/tubebundle [-nx 96] [-ny 32] [-groups 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+	"time"
+
+	"melissa"
+	"melissa/internal/harness"
+)
+
+func main() {
+	nx := flag.Int("nx", 96, "grid cells in x")
+	ny := flag.Int("ny", 32, "grid cells in y")
+	groups := flag.Int("groups", 128, "simulation groups (each runs 8 simulations)")
+	procs := flag.Int("server-procs", 4, "parallel server processes")
+	out := flag.String("out", "out/tubebundle", "output directory")
+	flag.Parse()
+
+	study, grid, err := melissa.TubeBundleStudy(*nx, *ny, *groups, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study.ServerProcs = *procs
+	study.SimRanks = 4
+	study.MinMax = true
+
+	fmt.Printf("tube-bundle study: %dx%d cells, %d timesteps, %d groups x 8 simulations, %d server processes\n",
+		*nx, *ny, study.Timesteps, *groups, *procs)
+	start := time.Now()
+	res, stats, err := melissa.RunStudy(study)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("finished in %v: %d groups, %d messages folded, %.1f GB kept off disk\n\n",
+		time.Since(start).Round(time.Millisecond), stats.GroupsFinished,
+		stats.MessagesFolded, float64(stats.DataAvoidedBytes)/1e9)
+
+	const step = 79 // the paper interprets timestep 80
+	names := melissa.TubeBundleParamNames()
+
+	// Mask tube interiors so the bundle is visible in the maps, as the mesh
+	// outline is in the paper's figures.
+	mask := func(field []float64) []float64 {
+		masked := append([]float64(nil), field...)
+		for i := range masked {
+			if grid.Solid(i) {
+				masked[i] = 0
+			}
+		}
+		return masked
+	}
+
+	for k, name := range names {
+		field := mask(res.First(step, k))
+		fmt.Printf("--- Fig. 7(%c): first-order Sobol' map, %s (timestep %d) ---\n", 'a'+k, name, step+1)
+		fmt.Print(harness.Heatmap(field, *nx, *ny, 0, 1))
+		path := filepath.Join(*out, fmt.Sprintf("fig7_%s.pgm", name))
+		if err := harness.WritePGM(path, field, *nx, *ny, 0, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	variance := mask(res.Variance(step))
+	fmt.Printf("--- Fig. 8: output variance map (timestep %d) ---\n", step+1)
+	fmt.Print(harness.Heatmap(variance, *nx, *ny, 0, 0))
+	if err := harness.WritePGM(filepath.Join(*out, "fig8_variance.pgm"), variance, *nx, *ny, 0, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	inter := res.Interaction(step)
+	var meanInter float64
+	n := 0
+	for i, v := range inter {
+		if variance[i] > 1e-3 {
+			meanInter += v
+			n++
+		}
+	}
+	if n > 0 {
+		meanInter /= float64(n)
+	}
+	fmt.Printf("\nSec. 5.5 diagnostics at timestep %d:\n", step+1)
+	fmt.Printf("  mean interaction share 1-sum(S_k) over active cells: %+.3f (paper: very small)\n", meanInter)
+	fmt.Printf("  widest 95%% CI across all ubiquitous indices:        %.3f\n", res.MaxCIWidth())
+
+	// Save every index field as CSV for external plotting.
+	rows := make([][]float64, study.Cells)
+	for i := range rows {
+		row := []float64{float64(i % *nx), float64(i / *nx)}
+		for k := range names {
+			row = append(row, res.First(step, k)[i])
+		}
+		row = append(row, res.Variance(step)[i])
+		rows[i] = row
+	}
+	header := append([]string{"ix", "iy"}, names...)
+	header = append(header, "variance")
+	csvPath := filepath.Join(*out, "fig7_fields.csv")
+	if err := harness.WriteCSV(csvPath, header, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmaps saved under %s (PGM + CSV)\n", *out)
+}

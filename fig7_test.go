@@ -1,0 +1,277 @@
+package melissa
+
+import (
+	"math"
+	"testing"
+)
+
+// fig7Study runs the tube-bundle use case once per test binary invocation
+// and caches the result: several tests interpret the same maps, exactly as
+// Sec. 5.5 interprets one study.
+var fig7Cache *fig7Data
+
+type fig7Data struct {
+	res  *FieldResult
+	grid TubeBundleGrid
+	nx   int
+	ny   int
+	step int
+}
+
+func fig7Run(t *testing.T) *fig7Data {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tube-bundle study skipped in -short")
+	}
+	if fig7Cache != nil {
+		return fig7Cache
+	}
+	const nx, ny, groups = 48, 16, 96
+	study, grid, err := TubeBundleStudy(nx, ny, groups, 2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	study.ServerProcs = 2
+	study.SimRanks = 2
+	res, stats, err := RunStudy(study)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GroupsFinished != groups {
+		t.Fatalf("finished %d of %d groups", stats.GroupsFinished, groups)
+	}
+	fig7Cache = &fig7Data{res: res, grid: grid, nx: nx, ny: ny, step: 79}
+	return fig7Cache
+}
+
+// regionMean averages |field| over cells selected by keep, skipping cells
+// whose output variance is negligible (the Sec. 5.5 guard: Sobol' indices
+// are meaningless where Var(Y) ≈ 0).
+func (d *fig7Data) regionMean(t *testing.T, field []float64, keep func(ix, iy int) bool) float64 {
+	t.Helper()
+	variance := d.res.Variance(d.step)
+	maxVar := 0.0
+	for _, v := range variance {
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	var sum float64
+	n := 0
+	for iy := 0; iy < d.ny; iy++ {
+		for ix := 0; ix < d.nx; ix++ {
+			idx := ix + iy*d.nx
+			if !keep(ix, iy) || d.grid.Solid(idx) {
+				continue
+			}
+			if variance[idx] < 1e-3*maxVar {
+				continue
+			}
+			sum += math.Abs(field[idx])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Claim 1 (Sec. 5.5, observation 1): the three upper-injector parameters
+// have no influence on the lowest part of the domain, and vice versa.
+func TestFig7UpperParamsDoNotInfluenceLowerHalf(t *testing.T) {
+	d := fig7Run(t)
+	lowerQuarter := func(ix, iy int) bool { return iy < d.ny/4 }
+	upperHalf := func(ix, iy int) bool { return iy >= d.ny/2 }
+	for _, name := range []string{"conc-upper", "width-upper", "dur-upper"} {
+		k, _ := TubeBundleParamIndex(name)
+		s := d.res.First(d.step, k)
+		low := d.regionMean(t, s, lowerQuarter)
+		high := d.regionMean(t, s, upperHalf)
+		if low > 0.15 {
+			t.Errorf("%s influences the bottom quarter: mean |S| = %.3f", name, low)
+		}
+		if high < 0.15 {
+			t.Errorf("%s shows no influence in its own half: mean |S| = %.3f", name, high)
+		}
+		if high < 2*low {
+			t.Errorf("%s: own-half influence %.3f not clearly above opposite %.3f", name, high, low)
+		}
+	}
+	// Mirror: lower parameters leave the top quarter untouched.
+	topQuarter := func(ix, iy int) bool { return iy >= 3*d.ny/4 }
+	for _, name := range []string{"conc-lower", "width-lower", "dur-lower"} {
+		k, _ := TubeBundleParamIndex(name)
+		s := d.res.First(d.step, k)
+		if top := d.regionMean(t, s, topQuarter); top > 0.15 {
+			t.Errorf("%s influences the top quarter: mean |S| = %.3f", name, top)
+		}
+	}
+}
+
+// Gravity-free symmetry (Sec. 5.5, observation 1): the upper-parameter maps
+// mirror the lower-parameter maps.
+func TestFig7MirrorSymmetryOfSobolMaps(t *testing.T) {
+	d := fig7Run(t)
+	pairs := [][2]string{
+		{"conc-upper", "conc-lower"},
+		{"width-upper", "width-lower"},
+		{"dur-upper", "dur-lower"},
+	}
+	for _, pair := range pairs {
+		ku, _ := TubeBundleParamIndex(pair[0])
+		kl, _ := TubeBundleParamIndex(pair[1])
+		su := d.res.First(d.step, ku)
+		sl := d.res.First(d.step, kl)
+		// Compare the upper map against the vertically mirrored lower map,
+		// averaged over the top half (cell-level noise averages out).
+		var diff, mag float64
+		n := 0
+		for iy := d.ny / 2; iy < d.ny; iy++ {
+			for ix := 0; ix < d.nx; ix++ {
+				a := su[ix+iy*d.nx]
+				b := sl[ix+(d.ny-1-iy)*d.nx]
+				diff += math.Abs(a - b)
+				mag += math.Abs(a)
+				n++
+			}
+		}
+		if mag == 0 {
+			t.Fatalf("%s map is empty", pair[0])
+		}
+		if diff/mag > 0.5 {
+			t.Errorf("%s vs mirrored %s: relative asymmetry %.2f", pair[0], pair[1], diff/mag)
+		}
+	}
+}
+
+// Claim 2 (Sec. 5.5, observation 2): injection width influences locations
+// far up and down in the domain (the extremes its aperture can reach), more
+// than the center of the dye jet where dye always arrives.
+func TestFig7WidthInfluencesExtremes(t *testing.T) {
+	d := fig7Run(t)
+	k, _ := TubeBundleParamIndex("width-upper")
+	s := d.res.First(d.step, k)
+	// Band center of the upper injector is 0.75·Ly → iy ≈ 3·ny/4.
+	center := d.ny * 3 / 4
+	jetCore := func(ix, iy int) bool {
+		return ix < d.nx/3 && (iy == center || iy == center-1)
+	}
+	wallSide := func(ix, iy int) bool { return ix < d.nx/3 && iy >= d.ny-2 }
+	core := d.regionMean(t, s, jetCore)
+	wall := d.regionMean(t, s, wallSide)
+	if wall <= core {
+		t.Errorf("width: wall-side influence %.3f not above jet-core %.3f", wall, core)
+	}
+}
+
+// Claim 3 (Sec. 5.5, observation 3): injection duration influences the left
+// (inlet) side of the domain — where, at step 80, some runs have already
+// stopped injecting — but not the right side, whose fluid entered while
+// every run was still injecting.
+func TestFig7DurationInfluencesLeftNotRight(t *testing.T) {
+	d := fig7Run(t)
+	k, _ := TubeBundleParamIndex("dur-upper")
+	s := d.res.First(d.step, k)
+	upper := func(iy int) bool { return iy >= d.ny/2 }
+	left := d.regionMean(t, s, func(ix, iy int) bool { return upper(iy) && ix < d.nx/4 })
+	right := d.regionMean(t, s, func(ix, iy int) bool { return upper(iy) && ix >= 3*d.nx/4 })
+	if left < 0.3 {
+		t.Errorf("duration shows weak influence on the left side: %.3f", left)
+	}
+	if right > 0.2 {
+		t.Errorf("duration influences the right side: %.3f", right)
+	}
+	if left < 3*right {
+		t.Errorf("duration left/right contrast too weak: %.3f vs %.3f", left, right)
+	}
+}
+
+// Claim 4 (Sec. 5.5, observation 4): dye concentration mostly influences
+// where the other parameters matter less — the jet core and the right side.
+func TestFig7ConcentrationInfluencesJetCoreAndRight(t *testing.T) {
+	d := fig7Run(t)
+	k, _ := TubeBundleParamIndex("conc-upper")
+	s := d.res.First(d.step, k)
+	upper := func(iy int) bool { return iy >= d.ny/2 }
+	right := d.regionMean(t, s, func(ix, iy int) bool { return upper(iy) && ix >= 3*d.nx/4 })
+	if right < 0.3 {
+		t.Errorf("concentration influence on the right side too weak: %.3f", right)
+	}
+}
+
+// Sec. 5.5: 1 − ΣS_k is small — interactions are weak, total indices are
+// redundant with first-order ones for this use case.
+func TestInteractionsSmall(t *testing.T) {
+	d := fig7Run(t)
+	inter := d.res.Interaction(d.step)
+	// Use the *signed* region mean: per-cell estimates of 1−ΣS carry
+	// Martinez sampling noise of ~6·n^-1/2 in magnitude, but the noise is
+	// zero-mean, while genuine interactions would bias the mean upward.
+	variance := d.res.Variance(d.step)
+	maxVar := 0.0
+	for _, v := range variance {
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	var sum float64
+	n := 0
+	for i, v := range inter {
+		if variance[i] >= 1e-3*maxVar && !d.grid.Solid(i) {
+			sum += v
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean) > 0.15 {
+		t.Errorf("signed mean of 1-ΣS = %.3f; Sec. 5.5 reports very small interactions", mean)
+	}
+	// Consequence: total ≈ first order for an influential parameter.
+	k, _ := TubeBundleParamIndex("conc-upper")
+	first := d.res.First(d.step, k)
+	total := d.res.Total(d.step, k)
+	diff := 0.0
+	cnt := 0
+	for i := range first {
+		if variance[i] > 1e-3*maxVar {
+			diff += math.Abs(total[i] - first[i])
+			cnt++
+		}
+	}
+	if cnt > 0 && diff/float64(cnt) > 0.3 {
+		t.Errorf("mean |ST−S| = %.3f; expected near-redundant total indices", diff/float64(cnt))
+	}
+}
+
+// Fig. 8: the variance map is the co-visualization guard — significant in
+// the dye jets, negligible at the untouched walls near the inlet corners.
+func TestFig8VarianceMap(t *testing.T) {
+	d := fig7Run(t)
+	variance := d.res.Variance(d.step)
+	maxVar := 0.0
+	for _, v := range variance {
+		if v < 0 {
+			t.Fatalf("negative variance %v", v)
+		}
+		if v > maxVar {
+			maxVar = v
+		}
+	}
+	if maxVar == 0 {
+		t.Fatal("variance map is empty")
+	}
+	// At the inlet column, the band center (always inside every sampled
+	// injection width) varies strongly with concentration, while the
+	// mid-channel gap between the two bands is reached only by the very
+	// widest injections and stays near-deterministic — the low-variance
+	// zone where Sec. 5.5 warns Sobol' indices are meaningless.
+	bandCenter := variance[0+(3*d.ny/4)*d.nx] // y ≈ 0.78·Ly
+	midGap := variance[0+(d.ny/2)*d.nx]       // y ≈ 0.53·Ly
+	if bandCenter < 3*midGap {
+		t.Errorf("variance contrast missing: band center %v vs mid-gap %v", bandCenter, midGap)
+	}
+	if bandCenter < 0.1*maxVar {
+		t.Errorf("band-center variance %v unexpectedly small vs max %v", bandCenter, maxVar)
+	}
+}

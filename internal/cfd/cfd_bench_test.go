@@ -1,0 +1,43 @@
+package cfd
+
+import "testing"
+
+// BenchmarkSolverRun measures one full simulation (the unit of work each of
+// the study's 8000 runs performs) at test resolution.
+func BenchmarkSolverRun48x16(b *testing.B) {
+	cfg := DefaultConfig(48, 16)
+	cfg.Timesteps = 20
+	s, err := NewSolver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{ConcUpper: 1, ConcLower: 1, WidthUpper: 0.3, WidthLower: 0.3, DurUpper: 4, DurLower: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(p, nil)
+	}
+	b.ReportMetric(float64(s.Cells()*s.SubstepsPerOutput()*cfg.Timesteps), "cell-updates/run")
+}
+
+func BenchmarkSolverRun96x32(b *testing.B) {
+	cfg := DefaultConfig(96, 32)
+	cfg.Timesteps = 10
+	s, err := NewSolver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{ConcUpper: 1, ConcLower: 1, WidthUpper: 0.3, WidthLower: 0.3, DurUpper: 4, DurLower: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(p, nil)
+	}
+}
+
+func BenchmarkFlowFieldConstruction(b *testing.B) {
+	cfg := DefaultConfig(96, 32)
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSolver(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

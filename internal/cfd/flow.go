@@ -1,0 +1,147 @@
+package cfd
+
+import "math"
+
+// flowField holds the frozen velocity field as conservative face fluxes
+// derived from a streamfunction evaluated at grid corners. Because every
+// face flux is a difference of corner values of a single scalar function,
+// the discrete divergence of every cell is exactly zero — the property that
+// makes the upwind advection conservative to round-off.
+type flowField struct {
+	nx, ny int
+	dx, dy float64
+	// qe[i + j*(nx+1)]: volumetric flux (per unit depth) in +x through the
+	// vertical face at x = i·dx, row j; i ∈ [0, nx].
+	qe []float64
+	// qn[i + j*nx]: flux in +y through the horizontal face at y = j·dy,
+	// column i; j ∈ [0, ny].
+	qn []float64
+	// solid marks cells whose center lies inside a tube (visualization and
+	// diagnostics only; the regularized flow is already ~stagnant there).
+	solid []bool
+	// maxFaceSpeed is the largest |u| or |v| across faces, for the CFL.
+	maxFaceSpeed float64
+}
+
+// tube is one cylinder of the bundle.
+type tube struct {
+	x, y, r float64
+}
+
+// tubes lays out the staggered cylinder array of the configuration.
+func (c Config) tubes() []tube {
+	if c.TubeCols <= 0 || c.TubeRows <= 0 {
+		return nil
+	}
+	out := make([]tube, 0, c.TubeCols*c.TubeRows)
+	colPitch := (c.TubeX1 - c.TubeX0) / float64(c.TubeCols)
+	rowPitch := c.Ly / float64(c.TubeRows)
+	for col := 0; col < c.TubeCols; col++ {
+		x := c.TubeX0 + (float64(col)+0.5)*colPitch
+		// Stagger odd columns by half a row pitch.
+		offset := 0.0
+		if col%2 == 1 {
+			offset = 0.5 * rowPitch
+		}
+		for row := 0; row < c.TubeRows; row++ {
+			y := (float64(row)+0.5)*rowPitch + offset
+			if y-c.TubeRadius < 0 || y+c.TubeRadius > c.Ly {
+				continue // keep cylinders fully inside the channel
+			}
+			out = append(out, tube{x: x, y: y, r: c.TubeRadius})
+		}
+	}
+	return out
+}
+
+// streamFunction evaluates the regularized potential-flow streamfunction:
+// uniform flow plus one doublet per tube. Inside a tube the doublet term is
+// clamped (r² → R²) which makes ψ locally constant, i.e. the interior is
+// stagnant instead of singular.
+func streamFunction(x, y, u float64, tubes []tube) float64 {
+	psi := u * y
+	for _, t := range tubes {
+		dx := x - t.x
+		dy := y - t.y
+		r2 := dx*dx + dy*dy
+		if r2 < t.r*t.r {
+			r2 = t.r * t.r
+		}
+		psi -= u * t.r * t.r * dy / r2
+	}
+	return psi
+}
+
+// newFlowField builds the frozen flow for a configuration.
+func newFlowField(c Config) *flowField {
+	nx, ny := c.Nx, c.Ny
+	g := c.Grid()
+	dx, dy := g.Dx(), g.Dy()
+	tubes := c.tubes()
+
+	// Corner streamfunction, with the wall rows overwritten by their
+	// free-stream values so that the channel walls are exact streamlines
+	// (zero normal flux through y = 0 and y = Ly).
+	psi := make([]float64, (nx+1)*(ny+1))
+	for j := 0; j <= ny; j++ {
+		for i := 0; i <= nx; i++ {
+			x, y := g.Corner(i, j)
+			switch j {
+			case 0:
+				psi[i+j*(nx+1)] = 0
+			case ny:
+				psi[i+j*(nx+1)] = c.InflowU * c.Ly
+			default:
+				psi[i+j*(nx+1)] = streamFunction(x, y, c.InflowU, tubes)
+			}
+		}
+	}
+
+	f := &flowField{
+		nx: nx, ny: ny, dx: dx, dy: dy,
+		qe:    make([]float64, (nx+1)*ny),
+		qn:    make([]float64, nx*(ny+1)),
+		solid: make([]bool, nx*ny),
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i <= nx; i++ {
+			q := psi[i+(j+1)*(nx+1)] - psi[i+j*(nx+1)]
+			f.qe[i+j*(nx+1)] = q
+			if s := math.Abs(q / dy); s > f.maxFaceSpeed {
+				f.maxFaceSpeed = s
+			}
+		}
+	}
+	for j := 0; j <= ny; j++ {
+		for i := 0; i < nx; i++ {
+			q := -(psi[(i+1)+j*(nx+1)] - psi[i+j*(nx+1)])
+			f.qn[i+j*nx] = q
+			if s := math.Abs(q / dx); s > f.maxFaceSpeed {
+				f.maxFaceSpeed = s
+			}
+		}
+	}
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x, y := g.Center(i, j)
+			for _, t := range tubes {
+				ddx, ddy := x-t.x, y-t.y
+				if ddx*ddx+ddy*ddy < t.r*t.r {
+					f.solid[i+j*nx] = true
+					break
+				}
+			}
+		}
+	}
+	return f
+}
+
+// divergence returns the net volumetric outflow of cell (i, j); it is zero
+// to round-off by construction and is exposed for the conservation tests.
+func (f *flowField) divergence(i, j int) float64 {
+	qw := f.qe[i+j*(f.nx+1)]
+	qe := f.qe[i+1+j*(f.nx+1)]
+	qs := f.qn[i+j*f.nx]
+	qn := f.qn[i+(j+1)*f.nx]
+	return qe - qw + qn - qs
+}

@@ -1,0 +1,345 @@
+package cfd
+
+import (
+	"math"
+	"testing"
+
+	"melissa/internal/sampling"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig(48, 16)
+	cfg.Timesteps = 20 // keep unit tests quick; examples use 100
+	return cfg
+}
+
+func testParams() Params {
+	return Params{
+		ConcUpper: 1.2, ConcLower: 0.8,
+		WidthUpper: 0.3, WidthLower: 0.2,
+		DurUpper: 4.0, DurLower: 2.5,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Nx = 2 },
+		func(c *Config) { c.Lx = -1 },
+		func(c *Config) { c.InflowU = 0 },
+		func(c *Config) { c.Diffusivity = -1 },
+		func(c *Config) { c.Timesteps = 0 },
+		func(c *Config) { c.CFL = 0 },
+		func(c *Config) { c.CFL = 1.5 },
+		func(c *Config) { c.TubeX0, c.TubeX1 = 2, 1 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestParamsRowRoundTrip(t *testing.T) {
+	p := testParams()
+	row := p.Row()
+	if len(row) != NumParams {
+		t.Fatalf("row length %d", len(row))
+	}
+	if got := ParamsFromRow(row); got != p {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short row")
+		}
+	}()
+	ParamsFromRow([]float64{1, 2})
+}
+
+func TestFlowDivergenceFree(t *testing.T) {
+	s, err := NewSolver(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fluxes are differences of corner streamfunction values, so the cell
+	// divergence must vanish to round-off.
+	if d := s.MaxDivergence(); d > 1e-13 {
+		t.Fatalf("max divergence %v, want ~0", d)
+	}
+}
+
+func TestFlowHasTubesAndAcceleration(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solid := 0
+	for i := 0; i < s.Cells(); i++ {
+		if s.Solid(i) {
+			solid++
+		}
+	}
+	if solid == 0 {
+		t.Fatal("no solid cells: tube bundle missing")
+	}
+	if solid > s.Cells()/4 {
+		t.Fatalf("%d of %d cells solid: tubes too large", solid, s.Cells())
+	}
+	// Constriction between tubes must accelerate the flow above inflow.
+	if s.MaxFaceSpeed() <= cfg.InflowU*1.05 {
+		t.Fatalf("max speed %v barely above inflow %v: no bundle blockage",
+			s.MaxFaceSpeed(), cfg.InflowU)
+	}
+}
+
+func TestMassConservation(t *testing.T) {
+	s, err := NewSolver(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := s.Run(testParams(), nil)
+	if diag.InjectedMass <= 0 {
+		t.Fatal("no tracer injected")
+	}
+	balance := diag.InjectedMass - diag.OutflowMass - diag.FinalMass
+	rel := math.Abs(balance) / diag.InjectedMass
+	if rel > 1e-10 {
+		t.Fatalf("mass balance violated: injected=%v outflow=%v final=%v (rel err %v)",
+			diag.InjectedMass, diag.OutflowMass, diag.FinalMass, rel)
+	}
+}
+
+func TestBoundedness(t *testing.T) {
+	s, err := NewSolver(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	cmax := math.Max(p.ConcUpper, p.ConcLower)
+	s.Run(p, func(step int, field []float64) bool {
+		for i, v := range field {
+			if v < -1e-12 || v > cmax+1e-12 {
+				t.Fatalf("step %d cell %d: concentration %v outside [0, %v]", step, i, v, cmax)
+			}
+		}
+		return true
+	})
+}
+
+func TestTracerReachesOutlet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Timesteps = 100
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Grid()
+	var outletAt80 float64
+	s.Run(testParams(), func(step int, field []float64) bool {
+		if step == 79 { // the paper's interpreted timestep
+			for _, idx := range g.Column(cfg.Nx - 1) {
+				outletAt80 += field[idx]
+			}
+		}
+		return true
+	})
+	if outletAt80 < 0.1 {
+		t.Fatalf("dye has not reached the outlet by step 80 (sum=%v): timing regime wrong", outletAt80)
+	}
+}
+
+// Gravity-free mirror symmetry (Sec. 5.5 observation 1: "we have a symmetry
+// in the behavior of the parameters"): swapping upper and lower injector
+// parameters must produce the vertically mirrored field.
+func TestMirrorSymmetry(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	mirrored := Params{
+		ConcUpper: p.ConcLower, ConcLower: p.ConcUpper,
+		WidthUpper: p.WidthLower, WidthLower: p.WidthUpper,
+		DurUpper: p.DurLower, DurLower: p.DurUpper,
+	}
+	var last, lastMirrored []float64
+	s.Run(p, func(step int, f []float64) bool {
+		if step == cfg.Timesteps-1 {
+			last = append([]float64(nil), f...)
+		}
+		return true
+	})
+	s.Run(mirrored, func(step int, f []float64) bool {
+		if step == cfg.Timesteps-1 {
+			lastMirrored = append([]float64(nil), f...)
+		}
+		return true
+	})
+	g := cfg.Grid()
+	for iy := 0; iy < cfg.Ny; iy++ {
+		for ix := 0; ix < cfg.Nx; ix++ {
+			a := last[g.Index(ix, iy)]
+			b := lastMirrored[g.Index(ix, cfg.Ny-1-iy)]
+			if math.Abs(a-b) > 1e-9 {
+				t.Fatalf("mirror symmetry broken at (%d,%d): %v vs %v", ix, iy, a, b)
+			}
+		}
+	}
+}
+
+func TestZeroInjectionStaysZero(t *testing.T) {
+	s, err := NewSolver(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := s.Run(Params{}, func(step int, field []float64) bool {
+		for i, v := range field {
+			if v != 0 {
+				t.Fatalf("step %d cell %d: spontaneous tracer %v", step, i, v)
+			}
+		}
+		return true
+	})
+	if diag.InjectedMass != 0 || diag.FinalMass != 0 {
+		t.Fatalf("zero injection produced mass: %+v", diag)
+	}
+}
+
+func TestDurationStopsInjection(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := testParams()
+	short.DurUpper = 0.2 * cfg.TotalTime
+	short.DurLower = 0.2 * cfg.TotalTime
+	g := cfg.Grid()
+	var inletSumLast float64
+	s.Run(short, func(step int, field []float64) bool {
+		if step == cfg.Timesteps-1 {
+			for _, idx := range g.Column(0) {
+				inletSumLast += field[idx]
+			}
+		}
+		return true
+	})
+	// Long after both injections stopped, the inlet column is clean again.
+	if inletSumLast > 1e-3 {
+		t.Fatalf("inlet column still carries dye %v long after injection stopped", inletSumLast)
+	}
+}
+
+func TestWiderInjectionInjectsMoreMass(t *testing.T) {
+	s, err := NewSolver(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := testParams()
+	narrow.WidthUpper, narrow.WidthLower = 0.1, 0.1
+	wide := testParams()
+	wide.WidthUpper, wide.WidthLower = 0.4, 0.4
+	dn := s.Run(narrow, nil)
+	dw := s.Run(wide, nil)
+	if dw.InjectedMass <= dn.InjectedMass {
+		t.Fatalf("wider injection should inject more: %v vs %v", dw.InjectedMass, dn.InjectedMass)
+	}
+}
+
+func TestUpperInjectorDoesNotReachLowerWall(t *testing.T) {
+	// A narrow upper-only injection must leave the bottom rows untouched —
+	// the physical core of the Fig. 7 claim that upper parameters have no
+	// influence on the lowest part of the domain.
+	cfg := testConfig()
+	cfg.Timesteps = 60
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{ConcUpper: 1.5, WidthUpper: 0.25, DurUpper: cfg.TotalTime}
+	g := cfg.Grid()
+	var bottom float64
+	s.Run(p, func(step int, field []float64) bool {
+		if step == cfg.Timesteps-1 {
+			for _, idx := range g.Row(0) {
+				bottom += field[idx]
+			}
+		}
+		return true
+	})
+	if bottom > 1e-2 {
+		t.Fatalf("upper-only injection contaminated the bottom wall row: %v", bottom)
+	}
+}
+
+func TestSolverTimeAxis(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewSolver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SubstepsPerOutput() < 1 {
+		t.Fatal("substeps < 1")
+	}
+	outInterval := cfg.TotalTime / float64(cfg.Timesteps)
+	if math.Abs(s.Dt()*float64(s.SubstepsPerOutput())-outInterval) > 1e-12 {
+		t.Fatalf("dt*substeps = %v, want %v", s.Dt()*float64(s.SubstepsPerOutput()), outInterval)
+	}
+	// CFL: one substep cannot advect more than one cell.
+	g := cfg.Grid()
+	if s.Dt()*s.MaxFaceSpeed() > math.Min(g.Dx(), g.Dy())+1e-12 {
+		t.Fatal("CFL violated")
+	}
+	steps := 0
+	diag := s.Run(testParams(), func(step int, _ []float64) bool {
+		if step != steps {
+			t.Fatalf("emit step %d, want %d", step, steps)
+		}
+		steps++
+		return true
+	})
+	if steps != cfg.Timesteps {
+		t.Fatalf("emitted %d steps, want %d", steps, cfg.Timesteps)
+	}
+	if diag.Steps != cfg.Timesteps*s.SubstepsPerOutput() {
+		t.Fatalf("total substeps %d", diag.Steps)
+	}
+}
+
+func TestStudyDistributionsShape(t *testing.T) {
+	cfg := testConfig()
+	dists := StudyDistributions(cfg)
+	if len(dists) != NumParams {
+		t.Fatalf("%d distributions, want %d", len(dists), NumParams)
+	}
+	// Durations must exceed the inlet-entry time of the fluid observed at
+	// 80% of the run, so the right side stays duration-insensitive (the
+	// regime Sec. 5.5 interprets).
+	entryTime := 0.8*cfg.TotalTime - cfg.Lx/cfg.InflowU
+	for _, k := range []int{4, 5} {
+		u, ok := dists[k].(sampling.Uniform)
+		if !ok {
+			t.Fatalf("duration distribution %d is not uniform", k)
+		}
+		if u.Low <= entryTime {
+			t.Fatalf("duration lower bound %v must exceed entry time %v", u.Low, entryTime)
+		}
+		if u.High > cfg.TotalTime {
+			t.Fatalf("duration upper bound %v exceeds run length", u.High)
+		}
+	}
+	// Widths must fit inside one injector half-channel.
+	for _, k := range []int{2, 3} {
+		u := dists[k].(sampling.Uniform)
+		if u.High > cfg.Ly/2 {
+			t.Fatalf("width upper bound %v exceeds half-channel", u.High)
+		}
+	}
+}

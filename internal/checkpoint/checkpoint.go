@@ -1,0 +1,105 @@
+// Package checkpoint implements the on-disk format of Melissa Server's
+// periodic state saves (Sec. 4.2.1): each server process independently
+// writes one file containing its statistics accumulator and its group
+// bookkeeping. Files are written atomically (temp file + rename) and carry a
+// magic header, a format version and a CRC so that a crash during
+// checkpointing can never leave a silently corrupt restart point — the
+// previous complete checkpoint always survives.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"melissa/internal/enc"
+)
+
+const (
+	magic   = 0x4d4c5341 // "MLSA"
+	version = 1
+)
+
+// Filename returns the canonical checkpoint path for a server process rank,
+// mirroring the paper's one-file-per-process layout.
+func Filename(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("melissa-server-%04d.ckpt", rank))
+}
+
+// Write serializes a payload produced by fill into path, atomically.
+func Write(path string, fill func(w *enc.Writer)) error {
+	w := enc.NewWriter(1 << 16)
+	fill(w)
+	payload := w.Bytes()
+
+	header := make([]byte, 16)
+	binary.LittleEndian.PutUint32(header[0:], magic)
+	binary.LittleEndian.PutUint32(header[4:], version)
+	binary.LittleEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(payload)))
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+	if _, err := tmp.Write(header); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read loads and verifies a checkpoint, returning a reader over its payload.
+func Read(path string) (*enc.Reader, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
+	}
+	if got := binary.LittleEndian.Uint32(raw[0:]); got != magic {
+		return nil, fmt.Errorf("checkpoint: %s: bad magic %#x", path, got)
+	}
+	if got := binary.LittleEndian.Uint32(raw[4:]); got != version {
+		return nil, fmt.Errorf("checkpoint: %s: unsupported version %d", path, got)
+	}
+	wantCRC := binary.LittleEndian.Uint32(raw[8:])
+	wantLen := int(binary.LittleEndian.Uint32(raw[12:]))
+	payload := raw[16:]
+	if len(payload) != wantLen {
+		return nil, fmt.Errorf("checkpoint: %s: payload %d bytes, header says %d", path, len(payload), wantLen)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("checkpoint: %s: CRC mismatch", path)
+	}
+	return enc.NewReader(payload), nil
+}
+
+// Exists reports whether a readable checkpoint is present at path.
+func Exists(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && !info.IsDir()
+}

@@ -1,0 +1,167 @@
+// Package client implements the Melissa client side: the simulation group.
+//
+// A group runs p+2 simulations synchronously (Sec. 3.3), one per row of the
+// pick-freeze matrices (A_i, B_i, C^1_i .. C^p_i). Data leaves the group in
+// the two-stage pattern of Sec. 4.1.2: the fields of all p+2 simulations are
+// first gathered per simulation rank onto the main simulation (stage 1,
+// MPI_Gather in the paper), then each main-simulation rank pushes its piece
+// to exactly the server processes whose partitions it overlaps (stage 2, the
+// static N×M redistribution).
+//
+// The integration API mirrors the paper's three-function library:
+// Connect (Initialise), SendTimestep (Process), Close (Finalize).
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"melissa/internal/mesh"
+	"melissa/internal/transport"
+	"melissa/internal/wire"
+)
+
+// Simulation is the solver abstraction the group runtime drives: Run
+// integrates one parameter set and must call emit once per output timestep,
+// in increasing step order. Run aborts early when emit returns false.
+type Simulation interface {
+	Run(row []float64, emit func(step int, field []float64) bool)
+}
+
+// SimFunc adapts a plain function to the Simulation interface.
+type SimFunc func(row []float64, emit func(step int, field []float64) bool)
+
+// Run implements Simulation.
+func (f SimFunc) Run(row []float64, emit func(step int, field []float64) bool) {
+	f(row, emit)
+}
+
+// Connection is an established group↔server session: the result of the
+// dynamic connection handshake, holding one sender per server process this
+// group needs (every one of them, in the block-partitioned layout).
+type Connection struct {
+	GroupID  int
+	SimRanks int
+	Layout   *wire.Welcome
+
+	net      transport.Network
+	senders  []transport.Sender
+	routes   []mesh.Transfer
+	simParts []mesh.Partition
+}
+
+// Connect performs the dynamic-connection handshake of Sec. 4.1.3: it
+// contacts the server main process, retrieves the data partitioning and the
+// server process addresses, and opens direct connections to every server
+// process this group's ranks will feed.
+func Connect(net transport.Network, mainAddr string, groupID, simRanks int, timeout time.Duration) (*Connection, error) {
+	if simRanks < 1 {
+		return nil, fmt.Errorf("client: group %d needs at least one rank", groupID)
+	}
+	reply, err := net.Listen("")
+	if err != nil {
+		return nil, fmt.Errorf("client: group %d reply inbox: %w", groupID, err)
+	}
+	defer reply.Close()
+
+	main, err := net.Dial(mainAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client: group %d cannot reach server: %w", groupID, err)
+	}
+	hello := &wire.Hello{GroupID: groupID, SimRanks: simRanks, ReplyAddr: reply.Addr()}
+	if err := main.Send(wire.Encode(hello)); err != nil {
+		main.Close()
+		return nil, fmt.Errorf("client: group %d hello: %w", groupID, err)
+	}
+	main.Close()
+
+	msg, err := reply.Recv(timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: group %d waiting for welcome: %w", groupID, err)
+	}
+	decoded, err := wire.Decode(msg.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: group %d: %w", groupID, err)
+	}
+	welcome, ok := decoded.(*wire.Welcome)
+	if !ok {
+		return nil, fmt.Errorf("client: group %d expected Welcome, got %T", groupID, decoded)
+	}
+
+	simParts := mesh.BlockPartition(welcome.Cells, simRanks)
+	routes := mesh.Route(simParts, welcome.Partitions)
+
+	conn := &Connection{
+		GroupID:  groupID,
+		SimRanks: simRanks,
+		Layout:   welcome,
+		net:      net,
+		simParts: simParts,
+		routes:   routes,
+	}
+	// Open one connection per server process that appears in the routing
+	// ("each main simulation process opens individual communication
+	// channels to each necessary server process").
+	conn.senders = make([]transport.Sender, len(welcome.ServerAddr))
+	needed := make(map[int]bool)
+	for _, tr := range routes {
+		needed[tr.ServerRank] = true
+	}
+	for rank := range needed {
+		s, err := net.Dial(welcome.ServerAddr[rank])
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("client: group %d dialing server %d: %w", groupID, rank, err)
+		}
+		conn.senders[rank] = s
+	}
+	return conn, nil
+}
+
+// SendTimestep pushes one timestep of all p+2 fields to the server — the
+// Process call of the 3-function API. fields[0] is f(A_i), fields[1] f(B_i),
+// fields[2+k] f(C^k_i); each covers the full mesh. The stage-1 gather is
+// implicit (fields are already assembled per simulation); stage 2 cuts them
+// along the static routing and ships one message per (sim rank, server
+// process) pair.
+func (c *Connection) SendTimestep(step int, fields [][]float64) error {
+	if len(fields) != c.Layout.P+2 {
+		return fmt.Errorf("client: group %d: %d fields, want %d", c.GroupID, len(fields), c.Layout.P+2)
+	}
+	for i, f := range fields {
+		if len(f) != c.Layout.Cells {
+			return fmt.Errorf("client: group %d field %d has %d cells, want %d",
+				c.GroupID, i, len(f), c.Layout.Cells)
+		}
+	}
+	for _, tr := range c.routes {
+		cut := make([][]float64, len(fields))
+		for fi, f := range fields {
+			cut[fi] = f[tr.Cells.Lo:tr.Cells.Hi]
+		}
+		data := &wire.Data{
+			GroupID:  c.GroupID,
+			Timestep: step,
+			CellLo:   tr.Cells.Lo,
+			CellHi:   tr.Cells.Hi,
+			Fields:   cut,
+		}
+		if err := c.senders[tr.ServerRank].Send(wire.Encode(data)); err != nil {
+			return fmt.Errorf("client: group %d step %d to server %d: %w",
+				c.GroupID, step, tr.ServerRank, err)
+		}
+	}
+	return nil
+}
+
+// Messages returns how many stage-2 messages one timestep produces.
+func (c *Connection) Messages() int { return len(c.routes) }
+
+// Close releases all server connections — the Finalize call.
+func (c *Connection) Close() {
+	for _, s := range c.senders {
+		if s != nil {
+			s.Close()
+		}
+	}
+}

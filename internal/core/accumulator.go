@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"melissa/internal/enc"
+	"melissa/internal/sobol"
+	"melissa/internal/stats"
+)
+
+// Options selects the optional statistics beyond Sobol' indices. Melissa can
+// be configured to compute extra iterative statistics on the Y^A and Y^B
+// samples only (Sec. 4.1: the other group members have dependent inputs).
+type Options struct {
+	// MinMax tracks per-cell running min/max over the A and B samples.
+	MinMax bool
+	// Threshold, when non-nil, counts per-cell exceedances of the given
+	// value over the A and B samples.
+	Threshold *float64
+	// HigherMoments tracks per-cell skewness and kurtosis over the pooled
+	// A and B samples (Pébay formulas; suggested in Sec. 4.1 for
+	// uncertainty-propagation studies).
+	HigherMoments bool
+}
+
+// Accumulator holds the ubiquitous Sobol' state for one spatial partition
+// across all timesteps. It is not safe for concurrent use; each server
+// process owns one and updates it from its own message loop ("updating the
+// statistics is a local operation", Sec. 4.1.1).
+type Accumulator struct {
+	cells     int
+	timesteps int
+	p         int
+	opts      Options
+	steps     []stepAccum
+}
+
+// stepAccum is the per-timestep one-pass state (see package comment for the
+// memory layout rationale).
+type stepAccum struct {
+	n          int64
+	meanA, m2A []float64
+	meanB, m2B []float64
+	meanC, m2C [][]float64 // [k][cell]
+	c2BC, c2AC [][]float64 // [k][cell]
+	minmax     *stats.FieldMinMax
+	exceed     *stats.FieldExceedance
+	higher     *stats.FieldMoments
+}
+
+// NewAccumulator returns an accumulator for a partition of `cells` cells,
+// `timesteps` output steps and p input parameters.
+func NewAccumulator(cells, timesteps, p int, opts Options) *Accumulator {
+	if cells < 0 || timesteps < 1 || p < 1 {
+		panic(fmt.Sprintf("core: invalid accumulator shape cells=%d timesteps=%d p=%d", cells, timesteps, p))
+	}
+	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, opts: opts}
+	a.steps = make([]stepAccum, timesteps)
+	for t := range a.steps {
+		a.steps[t] = newStepAccum(cells, p, opts)
+	}
+	return a
+}
+
+func newStepAccum(cells, p int, opts Options) stepAccum {
+	s := stepAccum{
+		meanA: make([]float64, cells),
+		m2A:   make([]float64, cells),
+		meanB: make([]float64, cells),
+		m2B:   make([]float64, cells),
+		meanC: make2D(p, cells),
+		m2C:   make2D(p, cells),
+		c2BC:  make2D(p, cells),
+		c2AC:  make2D(p, cells),
+	}
+	if opts.MinMax {
+		s.minmax = stats.NewFieldMinMax(cells)
+	}
+	if opts.Threshold != nil {
+		s.exceed = stats.NewFieldExceedance(cells, *opts.Threshold)
+	}
+	if opts.HigherMoments {
+		s.higher = stats.NewFieldMoments(cells)
+	}
+	return s
+}
+
+func make2D(p, cells int) [][]float64 {
+	out := make([][]float64, p)
+	for k := range out {
+		out[k] = make([]float64, cells)
+	}
+	return out
+}
+
+// Cells returns the partition size.
+func (a *Accumulator) Cells() int { return a.cells }
+
+// Timesteps returns the number of output steps tracked.
+func (a *Accumulator) Timesteps() int { return a.timesteps }
+
+// P returns the number of input parameters.
+func (a *Accumulator) P() int { return a.p }
+
+// N returns the number of groups folded into timestep t.
+func (a *Accumulator) N(t int) int64 { return a.steps[t].n }
+
+// UpdateGroup folds the results of one simulation group at output step t:
+// yA and yB are the fields of f(A_i) and f(B_i) restricted to this
+// partition, yC[k] the field of f(C^k_i). All slices must have length
+// Cells(). This is the O(cells·p) inner loop of Melissa Server.
+func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
+	if t < 0 || t >= a.timesteps {
+		panic(fmt.Sprintf("core: timestep %d out of range [0,%d)", t, a.timesteps))
+	}
+	if len(yA) != a.cells || len(yB) != a.cells || len(yC) != a.p {
+		panic(fmt.Sprintf("core: update shape mismatch: |yA|=%d |yB|=%d |yC|=%d, want cells=%d p=%d",
+			len(yA), len(yB), len(yC), a.cells, a.p))
+	}
+	s := &a.steps[t]
+	s.n++
+	n := float64(s.n)
+	for k := 0; k < a.p; k++ {
+		yCk := yC[k]
+		if len(yCk) != a.cells {
+			panic(fmt.Sprintf("core: yC[%d] has %d cells, want %d", k, len(yCk), a.cells))
+		}
+		meanC, m2C := s.meanC[k], s.m2C[k]
+		c2BC, c2AC := s.c2BC[k], s.c2AC[k]
+		for i := 0; i < a.cells; i++ {
+			dA := yA[i] - s.meanA[i] // deviations from the *old* A/B means
+			dB := yB[i] - s.meanB[i]
+			dC := yCk[i] - meanC[i]
+			meanC[i] += dC / n
+			e := yCk[i] - meanC[i] // deviation from the *new* C mean
+			m2C[i] += dC * e
+			c2BC[i] += dB * e
+			c2AC[i] += dA * e
+		}
+	}
+	for i := 0; i < a.cells; i++ {
+		dA := yA[i] - s.meanA[i]
+		s.meanA[i] += dA / n
+		s.m2A[i] += dA * (yA[i] - s.meanA[i])
+		dB := yB[i] - s.meanB[i]
+		s.meanB[i] += dB / n
+		s.m2B[i] += dB * (yB[i] - s.meanB[i])
+	}
+	if s.minmax != nil {
+		s.minmax.Update(yA)
+		s.minmax.Update(yB)
+	}
+	if s.exceed != nil {
+		s.exceed.Update(yA)
+		s.exceed.Update(yB)
+	}
+	if s.higher != nil {
+		s.higher.Update(yA)
+		s.higher.Update(yB)
+	}
+}
+
+// FirstAt returns the Martinez first-order index S_k(x, t) for local cell i.
+func (a *Accumulator) FirstAt(t, k, i int) float64 {
+	s := &a.steps[t]
+	return correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+}
+
+// TotalAt returns the total index ST_k(x, t) for local cell i. It reports 0
+// before two groups have arrived.
+func (a *Accumulator) TotalAt(t, k, i int) float64 {
+	s := &a.steps[t]
+	if s.n < 2 {
+		return 0
+	}
+	return 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
+}
+
+// FirstField writes the per-cell first-order index field S_k(·, t) into dst
+// (allocating when nil or too small) and returns it.
+func (a *Accumulator) FirstField(t, k int, dst []float64) []float64 {
+	dst = ensureLen(dst, a.cells)
+	s := &a.steps[t]
+	for i := range dst {
+		dst[i] = correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+	}
+	return dst
+}
+
+// TotalField writes the per-cell total index field ST_k(·, t) into dst.
+func (a *Accumulator) TotalField(t, k int, dst []float64) []float64 {
+	dst = ensureLen(dst, a.cells)
+	s := &a.steps[t]
+	if s.n < 2 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i := range dst {
+		dst[i] = 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
+	}
+	return dst
+}
+
+// MeanField writes the per-cell mean of the B sample at step t into dst.
+func (a *Accumulator) MeanField(t int, dst []float64) []float64 {
+	dst = ensureLen(dst, a.cells)
+	copy(dst, a.steps[t].meanB)
+	return dst
+}
+
+// VarianceField writes the per-cell unbiased variance of the B sample at
+// step t into dst — the Fig. 8 co-visualization map that guards against
+// interpreting Sobol' indices where Var(Y) ≈ 0 (Sec. 5.5).
+func (a *Accumulator) VarianceField(t int, dst []float64) []float64 {
+	dst = ensureLen(dst, a.cells)
+	s := &a.steps[t]
+	if s.n < 2 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	div := float64(s.n - 1)
+	for i := range dst {
+		dst[i] = s.m2B[i] / div
+	}
+	return dst
+}
+
+// InteractionField writes 1 − ΣS_k(·, t) into dst: the share of variance
+// attributable to parameter interactions (Sec. 5.5 uses it to decide the
+// total indices are redundant for this use case).
+func (a *Accumulator) InteractionField(t int, dst []float64) []float64 {
+	dst = ensureLen(dst, a.cells)
+	s := &a.steps[t]
+	for i := range dst {
+		sum := 0.0
+		for k := 0; k < a.p; k++ {
+			sum += correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+		}
+		dst[i] = 1 - sum
+	}
+	return dst
+}
+
+// MinMax returns the optional per-cell min/max tracker for step t (nil when
+// not enabled).
+func (a *Accumulator) MinMax(t int) *stats.FieldMinMax { return a.steps[t].minmax }
+
+// Exceedance returns the optional per-cell threshold counter for step t.
+func (a *Accumulator) Exceedance(t int) *stats.FieldExceedance { return a.steps[t].exceed }
+
+// HigherMoments returns the optional pooled-moments tracker for step t.
+func (a *Accumulator) HigherMoments(t int) *stats.FieldMoments { return a.steps[t].higher }
+
+// FirstCI returns the Eq. 8 confidence interval for S_k at (t, cell i).
+func (a *Accumulator) FirstCI(t, k, i int, level float64) sobol.Interval {
+	return sobol.FirstOrderCI(a.FirstAt(t, k, i), a.steps[t].n, level)
+}
+
+// TotalCI returns the Eq. 9 confidence interval for ST_k at (t, cell i).
+func (a *Accumulator) TotalCI(t, k, i int, level float64) sobol.Interval {
+	return sobol.TotalOrderCI(a.TotalAt(t, k, i), a.steps[t].n, level)
+}
+
+// MaxCIWidth scans all timesteps, cells and parameters and returns the
+// widest confidence interval — the single convergence scalar of Sec. 4.1.5
+// ("only keep the largest value over all the mesh and all the timesteps").
+// Cells whose output variance vanishes are skipped: their indices are
+// meaningless (Sec. 5.5) and would otherwise pin the width at its maximum.
+func (a *Accumulator) MaxCIWidth(level float64) float64 {
+	var worst float64
+	for t := range a.steps {
+		s := &a.steps[t]
+		if s.n < 4 {
+			return math.Inf(1)
+		}
+		for k := 0; k < a.p; k++ {
+			for i := 0; i < a.cells; i++ {
+				if s.m2B[i] == 0 || s.m2C[k][i] == 0 {
+					continue
+				}
+				first := correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+				if w := sobol.FirstOrderCI(first, s.n, level).Width(); w > worst {
+					worst = w
+				}
+				if s.m2A[i] == 0 {
+					continue
+				}
+				total := 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
+				if w := sobol.TotalOrderCI(total, s.n, level).Width(); w > worst {
+					worst = w
+				}
+			}
+		}
+	}
+	return worst
+}
+
+// Merge folds another accumulator (same shape) into a, cell by cell and
+// timestep by timestep, using the pairwise co-moment merge formulas.
+func (a *Accumulator) Merge(other *Accumulator) {
+	if other.cells != a.cells || other.timesteps != a.timesteps || other.p != a.p {
+		panic("core: merging accumulators of different shapes")
+	}
+	for t := range a.steps {
+		sa, sb := &a.steps[t], &other.steps[t]
+		if sb.n == 0 {
+			continue
+		}
+		if sa.n == 0 {
+			copyStep(sa, sb)
+			continue
+		}
+		na, nb := float64(sa.n), float64(sb.n)
+		nx := na + nb
+		w := na * nb / nx
+		for k := 0; k < a.p; k++ {
+			for i := 0; i < a.cells; i++ {
+				dA := sb.meanA[i] - sa.meanA[i]
+				dB := sb.meanB[i] - sa.meanB[i]
+				dC := sb.meanC[k][i] - sa.meanC[k][i]
+				sa.c2BC[k][i] += sb.c2BC[k][i] + dB*dC*w
+				sa.c2AC[k][i] += sb.c2AC[k][i] + dA*dC*w
+				sa.m2C[k][i] += sb.m2C[k][i] + dC*dC*w
+				sa.meanC[k][i] += dC * nb / nx
+			}
+		}
+		for i := 0; i < a.cells; i++ {
+			dA := sb.meanA[i] - sa.meanA[i]
+			dB := sb.meanB[i] - sa.meanB[i]
+			sa.m2A[i] += sb.m2A[i] + dA*dA*w
+			sa.m2B[i] += sb.m2B[i] + dB*dB*w
+			sa.meanA[i] += dA * nb / nx
+			sa.meanB[i] += dB * nb / nx
+		}
+		if sa.minmax != nil && sb.minmax != nil {
+			sa.minmax.Merge(sb.minmax)
+		}
+		if sa.exceed != nil && sb.exceed != nil {
+			sa.exceed.Merge(sb.exceed)
+		}
+		if sa.higher != nil && sb.higher != nil {
+			sa.higher.Merge(sb.higher)
+		}
+		sa.n += sb.n
+	}
+}
+
+func copyStep(dst, src *stepAccum) {
+	dst.n = src.n
+	copy(dst.meanA, src.meanA)
+	copy(dst.m2A, src.m2A)
+	copy(dst.meanB, src.meanB)
+	copy(dst.m2B, src.m2B)
+	for k := range dst.meanC {
+		copy(dst.meanC[k], src.meanC[k])
+		copy(dst.m2C[k], src.m2C[k])
+		copy(dst.c2BC[k], src.c2BC[k])
+		copy(dst.c2AC[k], src.c2AC[k])
+	}
+	if dst.minmax != nil && src.minmax != nil {
+		dst.minmax.Merge(src.minmax)
+	}
+	if dst.exceed != nil && src.exceed != nil {
+		dst.exceed.Merge(src.exceed)
+	}
+	if dst.higher != nil && src.higher != nil {
+		dst.higher.Merge(src.higher)
+	}
+}
+
+// MemoryBytes returns the size of the float64 state, the quantity of the
+// Sec. 4.1.1 memory model (timesteps × cells × statistics × 8 bytes).
+func (a *Accumulator) MemoryBytes() int64 {
+	perCellFloats := int64(4 + 4*a.p)
+	if a.opts.MinMax {
+		perCellFloats += 2
+	}
+	if a.opts.Threshold != nil {
+		perCellFloats++ // int64 counter
+	}
+	if a.opts.HigherMoments {
+		perCellFloats += 4
+	}
+	return 8 * perCellFloats * int64(a.cells) * int64(a.timesteps)
+}
+
+// Encode appends the full accumulator state to w (checkpoint format).
+func (a *Accumulator) Encode(w *enc.Writer) {
+	w.Int(a.cells)
+	w.Int(a.timesteps)
+	w.Int(a.p)
+	w.Bool(a.opts.MinMax)
+	w.Bool(a.opts.Threshold != nil)
+	if a.opts.Threshold != nil {
+		w.F64(*a.opts.Threshold)
+	}
+	w.Bool(a.opts.HigherMoments)
+	for t := range a.steps {
+		s := &a.steps[t]
+		w.I64(s.n)
+		w.F64Slice(s.meanA)
+		w.F64Slice(s.m2A)
+		w.F64Slice(s.meanB)
+		w.F64Slice(s.m2B)
+		for k := 0; k < a.p; k++ {
+			w.F64Slice(s.meanC[k])
+			w.F64Slice(s.m2C[k])
+			w.F64Slice(s.c2BC[k])
+			w.F64Slice(s.c2AC[k])
+		}
+		if s.minmax != nil {
+			s.minmax.Encode(w)
+		}
+		if s.exceed != nil {
+			s.exceed.Encode(w)
+		}
+		if s.higher != nil {
+			s.higher.Encode(w)
+		}
+	}
+}
+
+// DecodeAccumulator reconstructs an accumulator from r.
+func DecodeAccumulator(r *enc.Reader) (*Accumulator, error) {
+	cells := r.Int()
+	timesteps := r.Int()
+	p := r.Int()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if cells < 0 || timesteps < 1 || p < 1 || timesteps > 1<<24 || p > 1<<20 {
+		return nil, fmt.Errorf("core: corrupt accumulator header (cells=%d timesteps=%d p=%d)", cells, timesteps, p)
+	}
+	var opts Options
+	opts.MinMax = r.Bool()
+	if r.Bool() {
+		th := r.F64()
+		opts.Threshold = &th
+	}
+	opts.HigherMoments = r.Bool()
+	a := NewAccumulator(cells, timesteps, p, opts)
+	for t := range a.steps {
+		s := &a.steps[t]
+		s.n = r.I64()
+		r.F64SliceInto(s.meanA)
+		r.F64SliceInto(s.m2A)
+		r.F64SliceInto(s.meanB)
+		r.F64SliceInto(s.m2B)
+		for k := 0; k < p; k++ {
+			r.F64SliceInto(s.meanC[k])
+			r.F64SliceInto(s.m2C[k])
+			r.F64SliceInto(s.c2BC[k])
+			r.F64SliceInto(s.c2AC[k])
+		}
+		if s.minmax != nil {
+			s.minmax.Decode(r)
+		}
+		if s.exceed != nil {
+			s.exceed.Decode(r)
+		}
+		if s.higher != nil {
+			s.higher.Decode(r)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func correlation(c2, m2x, m2y float64) float64 {
+	if m2x == 0 || m2y == 0 {
+		return 0
+	}
+	return c2 / (math.Sqrt(m2x) * math.Sqrt(m2y))
+}
+
+func ensureLen(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}

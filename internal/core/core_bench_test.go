@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkUpdateGroup measures the server's hot path: folding one group's
+// p+2 fields into the ubiquitous accumulator, at the paper's p = 6 on a
+// 10k-cell partition (one server process's share of a larger mesh).
+func BenchmarkUpdateGroup10kCellsP6(b *testing.B) {
+	const cells, p = 10000, 6
+	rng := rand.New(rand.NewSource(1))
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		return f
+	}
+	a := NewAccumulator(cells, 1, p, Options{})
+	yA, yB := field(), field()
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = field()
+	}
+	b.SetBytes(8 * cells * (p + 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UpdateGroup(0, yA, yB, yC)
+	}
+}
+
+// BenchmarkMemoryModel reports the Sec. 4.1.1 server memory at the paper's
+// full scale (9.6M cells, 100 timesteps, p = 6) without allocating it.
+func BenchmarkMemoryModel(b *testing.B) {
+	small := NewAccumulator(1, 1, 6, Options{})
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		// The model is linear in cells×timesteps; scale from the unit size.
+		bytes = small.MemoryBytes() * 9603840 * 100
+	}
+	b.ReportMetric(float64(bytes)/1e9, "fullscale-GB")
+}
+
+func BenchmarkFirstField(b *testing.B) {
+	const cells, p = 10000, 6
+	a := NewAccumulator(cells, 1, p, Options{})
+	rng := rand.New(rand.NewSource(2))
+	groups := randomGroups(rng, 16, cells, p)
+	feedAll(a, 0, groups)
+	dst := make([]float64, cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.FirstField(0, i%p, dst)
+	}
+}
+
+func BenchmarkTrackerFilter(b *testing.B) {
+	tr := NewGroupTracker(99)
+	for g := 0; g < 1000; g++ {
+		tr.Commit(g, g%100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ShouldApply(i%1000, i%100)
+	}
+}

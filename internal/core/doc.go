@@ -1,0 +1,24 @@
+// Package core implements the paper's primary contribution: ubiquitous
+// iterative Sobol' indices (Sec. 2.2, 3.3) — first-order and total indices
+// for *every mesh cell and every timestep*, updated on-the-fly from
+// simulation-group results and never requiring the results to be stored.
+//
+// An Accumulator owns one spatial partition of the mesh (one Melissa Server
+// process holds exactly one) and, per timestep, the one-pass moments needed
+// by the Martinez estimator:
+//
+//	per (timestep, cell):        meanA, M2A, meanB, M2B
+//	per (timestep, cell, k):     meanCk, M2Ck, C2(B,Ck), C2(A,Ck)
+//
+// which is 8·(4 + 4p) bytes per cell per timestep — the "order of the size
+// of the results of one simulation for each computed statistic" memory model
+// of Sec. 4.1.1, independent of the number of simulation groups. The layout
+// shares the A/B means across all p parameters instead of composing p
+// independent covariance accumulators, halving memory; tests verify cell-by-
+// cell equality with the scalar accumulators of internal/stats.
+//
+// The package also provides the GroupTracker implementing the
+// discard-on-replay bookkeeping of Sec. 4.2.1: per-group last-folded
+// timestep, started/finished state, and filtering of replayed messages after
+// a group restart, so that re-executed timesteps are never folded twice.
+package core

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+
+	"melissa/internal/enc"
+)
+
+// GroupState describes what a server process knows about one simulation
+// group (Sec. 4.2.2: "a server process considers a group started if it
+// received at least one message, finished if it received the final timestep
+// id").
+type GroupState int
+
+// Group lifecycle states.
+const (
+	GroupUnknown  GroupState = iota // no message ever received
+	GroupRunning                    // some but not all timesteps folded
+	GroupFinished                   // final timestep folded
+)
+
+// GroupTracker implements the discard-on-replay policy of Sec. 4.2.1: every
+// server process records, per group, the last folded timestep; replayed
+// messages (timestep ≤ last) are discarded so a restarted group can never be
+// folded twice into the statistics.
+type GroupTracker struct {
+	finalStep int         // the last timestep id of a complete run
+	last      map[int]int // group id → last folded timestep
+}
+
+// NewGroupTracker returns a tracker for runs whose final timestep id is
+// finalStep (i.e. timesteps are 0..finalStep).
+func NewGroupTracker(finalStep int) *GroupTracker {
+	if finalStep < 0 {
+		panic("core: negative final timestep")
+	}
+	return &GroupTracker{finalStep: finalStep, last: make(map[int]int)}
+}
+
+// FinalStep returns the timestep id that marks a group as finished.
+func (g *GroupTracker) FinalStep() int { return g.finalStep }
+
+// ShouldApply reports whether a message from `group` carrying timestep
+// `step` must be folded (true) or discarded as a replay (false).
+func (g *GroupTracker) ShouldApply(group, step int) bool {
+	last, seen := g.last[group]
+	return !seen || step > last
+}
+
+// Commit records that timestep `step` of `group` has been folded.
+func (g *GroupTracker) Commit(group, step int) {
+	if last, seen := g.last[group]; !seen || step > last {
+		g.last[group] = step
+	}
+}
+
+// State returns the lifecycle state of a group.
+func (g *GroupTracker) State(group int) GroupState {
+	last, seen := g.last[group]
+	switch {
+	case !seen:
+		return GroupUnknown
+	case last >= g.finalStep:
+		return GroupFinished
+	default:
+		return GroupRunning
+	}
+}
+
+// LastStep returns the last folded timestep of a group and whether any
+// message was ever folded.
+func (g *GroupTracker) LastStep(group int) (int, bool) {
+	last, seen := g.last[group]
+	return last, seen
+}
+
+// Running returns the sorted ids of started-but-unfinished groups — the list
+// every server process periodically reports to the launcher (Sec. 4.2.2).
+func (g *GroupTracker) Running() []int { return g.byState(GroupRunning) }
+
+// Finished returns the sorted ids of finished groups.
+func (g *GroupTracker) Finished() []int { return g.byState(GroupFinished) }
+
+func (g *GroupTracker) byState(want GroupState) []int {
+	var out []int
+	for id := range g.last {
+		if g.State(id) == want {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Merge folds another tracker (e.g. from a peer server process) keeping the
+// most advanced timestep per group.
+func (g *GroupTracker) Merge(other *GroupTracker) {
+	for id, last := range other.last {
+		if cur, seen := g.last[id]; !seen || last > cur {
+			g.last[id] = last
+		}
+	}
+}
+
+// Encode appends the tracker state to w (part of the server checkpoint).
+func (g *GroupTracker) Encode(w *enc.Writer) {
+	w.Int(g.finalStep)
+	w.Int(len(g.last))
+	ids := make([]int, 0, len(g.last))
+	for id := range g.last {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids) // deterministic checkpoints
+	for _, id := range ids {
+		w.Int(id)
+		w.Int(g.last[id])
+	}
+}
+
+// DecodeGroupTracker reconstructs a tracker from r.
+func DecodeGroupTracker(r *enc.Reader) (*GroupTracker, error) {
+	finalStep := r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	g := NewGroupTracker(finalStep)
+	for i := 0; i < count; i++ {
+		id := r.Int()
+		last := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		g.last[id] = last
+	}
+	return g, nil
+}

@@ -1,0 +1,256 @@
+// Package enc provides small, allocation-conscious binary encoding helpers
+// shared by the wire protocol, the checkpoint format and the statistics
+// accumulators. All values are little-endian.
+//
+// The package deliberately avoids reflection (encoding/gob, binary.Write on
+// structs): checkpoints can reach hundreds of megabytes per server process
+// (Sec. 5.4 of the paper reports 959 MB per process), so the hot paths are
+// simple loops over float64 slices.
+package enc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decoder runs out of input bytes.
+var ErrShortBuffer = errors.New("enc: short buffer")
+
+// Writer accumulates a binary payload. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer whose underlying buffer has the given capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded payload. The slice is owned by the Writer and is
+// invalidated by further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset discards all written data, retaining the allocation.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// U8 appends a single byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 appends a uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 appends an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int as a 64-bit value.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 appends a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed UTF-8 string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// F64Slice appends a length-prefixed []float64.
+func (w *Writer) F64Slice(vs []float64) {
+	w.U64(uint64(len(vs)))
+	w.grow(8 * len(vs))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+	}
+}
+
+// I64Slice appends a length-prefixed []int64.
+func (w *Writer) I64Slice(vs []int64) {
+	w.U64(uint64(len(vs)))
+	w.grow(8 * len(vs))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+	}
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) BytesField(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *Writer) grow(n int) {
+	if cap(w.buf)-len(w.buf) < n {
+		nb := make([]byte, len(w.buf), 2*cap(w.buf)+n)
+		copy(nb, w.buf)
+		w.buf = nb
+	}
+}
+
+// Reader decodes a payload produced by Writer. Decoding methods record the
+// first error encountered; callers may batch several reads and check Err
+// once at the end.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d, have %d",
+			ErrShortBuffer, n, r.off, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads a single byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int encoded as 64 bits.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64Slice reads a length-prefixed []float64 into a fresh slice.
+func (r *Reader) F64Slice() []float64 {
+	n := int(r.U64())
+	if r.err != nil || n < 0 {
+		return nil
+	}
+	if 8*n > r.Remaining() {
+		r.err = fmt.Errorf("%w: float64 slice of %d elements exceeds remaining %d bytes",
+			ErrShortBuffer, n, r.Remaining())
+		return nil
+	}
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = r.F64()
+	}
+	return vs
+}
+
+// F64SliceInto reads a length-prefixed []float64 into dst, which must have
+// exactly the encoded length.
+func (r *Reader) F64SliceInto(dst []float64) {
+	n := int(r.U64())
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.err = fmt.Errorf("enc: encoded slice length %d does not match destination %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.F64()
+	}
+}
+
+// I64Slice reads a length-prefixed []int64.
+func (r *Reader) I64Slice() []int64 {
+	n := int(r.U64())
+	if r.err != nil || n < 0 {
+		return nil
+	}
+	if 8*n > r.Remaining() {
+		r.err = fmt.Errorf("%w: int64 slice of %d elements exceeds remaining %d bytes",
+			ErrShortBuffer, n, r.Remaining())
+		return nil
+	}
+	vs := make([]int64, n)
+	for i := range vs {
+		vs[i] = r.I64()
+	}
+	return vs
+}
+
+// BytesField reads a length-prefixed byte slice (copied).
+func (r *Reader) BytesField() []byte {
+	n := int(r.U64())
+	if r.err != nil {
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}

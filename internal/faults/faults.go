@@ -1,0 +1,155 @@
+// Package faults provides deterministic fault injection for the resilience
+// experiments (Sec. 4.2, 5.4): group crashes, stragglers/hangs, zombies that
+// never contact the server, and server crashes. A Plan is a declarative list
+// of faults keyed by (group, attempt), so re-running a study with the same
+// plan reproduces the same failure sequence.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind classifies an injected group fault.
+type Kind int
+
+// Group fault kinds.
+const (
+	// Crash makes the group fail (job exits with an error) at a step.
+	Crash Kind = iota
+	// Hang makes the group stop sending without exiting (straggler); only
+	// the server's message timeout can catch it (Sec. 4.2.2, case 1).
+	Hang
+	// Zombie makes the group look running to the scheduler while never
+	// contacting the server (Sec. 4.2.2, case 2).
+	Zombie
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case Zombie:
+		return "zombie"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ErrInjected marks failures produced by the plan (vs. genuine bugs).
+var ErrInjected = errors.New("faults: injected failure")
+
+// GroupFault describes one planned group failure.
+type GroupFault struct {
+	// Group is the design row / group id the fault applies to.
+	Group int
+	// Attempt selects which execution attempt fails (0 = first run,
+	// 1 = first restart, ...). Later attempts succeed, letting the study
+	// converge, unless the plan holds further entries.
+	Attempt int
+	// Kind is the failure mode.
+	Kind Kind
+	// AtStep is the timestep before which the fault fires.
+	AtStep int
+	// HangFor bounds a Hang (0 = hang until killed); mostly for tests that
+	// must not leak goroutines forever.
+	HangFor time.Duration
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	faults map[[2]int]GroupFault
+	// ServerCrashAfter kills the server once, after this run time (0 = no
+	// server fault).
+	ServerCrashAfter time.Duration
+	serverDone       bool
+}
+
+// NewPlan builds a plan from group faults.
+func NewPlan(faults ...GroupFault) *Plan {
+	p := &Plan{faults: make(map[[2]int]GroupFault)}
+	for _, f := range faults {
+		p.faults[[2]int{f.Group, f.Attempt}] = f
+	}
+	return p
+}
+
+// WithServerCrash schedules a one-shot server crash after d of study time.
+func (p *Plan) WithServerCrash(d time.Duration) *Plan {
+	p.ServerCrashAfter = d
+	return p
+}
+
+// GroupFaultFor returns the fault planned for (group, attempt), if any.
+func (p *Plan) GroupFaultFor(group, attempt int) (GroupFault, bool) {
+	if p == nil {
+		return GroupFault{}, false
+	}
+	f, ok := p.faults[[2]int{group, attempt}]
+	return f, ok
+}
+
+// IsZombie reports whether (group, attempt) should never contact the server.
+func (p *Plan) IsZombie(group, attempt int) bool {
+	f, ok := p.GroupFaultFor(group, attempt)
+	return ok && f.Kind == Zombie
+}
+
+// BeforeStepHook builds the client.RunConfig.BeforeStep hook implementing
+// the planned fault for (group, attempt). It returns nil when the attempt
+// is clean.
+func (p *Plan) BeforeStepHook(group, attempt int) func(step int) error {
+	f, ok := p.GroupFaultFor(group, attempt)
+	if !ok || f.Kind == Zombie {
+		return nil // zombies are handled before the group starts
+	}
+	switch f.Kind {
+	case Crash:
+		return func(step int) error {
+			if step >= f.AtStep {
+				return fmt.Errorf("%w: group %d attempt %d crashed at step %d",
+					ErrInjected, group, attempt, step)
+			}
+			return nil
+		}
+	case Hang:
+		return func(step int) error {
+			if step >= f.AtStep {
+				d := f.HangFor
+				if d <= 0 {
+					d = time.Hour // effectively forever at test scale
+				}
+				time.Sleep(d)
+				return fmt.Errorf("%w: group %d attempt %d hung at step %d",
+					ErrInjected, group, attempt, step)
+			}
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+// ShouldCrashServer reports (once) whether the server crash is due.
+func (p *Plan) ShouldCrashServer(elapsed time.Duration) bool {
+	if p == nil || p.ServerCrashAfter <= 0 || p.serverDone {
+		return false
+	}
+	if elapsed >= p.ServerCrashAfter {
+		p.serverDone = true
+		return true
+	}
+	return false
+}
+
+// Len returns the number of planned group faults.
+func (p *Plan) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.faults)
+}

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPlanLookup(t *testing.T) {
+	p := NewPlan(
+		GroupFault{Group: 3, Attempt: 0, Kind: Crash, AtStep: 5},
+		GroupFault{Group: 3, Attempt: 1, Kind: Hang, AtStep: 2},
+		GroupFault{Group: 9, Attempt: 0, Kind: Zombie},
+	)
+	if p.Len() != 3 {
+		t.Fatalf("len %d", p.Len())
+	}
+	if f, ok := p.GroupFaultFor(3, 0); !ok || f.Kind != Crash || f.AtStep != 5 {
+		t.Fatalf("lookup: %+v %v", f, ok)
+	}
+	if _, ok := p.GroupFaultFor(3, 2); ok {
+		t.Fatal("attempt 2 should be clean")
+	}
+	if !p.IsZombie(9, 0) || p.IsZombie(9, 1) || p.IsZombie(3, 0) {
+		t.Fatal("zombie classification wrong")
+	}
+}
+
+func TestCrashHook(t *testing.T) {
+	p := NewPlan(GroupFault{Group: 1, Attempt: 0, Kind: Crash, AtStep: 3})
+	hook := p.BeforeStepHook(1, 0)
+	if hook == nil {
+		t.Fatal("no hook for planned crash")
+	}
+	for step := 0; step < 3; step++ {
+		if err := hook(step); err != nil {
+			t.Fatalf("crashed early at %d: %v", step, err)
+		}
+	}
+	err := hook(3)
+	if err == nil {
+		t.Fatal("no crash at the planned step")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash not marked injected: %v", err)
+	}
+}
+
+func TestHangHookBounded(t *testing.T) {
+	p := NewPlan(GroupFault{Group: 2, Attempt: 1, Kind: Hang, AtStep: 0, HangFor: 20 * time.Millisecond})
+	hook := p.BeforeStepHook(2, 1)
+	start := time.Now()
+	err := hook(0)
+	if err == nil {
+		t.Fatal("hang hook returned no error")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("hang too short: %v", elapsed)
+	}
+}
+
+func TestCleanAttemptsHaveNoHook(t *testing.T) {
+	p := NewPlan(GroupFault{Group: 1, Attempt: 0, Kind: Crash, AtStep: 0})
+	if p.BeforeStepHook(1, 1) != nil {
+		t.Fatal("retry attempt should be clean")
+	}
+	if p.BeforeStepHook(2, 0) != nil {
+		t.Fatal("unplanned group should be clean")
+	}
+	// Zombies have no step hook: they never start stepping.
+	z := NewPlan(GroupFault{Group: 4, Attempt: 0, Kind: Zombie})
+	if z.BeforeStepHook(4, 0) != nil {
+		t.Fatal("zombie should have no step hook")
+	}
+}
+
+func TestNilPlanIsClean(t *testing.T) {
+	var p *Plan
+	if _, ok := p.GroupFaultFor(0, 0); ok {
+		t.Fatal("nil plan has faults")
+	}
+	if p.IsZombie(0, 0) || p.Len() != 0 {
+		t.Fatal("nil plan misbehaves")
+	}
+	if p.ShouldCrashServer(time.Hour) {
+		t.Fatal("nil plan crashes servers")
+	}
+}
+
+func TestServerCrashFiresOnce(t *testing.T) {
+	p := NewPlan().WithServerCrash(100 * time.Millisecond)
+	if p.ShouldCrashServer(50 * time.Millisecond) {
+		t.Fatal("crashed early")
+	}
+	if !p.ShouldCrashServer(150 * time.Millisecond) {
+		t.Fatal("did not crash at due time")
+	}
+	if p.ShouldCrashServer(200 * time.Millisecond) {
+		t.Fatal("crashed twice")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Crash.String() != "crash" || Hang.String() != "hang" || Zombie.String() != "zombie" {
+		t.Fatal("kind strings wrong")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind has empty string")
+	}
+}

@@ -1,0 +1,249 @@
+// Package harness renders experiment output: ASCII heat maps and line plots
+// for terminal inspection (standing in for the paper's ParaView
+// visualizations of Fig. 7/8), PGM images and CSV series for external tools,
+// and aligned paper-vs-measured tables for EXPERIMENTS.md.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ramp is the density ramp of the ASCII heat maps, blue→red in the paper's
+// color scale, light→dark here.
+const ramp = " .:-=+*#%@"
+
+// Heatmap renders a row-major field (ny rows of nx cells) as ASCII art,
+// scaling values between lo and hi (pass lo == hi to autoscale). Row 0 (the
+// bottom of the physical domain) is printed last so the image is upright.
+func Heatmap(field []float64, nx, ny int, lo, hi float64) string {
+	if len(field) != nx*ny {
+		panic(fmt.Sprintf("harness: field of %d cells is not %dx%d", len(field), nx, ny))
+	}
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range field {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	var b strings.Builder
+	for iy := ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < nx; ix++ {
+			v := (field[ix+iy*nx] - lo) / (hi - lo)
+			idx := int(v * float64(len(ramp)))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM saves a field as a portable graymap (the ParaView substitute for
+// Fig. 7/8 maps); values are scaled between lo and hi (lo == hi autoscales).
+func WritePGM(path string, field []float64, nx, ny int, lo, hi float64) error {
+	if len(field) != nx*ny {
+		return fmt.Errorf("harness: field of %d cells is not %dx%d", len(field), nx, ny)
+	}
+	if lo == hi {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, v := range field {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", nx, ny)
+	for iy := ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < nx; ix++ {
+			v := (field[ix+iy*nx] - lo) / (hi - lo)
+			g := int(v * 255)
+			if g < 0 {
+				g = 0
+			}
+			if g > 255 {
+				g = 255
+			}
+			fmt.Fprintf(&b, "%d ", g)
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// WriteCSV saves rows of float64 columns with a header line.
+func WriteCSV(path string, header []string, rows [][]float64) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Series is one named curve of a line plot.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte
+}
+
+// LinePlot renders one or more series as an ASCII chart of the given size,
+// the terminal rendition of the Fig. 6 plots.
+func LinePlot(title, xlabel, ylabel string, width, height int, series ...Series) string {
+	if width < 10 || height < 4 {
+		panic("harness: plot too small")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Name))
+	}
+	fmt.Fprintf(&b, "[%s]  y: %s (%.4g..%.4g)\n", strings.Join(legend, "  "), ylabel, ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " x: %s (%.4g..%.4g)\n", xlabel, xmin, xmax)
+	return b.String()
+}
+
+// Row is one paper-vs-measured comparison line.
+type Row struct {
+	Name     string
+	Paper    string
+	Measured string
+	Verdict  string
+}
+
+// Table renders aligned comparison rows (the EXPERIMENTS.md format).
+func Table(title string, rows []Row) string {
+	nameW, paperW, measuredW := len("quantity"), len("paper"), len("measured")
+	for _, r := range rows {
+		nameW = maxInt(nameW, len(r.Name))
+		paperW = maxInt(paperW, len(r.Paper))
+		measuredW = maxInt(measuredW, len(r.Measured))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  %s\n", nameW, "quantity", paperW, "paper", measuredW, "measured", "verdict")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %-*s  %s\n", nameW, r.Name, paperW, r.Paper, measuredW, r.Measured, r.Verdict)
+	}
+	return b.String()
+}
+
+// Sparkline compresses a series into one line of block characters.
+func Sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range ys {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := int((y - lo) / (hi - lo) * float64(len(blocks)-1))
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Downsample reduces a series to at most n points by striding.
+func Downsample(xs, ys []float64, n int) (dx, dy []float64) {
+	if len(xs) <= n {
+		return xs, ys
+	}
+	stride := float64(len(xs)) / float64(n)
+	for i := 0; i < n; i++ {
+		idx := int(float64(i) * stride)
+		dx = append(dx, xs[idx])
+		dy = append(dy, ys[idx])
+	}
+	return dx, dy
+}

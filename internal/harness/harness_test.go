@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapShapeAndOrientation(t *testing.T) {
+	// 3x2 field with the hot cell at the top-right: the rendered image has
+	// ny lines of nx chars, top row printed first.
+	field := []float64{
+		0, 0, 0, // iy=0 (bottom)
+		0, 0, 9, // iy=1 (top)
+	}
+	img := Heatmap(field, 3, 2, 0, 9)
+	lines := strings.Split(strings.TrimRight(img, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 3 {
+		t.Fatalf("image shape wrong: %q", img)
+	}
+	if lines[0][2] == ' ' {
+		t.Fatal("hot top-right cell rendered blank")
+	}
+	if lines[1] != "   " {
+		t.Fatalf("cold bottom row not blank: %q", lines[1])
+	}
+}
+
+func TestHeatmapAutoscaleAndClamp(t *testing.T) {
+	img := Heatmap([]float64{1, 1, 1, 1}, 2, 2, 0, 0) // constant autoscale
+	if len(img) == 0 {
+		t.Fatal("empty image")
+	}
+	// Out-of-range values clamp instead of panicking.
+	img = Heatmap([]float64{-10, 0, 1, 10}, 2, 2, 0, 1)
+	if !strings.Contains(img, "@") || !strings.Contains(img, " ") {
+		t.Fatalf("clamping failed: %q", img)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch not detected")
+		}
+	}()
+	Heatmap([]float64{1}, 2, 2, 0, 1)
+}
+
+func TestWritePGM(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "maps", "s1.pgm")
+	field := []float64{0, 0.5, 1, 0.25, 0.75, 1}
+	if err := WritePGM(path, field, 3, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.HasPrefix(s, "P2\n3 2\n255\n") {
+		t.Fatalf("bad PGM header: %q", s[:20])
+	}
+	if !strings.Contains(s, "255") {
+		t.Fatal("max gray missing")
+	}
+	if err := WritePGM(path, field, 4, 2, 0, 1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series", "fig6.csv")
+	err := WriteCSV(path, []string{"t", "groups"}, [][]float64{{0, 1}, {30, 12.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	want := "t,groups\n0,1\n30,12.5\n"
+	if string(raw) != want {
+		t.Fatalf("csv = %q", raw)
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	plot := LinePlot("Fig 6c", "time (s)", "groups", 40, 10,
+		Series{Name: "melissa", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 5}, Marker: 'm'},
+		Series{Name: "classical", X: []float64{0, 3}, Y: []float64{15, 15}, Marker: 'c'},
+	)
+	if !strings.Contains(plot, "Fig 6c") || !strings.Contains(plot, "m=melissa") {
+		t.Fatalf("plot header missing: %q", plot)
+	}
+	if !strings.Contains(plot, "m") || !strings.Contains(plot, "c") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(plot, "\n")
+	if len(lines) < 13 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny plot accepted")
+		}
+	}()
+	LinePlot("x", "x", "y", 2, 2)
+}
+
+func TestLinePlotEmptySeries(t *testing.T) {
+	plot := LinePlot("empty", "x", "y", 20, 5)
+	if !strings.Contains(plot, "empty") {
+		t.Fatal("empty plot broke")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Sec 5.3", []Row{
+		{Name: "wall clock", Paper: "1h27", Measured: "1h31", Verdict: "ok"},
+		{Name: "peak cores", Paper: "28672", Measured: "28672", Verdict: "exact"},
+	})
+	if !strings.Contains(out, "wall clock") || !strings.Contains(out, "28672") {
+		t.Fatalf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// Columns aligned: both data lines have "paper" column at same offset.
+	if strings.Index(lines[2], "1h27") != strings.Index(lines[3], "28672") {
+		t.Fatal("columns misaligned")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 2, 1, 0})
+	if len([]rune(s)) != 7 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline not empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatal("flat sparkline broke")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	dx, dy := Downsample(xs, ys, 10)
+	if len(dx) != 10 || len(dy) != 10 {
+		t.Fatalf("downsampled to %d/%d", len(dx), len(dy))
+	}
+	if dx[0] != 0 {
+		t.Fatal("first point lost")
+	}
+	sx, sy := Downsample(xs[:5], ys[:5], 10)
+	if len(sx) != 5 || len(sy) != 5 {
+		t.Fatal("short series modified")
+	}
+}

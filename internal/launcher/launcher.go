@@ -1,0 +1,677 @@
+// Package launcher implements Melissa Launcher (Sec. 4.1.4, 4.2): the
+// front-node supervisor that generates the parameter sets, submits the
+// server and every simulation group as independent batch jobs, watches
+// heartbeats and reports, and applies the fault-tolerance protocol —
+// kill/restart of unresponsive or zombie groups, give-up after repeated
+// failures, server restart from checkpoint, and optional convergence-based
+// early stop (the loopback control of Sec. 4.1.5).
+package launcher
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/core"
+	"melissa/internal/faults"
+	"melissa/internal/sampling"
+	"melissa/internal/scheduler"
+	"melissa/internal/server"
+	"melissa/internal/transport"
+	"melissa/internal/wire"
+)
+
+// Config describes a complete study.
+type Config struct {
+	// Design holds the pick-freeze parameter sets; one group per row.
+	Design *sampling.Design
+	// Sim is the solver every simulation runs.
+	Sim client.Simulation
+	// Cells and Timesteps define the output shape of one simulation.
+	Cells, Timesteps int
+	// SimRanks is the parallel width of one simulation (N of N×M).
+	SimRanks int
+	// Stats selects optional server statistics.
+	Stats core.Options
+
+	// Network carries all traffic (in-memory or TCP).
+	Network transport.Network
+	// Cluster is the batch scheduler; nil creates an unbounded one.
+	Cluster *scheduler.Cluster
+	// ServerProcs is M; ServerNodes is the scheduler footprint of the
+	// server job; GroupNodes the footprint of one group job.
+	ServerProcs, ServerNodes, GroupNodes int
+	// GroupWalltime bounds one group execution in the scheduler (0 = none).
+	GroupWalltime time.Duration
+
+	// MaxRetries is the per-group restart budget before giving up
+	// (Sec. 4.2.2: "if it reaches a given threshold, the launcher gives up
+	// this simulation group").
+	MaxRetries int
+	// MaxInFlight caps submitted-but-unfinished group jobs (the paper was
+	// limited to 500 simultaneous submissions).
+	MaxInFlight int
+	// GroupTimeout is the server-side inter-message timeout (paper: 300 s).
+	GroupTimeout time.Duration
+	// ZombieTimeout is the launcher-side no-contact timeout for jobs the
+	// scheduler reports running (Sec. 4.2.2, zombie groups).
+	ZombieTimeout time.Duration
+	// HeartbeatTimeout declares the server dead when no process has beaten
+	// for this long (Sec. 4.2.3).
+	HeartbeatTimeout time.Duration
+	// CheckpointInterval/CheckpointDir configure server checkpoints.
+	CheckpointInterval time.Duration
+	CheckpointDir      string
+	// ConvergenceTarget, when positive, stops the study early once the
+	// server's widest confidence interval drops below it.
+	ConvergenceTarget float64
+	// ResampleOnFailure switches the failure policy of Sec. 4.2.1: instead
+	// of restarting a failed group (replay + discard), abandon it and run a
+	// freshly drawn row.
+	ResampleOnFailure bool
+	// Faults is the fault-injection plan (nil = no injected faults).
+	Faults *faults.Plan
+	// TickInterval is the supervision loop period (default 5 ms).
+	TickInterval time.Duration
+	// ConnectTimeout bounds each group's handshake (default 5 s).
+	ConnectTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cluster == nil {
+		c.Cluster = scheduler.New(1 << 20)
+	}
+	if c.ServerProcs <= 0 {
+		c.ServerProcs = 1
+	}
+	if c.ServerNodes <= 0 {
+		c.ServerNodes = 1
+	}
+	if c.GroupNodes <= 0 {
+		c.GroupNodes = 1
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 500 // the paper's submission cap
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 5 * time.Millisecond
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = 5 * time.Second
+	}
+	if c.SimRanks <= 0 {
+		c.SimRanks = 1
+	}
+	return c
+}
+
+// Sample is one point of the study's resource-usage time series (the raw
+// material of the Fig. 6 left-hand plots).
+type Sample struct {
+	Elapsed       time.Duration
+	RunningGroups int
+	UsedNodes     int
+}
+
+// Stats summarizes a finished study.
+type Stats struct {
+	WallClock       time.Duration
+	GroupsFinished  int
+	GroupsGivenUp   int
+	GroupsResampled int
+	Restarts        int
+	TimeoutKills    int
+	ZombieKills     int
+	ServerRestarts  int
+	Converged       bool
+	PeakNodes       int
+	Series          []Sample
+}
+
+// groupState tracks one simulation group across attempts.
+type groupState struct {
+	id         int
+	attempts   int
+	job        scheduler.JobID
+	jobRunning bool
+	finishedBy map[int]bool
+	seen       bool // any server process ever listed it
+	// completedOK means the job returned success; its data is queued or
+	// folded but the server reports may not have confirmed it yet. Such
+	// groups must not be resubmitted (they would run again and be
+	// replay-discarded, wasting a full execution).
+	completedOK bool
+	givenUp     bool
+	abandoned   bool // replaced under the resample policy
+	lastRestart time.Time
+}
+
+type groupDone struct {
+	group   int
+	attempt int
+	job     scheduler.JobID
+	err     error
+}
+
+// Launcher supervises one study.
+type Launcher struct {
+	cfg    Config
+	recv   transport.Receiver
+	srv    *server.Server
+	srvJob scheduler.JobID
+
+	groups map[int]*groupState
+	order  []int
+	done   chan groupDone
+	// reporters is the number of server processes that own a non-empty
+	// partition; only those ever report groups as finished.
+	reporters int
+
+	lastHeartbeat time.Time
+	maxCI         map[int]float64 // per proc rank
+	stats         Stats
+	start         time.Time
+}
+
+// New validates the configuration and prepares a launcher.
+func New(cfg Config) (*Launcher, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Design == nil {
+		return nil, fmt.Errorf("launcher: nil design")
+	}
+	if cfg.Sim == nil {
+		return nil, fmt.Errorf("launcher: nil simulation")
+	}
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("launcher: nil network")
+	}
+	if cfg.Cells < 1 || cfg.Timesteps < 1 {
+		return nil, fmt.Errorf("launcher: invalid shape cells=%d timesteps=%d", cfg.Cells, cfg.Timesteps)
+	}
+	reporters := cfg.ServerProcs
+	if cfg.Cells < reporters {
+		reporters = cfg.Cells
+	}
+	l := &Launcher{
+		cfg:       cfg,
+		groups:    make(map[int]*groupState),
+		done:      make(chan groupDone, 1024),
+		maxCI:     make(map[int]float64),
+		reporters: reporters,
+	}
+	for g := 0; g < cfg.Design.N(); g++ {
+		l.groups[g] = &groupState{id: g, finishedBy: make(map[int]bool)}
+		l.order = append(l.order, g)
+	}
+	return l, nil
+}
+
+// Run executes the study to completion and returns the assembled result.
+func (l *Launcher) Run() (*server.Result, Stats, error) {
+	var err error
+	l.recv, err = l.cfg.Network.Listen("")
+	if err != nil {
+		return nil, l.stats, fmt.Errorf("launcher: %w", err)
+	}
+	defer l.recv.Close()
+
+	l.start = time.Now()
+	l.lastHeartbeat = l.start
+	if err := l.startServer(false); err != nil {
+		return nil, l.stats, err
+	}
+
+	ticker := time.NewTicker(l.cfg.TickInterval)
+	defer ticker.Stop()
+	lastSample := time.Now()
+
+	for {
+		now := time.Now()
+		l.drainMessages()
+		l.drainDone(now)
+		l.injectServerCrash(now)
+		l.checkServer(now)
+		l.submitEligible(now)
+		l.tickCluster(now)
+		l.checkTimeouts(now)
+		l.checkZombies(now)
+
+		if now.Sub(lastSample) >= 10*time.Millisecond {
+			lastSample = now
+			l.sample(now)
+		}
+		if l.convergedEarly() {
+			l.stats.Converged = true
+			l.cancelOutstanding(now)
+			break
+		}
+		if l.studyComplete() {
+			break
+		}
+		<-ticker.C
+	}
+	l.sample(time.Now())
+
+	// Final drain so in-flight messages reach the statistics, then stop.
+	l.srv.Stop(l.cfg.CheckpointDir != "")
+	l.stats.WallClock = time.Since(l.start)
+	l.stats.PeakNodes = l.cfg.Cluster.PeakUsedNodes()
+	res := l.srv.Result()
+	return res, l.stats, nil
+}
+
+// startServer creates (or re-creates) the parallel server, optionally
+// restoring from the last checkpoint (Sec. 4.2.3).
+func (l *Launcher) startServer(restore bool) error {
+	srv, err := server.New(server.Config{
+		Procs:              l.cfg.ServerProcs,
+		Cells:              l.cfg.Cells,
+		Timesteps:          l.cfg.Timesteps,
+		P:                  l.cfg.Design.P(),
+		Stats:              l.cfg.Stats,
+		Network:            l.cfg.Network,
+		GroupTimeout:       l.cfg.GroupTimeout,
+		CheckpointInterval: l.cfg.CheckpointInterval,
+		CheckpointDir:      l.cfg.CheckpointDir,
+		LauncherAddr:       l.recv.Addr(),
+		ReportInterval:     maxDuration(l.cfg.TickInterval*4, 20*time.Millisecond),
+		ConvergenceReports: l.cfg.ConvergenceTarget > 0,
+	})
+	if err != nil {
+		return fmt.Errorf("launcher: creating server: %w", err)
+	}
+	if restore {
+		if err := srv.Restore(); err != nil {
+			return fmt.Errorf("launcher: restoring server: %w", err)
+		}
+	}
+	job, err := l.cfg.Cluster.Submit("melissa-server", l.cfg.ServerNodes, 0, time.Now())
+	if err != nil {
+		return fmt.Errorf("launcher: submitting server job: %w", err)
+	}
+	l.srv = srv
+	l.srvJob = job.ID
+	l.lastHeartbeat = time.Now()
+	srv.Start()
+	return nil
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sample appends one point to the resource-usage time series.
+func (l *Launcher) sample(now time.Time) {
+	l.stats.Series = append(l.stats.Series, Sample{
+		Elapsed:       now.Sub(l.start),
+		RunningGroups: l.runningGroups(),
+		UsedNodes:     l.cfg.Cluster.UsedNodes(),
+	})
+}
+
+// submitEligible queues group jobs up to the in-flight cap, in group order.
+func (l *Launcher) submitEligible(now time.Time) {
+	inFlight := 0
+	for _, g := range l.groups {
+		if g.job != 0 && !g.finished(l.reporters) && !g.givenUp && !g.abandoned {
+			inFlight++
+		}
+	}
+	for _, id := range l.order {
+		if inFlight >= l.cfg.MaxInFlight {
+			return
+		}
+		g := l.groups[id]
+		if g.job != 0 || g.completedOK || g.givenUp || g.abandoned || g.finished(l.reporters) {
+			continue
+		}
+		if err := l.submitGroup(g, now); err != nil {
+			log.Printf("melissa launcher: submitting group %d: %v", id, err)
+			g.givenUp = true
+			l.stats.GroupsGivenUp++
+			continue
+		}
+		inFlight++
+	}
+}
+
+func (l *Launcher) submitGroup(g *groupState, now time.Time) error {
+	job, err := l.cfg.Cluster.Submit(fmt.Sprintf("group-%d", g.id),
+		l.cfg.GroupNodes, l.cfg.GroupWalltime, now)
+	if err != nil {
+		return err
+	}
+	g.job = job.ID
+	g.jobRunning = false
+	return nil
+}
+
+// tickCluster advances the scheduler and launches the jobs it started.
+func (l *Launcher) tickCluster(now time.Time) {
+	started, killed := l.cfg.Cluster.Tick(now)
+	for _, job := range started {
+		if job.ID == l.srvJob {
+			continue
+		}
+		g := l.groupByJob(job.ID)
+		if g == nil {
+			continue
+		}
+		g.jobRunning = true
+		g.attempts++
+		g.lastRestart = now
+		l.launchGroup(g, job.ID, g.attempts-1)
+	}
+	for _, job := range killed {
+		g := l.groupByJob(job.ID)
+		if g == nil {
+			continue
+		}
+		// Walltime kill: treat as a failure and retry.
+		l.done <- groupDone{group: g.id, attempt: g.attempts - 1, job: job.ID,
+			err: fmt.Errorf("walltime exceeded")}
+	}
+}
+
+// launchGroup runs one group attempt in its own goroutine ("each simulation
+// group is submitted independently to the batch scheduler").
+func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) {
+	id := g.id
+	if l.cfg.Faults.IsZombie(id, attempt) {
+		// The job occupies its nodes but never contacts the server; only
+		// the launcher's zombie detection can reclaim it.
+		return
+	}
+	rows := l.cfg.Design.GroupRows(id)
+	hook := l.cfg.Faults.BeforeStepHook(id, attempt)
+	mainAddr := l.srv.MainAddr()
+	go func() {
+		err := client.RunGroup(l.cfg.Network, mainAddr, client.RunConfig{
+			GroupID:        id,
+			SimRanks:       l.cfg.SimRanks,
+			Rows:           rows,
+			Sim:            l.cfg.Sim,
+			ConnectTimeout: l.cfg.ConnectTimeout,
+			BeforeStep:     hook,
+		})
+		l.done <- groupDone{group: id, attempt: attempt, job: job, err: err}
+	}()
+}
+
+// drainDone processes finished group attempts.
+func (l *Launcher) drainDone(now time.Time) {
+	for {
+		select {
+		case d := <-l.done:
+			l.handleDone(d, now)
+		default:
+			return
+		}
+	}
+}
+
+func (l *Launcher) handleDone(d groupDone, now time.Time) {
+	g := l.groups[d.group]
+	if g == nil || g.job != d.job {
+		return // stale completion from a killed/restarted attempt
+	}
+	g.jobRunning = false
+	g.job = 0
+	if job := l.cfg.Cluster.Job(d.job); job != nil && job.State == scheduler.Running {
+		if d.err == nil {
+			l.cfg.Cluster.Complete(d.job, now)
+		} else {
+			l.cfg.Cluster.Fail(d.job, now)
+		}
+	}
+	if d.err == nil {
+		g.completedOK = true // server reports will confirm the finish
+		return
+	}
+	l.retryOrGiveUp(g, now, d.err)
+}
+
+// retryOrGiveUp applies the Sec. 4.2 failure policy to a failed attempt.
+func (l *Launcher) retryOrGiveUp(g *groupState, now time.Time, cause error) {
+	if g.attempts > l.cfg.MaxRetries {
+		g.givenUp = true
+		l.stats.GroupsGivenUp++
+		log.Printf("melissa launcher: giving up group %d after %d attempts (%v)", g.id, g.attempts, cause)
+		return
+	}
+	if l.cfg.ResampleOnFailure {
+		// Abandon the row and draw a fresh one (Sec. 4.2.1 alternative).
+		g.abandoned = true
+		l.stats.GroupsResampled++
+		newIDs := l.cfg.Design.Extend(1)
+		nid := newIDs[0]
+		l.groups[nid] = &groupState{id: nid, finishedBy: make(map[int]bool)}
+		l.order = append(l.order, nid)
+		return
+	}
+	l.stats.Restarts++
+	g.completedOK = false
+	if err := l.submitGroup(g, now); err != nil {
+		g.givenUp = true
+		l.stats.GroupsGivenUp++
+	}
+}
+
+// drainMessages consumes heartbeats and reports from the server processes.
+func (l *Launcher) drainMessages() {
+	for {
+		msg, err := l.recv.Recv(time.Millisecond)
+		if err != nil {
+			return
+		}
+		decoded, err := wire.Decode(msg.Payload)
+		if err != nil {
+			continue
+		}
+		switch m := decoded.(type) {
+		case *wire.Heartbeat:
+			l.lastHeartbeat = time.Now()
+		case *wire.Report:
+			l.lastHeartbeat = time.Now()
+			l.applyReport(m)
+		}
+	}
+}
+
+func (l *Launcher) applyReport(rep *wire.Report) {
+	for _, id := range rep.Running {
+		if g := l.groups[id]; g != nil {
+			g.seen = true
+		}
+	}
+	for _, id := range rep.Finished {
+		if g := l.groups[id]; g != nil {
+			g.seen = true
+			g.finishedBy[rep.ProcRank] = true
+		}
+	}
+	if rep.MaxCIWidth != 0 {
+		l.maxCI[rep.ProcRank] = rep.MaxCIWidth
+	}
+	for _, id := range rep.TimedOut {
+		l.handleTimeout(id)
+	}
+}
+
+// handleTimeout implements the unfinished-group protocol: kill the job if
+// still known to the scheduler and resubmit (Sec. 4.2.2, case 1).
+func (l *Launcher) handleTimeout(id int) {
+	g := l.groups[id]
+	if g == nil || g.givenUp || g.abandoned || g.finished(l.reporters) {
+		return
+	}
+	now := time.Now()
+	// Grace period: ignore stale timeout reports about an attempt we just
+	// restarted (its first message may not have arrived yet).
+	if now.Sub(g.lastRestart) < l.cfg.GroupTimeout {
+		return
+	}
+	if g.job != 0 {
+		l.cfg.Cluster.Cancel(g.job, now)
+		g.job = 0
+		g.jobRunning = false
+	}
+	l.stats.TimeoutKills++
+	l.retryOrGiveUp(g, now, fmt.Errorf("group %d timed out", id))
+}
+
+// checkTimeouts is a hook point for future launcher-side timeout logic; the
+// primary detection lives in the server (Sec. 4.2.2) and arrives as reports.
+func (l *Launcher) checkTimeouts(time.Time) {}
+
+// checkZombies kills jobs the scheduler sees as running but that never
+// contacted any server process (Sec. 4.2.2, case 2).
+func (l *Launcher) checkZombies(now time.Time) {
+	if l.cfg.ZombieTimeout <= 0 {
+		return
+	}
+	for _, g := range l.groups {
+		if !g.jobRunning || g.seen || g.givenUp || g.abandoned {
+			continue
+		}
+		job := l.cfg.Cluster.Job(g.job)
+		if job == nil || job.State != scheduler.Running {
+			continue
+		}
+		if now.Sub(job.StartTime) >= l.cfg.ZombieTimeout {
+			l.cfg.Cluster.Cancel(g.job, now)
+			g.job = 0
+			g.jobRunning = false
+			l.stats.ZombieKills++
+			l.retryOrGiveUp(g, now, fmt.Errorf("group %d is a zombie", g.id))
+		}
+	}
+}
+
+// checkServer restarts the server from its last checkpoint when heartbeats
+// stop (Sec. 4.2.3), then restarts every unfinished group; replayed data is
+// discarded by the restored trackers.
+func (l *Launcher) checkServer(now time.Time) {
+	if l.cfg.HeartbeatTimeout <= 0 || now.Sub(l.lastHeartbeat) < l.cfg.HeartbeatTimeout {
+		return
+	}
+	log.Printf("melissa launcher: server heartbeat lost; restarting from checkpoint")
+	l.restartServer(now)
+}
+
+func (l *Launcher) injectServerCrash(now time.Time) {
+	if l.cfg.Faults.ShouldCrashServer(now.Sub(l.start)) {
+		log.Printf("melissa launcher: injecting server crash")
+		l.srv.Stop(false) // crash: no final checkpoint
+		// Heartbeats cease; the next checkServer pass performs the restart.
+		// Speed it up by backdating the last heartbeat.
+		l.lastHeartbeat = now.Add(-24 * time.Hour)
+	}
+}
+
+func (l *Launcher) restartServer(now time.Time) {
+	l.stats.ServerRestarts++
+	l.srv.Stop(false)
+	if job := l.cfg.Cluster.Job(l.srvJob); job != nil && job.State == scheduler.Running {
+		l.cfg.Cluster.Cancel(l.srvJob, now)
+	}
+	// Kill all running group jobs; they will be resubmitted and replay.
+	for _, g := range l.groups {
+		if g.job != 0 {
+			if job := l.cfg.Cluster.Job(g.job); job != nil &&
+				(job.State == scheduler.Running || job.State == scheduler.Pending) {
+				l.cfg.Cluster.Cancel(g.job, now)
+			}
+			g.job = 0
+			g.jobRunning = false
+		}
+		// Forget pre-crash completion claims not backed by the checkpoint:
+		// the restored server re-reports Finished lists after restart, and
+		// completed-but-unconfirmed groups must rerun (their queued data
+		// died with the old server).
+		if !g.givenUp && !g.abandoned {
+			g.finishedBy = make(map[int]bool)
+			g.completedOK = false
+		}
+	}
+	if err := l.startServer(true); err != nil {
+		log.Printf("melissa launcher: server restart failed: %v", err)
+	}
+}
+
+func (l *Launcher) groupByJob(id scheduler.JobID) *groupState {
+	for _, g := range l.groups {
+		if g.job == id {
+			return g
+		}
+	}
+	return nil
+}
+
+func (g *groupState) finished(procs int) bool { return len(g.finishedBy) >= procs }
+
+func (l *Launcher) runningGroups() int {
+	n := 0
+	for _, g := range l.groups {
+		if g.jobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// studyComplete reports whether every live group is finished (or given up /
+// abandoned), refreshing the finished counter as a side effect.
+func (l *Launcher) studyComplete() bool {
+	finished := 0
+	complete := true
+	for _, g := range l.groups {
+		switch {
+		case g.givenUp || g.abandoned:
+		case g.finished(l.reporters):
+			finished++
+		default:
+			complete = false
+		}
+	}
+	l.stats.GroupsFinished = finished
+	return complete
+}
+
+// convergedEarly implements the loopback control: all server processes have
+// reported a confidence-interval width below the target.
+func (l *Launcher) convergedEarly() bool {
+	if l.cfg.ConvergenceTarget <= 0 || len(l.maxCI) < l.cfg.ServerProcs {
+		return false
+	}
+	for _, w := range l.maxCI {
+		if math.IsInf(w, 1) || w > l.cfg.ConvergenceTarget {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelOutstanding kills every pending and running group job (used when
+// convergence is reached before all groups ran, Sec. 3.4).
+func (l *Launcher) cancelOutstanding(now time.Time) {
+	for _, g := range l.groups {
+		if g.job != 0 {
+			if job := l.cfg.Cluster.Job(g.job); job != nil &&
+				(job.State == scheduler.Running || job.State == scheduler.Pending) {
+				l.cfg.Cluster.Cancel(g.job, now)
+			}
+			g.job = 0
+			g.jobRunning = false
+		}
+	}
+	l.studyComplete() // refresh the finished count
+}

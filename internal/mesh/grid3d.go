@@ -1,0 +1,96 @@
+package mesh
+
+import "fmt"
+
+// Grid3D is a 3D structured grid of Nx×Ny×Nz hexahedral cells covering
+// [0,Lx]×[0,Ly]×[0,Lz] — the mesh family of the paper's use case (9,603,840
+// hexahedra). Cells are flattened x-fastest: index = ix + iy·Nx + iz·Nx·Ny.
+//
+// The flat index space plugs directly into BlockPartition/Route, so the
+// server-side partitioning and the N×M redistribution are dimension
+// agnostic; Grid3D adds the indexing and the plane extraction used to
+// render slices of ubiquitous statistic fields (Fig. 7 shows a mid-plane
+// slice "aligned with the direction of the fluid").
+type Grid3D struct {
+	Nx, Ny, Nz int
+	Lx, Ly, Lz float64
+}
+
+// NewGrid3D returns a 3D grid with the given resolution and extent.
+func NewGrid3D(nx, ny, nz int, lx, ly, lz float64) Grid3D {
+	if nx < 1 || ny < 1 || nz < 1 || lx <= 0 || ly <= 0 || lz <= 0 {
+		panic(fmt.Sprintf("mesh: invalid 3D grid %dx%dx%d (%g x %g x %g)", nx, ny, nz, lx, ly, lz))
+	}
+	return Grid3D{Nx: nx, Ny: ny, Nz: nz, Lx: lx, Ly: ly, Lz: lz}
+}
+
+// Cells returns the total number of hexahedra.
+func (g Grid3D) Cells() int { return g.Nx * g.Ny * g.Nz }
+
+// Dx returns the cell extent in x.
+func (g Grid3D) Dx() float64 { return g.Lx / float64(g.Nx) }
+
+// Dy returns the cell extent in y.
+func (g Grid3D) Dy() float64 { return g.Ly / float64(g.Ny) }
+
+// Dz returns the cell extent in z.
+func (g Grid3D) Dz() float64 { return g.Lz / float64(g.Nz) }
+
+// Index returns the flat index of cell (ix, iy, iz).
+func (g Grid3D) Index(ix, iy, iz int) int { return ix + iy*g.Nx + iz*g.Nx*g.Ny }
+
+// Coords returns (ix, iy, iz) for a flat cell index.
+func (g Grid3D) Coords(idx int) (ix, iy, iz int) {
+	ix = idx % g.Nx
+	iy = (idx / g.Nx) % g.Ny
+	iz = idx / (g.Nx * g.Ny)
+	return
+}
+
+// Center returns the physical center of cell (ix, iy, iz).
+func (g Grid3D) Center(ix, iy, iz int) (x, y, z float64) {
+	return (float64(ix) + 0.5) * g.Dx(), (float64(iy) + 0.5) * g.Dy(), (float64(iz) + 0.5) * g.Dz()
+}
+
+// SliceZ returns the flat indices of the constant-z plane iz, ordered as a
+// 2D row-major (Nx × Ny) image — the Fig. 7 mid-plane extraction.
+func (g Grid3D) SliceZ(iz int) []int {
+	if iz < 0 || iz >= g.Nz {
+		panic(fmt.Sprintf("mesh: z-plane %d out of range [0,%d)", iz, g.Nz))
+	}
+	out := make([]int, 0, g.Nx*g.Ny)
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			out = append(out, g.Index(ix, iy, iz))
+		}
+	}
+	return out
+}
+
+// SliceY returns the flat indices of the constant-y plane iy as a row-major
+// (Nx × Nz) image.
+func (g Grid3D) SliceY(iy int) []int {
+	if iy < 0 || iy >= g.Ny {
+		panic(fmt.Sprintf("mesh: y-plane %d out of range [0,%d)", iy, g.Ny))
+	}
+	out := make([]int, 0, g.Nx*g.Nz)
+	for iz := 0; iz < g.Nz; iz++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			out = append(out, g.Index(ix, iy, iz))
+		}
+	}
+	return out
+}
+
+// MidPlaneZ returns the central z-plane, the slice the paper visualizes.
+func (g Grid3D) MidPlaneZ() []int { return g.SliceZ(g.Nz / 2) }
+
+// ExtractField gathers field values at the given flat indices (e.g. a plane
+// from SliceZ) into a fresh slice, ready for harness.Heatmap/WritePGM.
+func ExtractField(field []float64, indices []int) []float64 {
+	out := make([]float64, len(indices))
+	for i, idx := range indices {
+		out[i] = field[idx]
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package mesh
+
+import "testing"
+
+func TestGrid3DIndexing(t *testing.T) {
+	g := NewGrid3D(4, 3, 2, 4, 3, 2)
+	if g.Cells() != 24 {
+		t.Fatalf("cells %d", g.Cells())
+	}
+	if g.Dx() != 1 || g.Dy() != 1 || g.Dz() != 1 {
+		t.Fatalf("spacing %v %v %v", g.Dx(), g.Dy(), g.Dz())
+	}
+	seen := make(map[int]bool)
+	for iz := 0; iz < 2; iz++ {
+		for iy := 0; iy < 3; iy++ {
+			for ix := 0; ix < 4; ix++ {
+				idx := g.Index(ix, iy, iz)
+				if seen[idx] {
+					t.Fatalf("duplicate index %d", idx)
+				}
+				seen[idx] = true
+				gx, gy, gz := g.Coords(idx)
+				if gx != ix || gy != iy || gz != iz {
+					t.Fatalf("coords round trip failed at (%d,%d,%d)", ix, iy, iz)
+				}
+			}
+		}
+	}
+	if len(seen) != 24 {
+		t.Fatalf("%d unique indices", len(seen))
+	}
+	x, y, z := g.Center(0, 0, 0)
+	if x != 0.5 || y != 0.5 || z != 0.5 {
+		t.Fatalf("center (%v,%v,%v)", x, y, z)
+	}
+}
+
+func TestGrid3DPaperScaleMesh(t *testing.T) {
+	// A structured block with exactly the paper's 9,603,840 hexahedra;
+	// partitioned across 512 server processes it tiles without remainder
+	// beyond the ±1 block imbalance.
+	g := NewGrid3D(820, 244, 48, 3, 1, 0.2)
+	if g.Cells() != 9603840 {
+		t.Fatalf("cells = %d, want 9603840", g.Cells())
+	}
+	parts := BlockPartition(g.Cells(), 512)
+	covered := 0
+	for _, p := range parts {
+		covered += p.Len()
+	}
+	if covered != g.Cells() {
+		t.Fatalf("partitions cover %d", covered)
+	}
+	if parts[0].Len() != 18757 && parts[0].Len() != 18758 {
+		t.Fatalf("per-process share %d cells", parts[0].Len())
+	}
+	// The Fig. 7 mid-plane slice of this mesh is an 820×244 image.
+	if len(g.MidPlaneZ()) != 820*244 {
+		t.Fatalf("mid-plane has %d cells", len(g.MidPlaneZ()))
+	}
+}
+
+func TestGrid3DSlices(t *testing.T) {
+	g := NewGrid3D(3, 2, 4, 3, 2, 4)
+	z1 := g.SliceZ(1)
+	if len(z1) != 6 {
+		t.Fatalf("z-slice has %d cells", len(z1))
+	}
+	for i, idx := range z1 {
+		ix, iy, iz := g.Coords(idx)
+		if iz != 1 {
+			t.Fatalf("cell %d not on plane", idx)
+		}
+		if want := ix + iy*3; want != i {
+			t.Fatalf("slice ordering wrong at %d", i)
+		}
+	}
+	y0 := g.SliceY(0)
+	if len(y0) != 12 {
+		t.Fatalf("y-slice has %d cells", len(y0))
+	}
+	for _, idx := range y0 {
+		if _, iy, _ := g.Coords(idx); iy != 0 {
+			t.Fatalf("cell %d not on y-plane", idx)
+		}
+	}
+	mid := g.MidPlaneZ()
+	if _, _, iz := g.Coords(mid[0]); iz != 2 {
+		t.Fatalf("mid plane at iz=%d", iz)
+	}
+}
+
+func TestGrid3DExtractField(t *testing.T) {
+	g := NewGrid3D(2, 2, 2, 1, 1, 1)
+	field := make([]float64, g.Cells())
+	for i := range field {
+		field[i] = float64(i * i)
+	}
+	plane := ExtractField(field, g.SliceZ(1))
+	if len(plane) != 4 {
+		t.Fatalf("extracted %d", len(plane))
+	}
+	for i, idx := range g.SliceZ(1) {
+		if plane[i] != field[idx] {
+			t.Fatalf("extraction mismatch at %d", i)
+		}
+	}
+}
+
+func TestGrid3DPartitioningCompatibility(t *testing.T) {
+	// Flat 3D indices feed the same partition/routing machinery.
+	g := NewGrid3D(16, 8, 4, 1, 1, 1)
+	parts := BlockPartition(g.Cells(), 5)
+	covered := 0
+	for _, p := range parts {
+		covered += p.Len()
+	}
+	if covered != g.Cells() {
+		t.Fatalf("partitions cover %d of %d", covered, g.Cells())
+	}
+	transfers := Route(BlockPartition(g.Cells(), 4), parts)
+	seen := make([]int, g.Cells())
+	for _, tr := range transfers {
+		for c := tr.Cells.Lo; c < tr.Cells.Hi; c++ {
+			seen[c]++
+		}
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %d routed %d times", idx, n)
+		}
+	}
+}
+
+func TestGrid3DValidation(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewGrid3D(0, 1, 1, 1, 1, 1) },
+		func() { NewGrid3D(1, 1, 1, 0, 1, 1) },
+		func() { NewGrid3D(2, 2, 2, 1, 1, 1).SliceZ(2) },
+		func() { NewGrid3D(2, 2, 2, 1, 1, 1).SliceY(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

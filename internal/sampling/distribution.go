@@ -1,0 +1,87 @@
+// Package sampling implements the probabilistic experiment design of the
+// pick-freeze scheme (Sec. 3.2 of the paper): each uncertain input parameter
+// is a random variable with a user-chosen law; a study draws two independent
+// n×p sample matrices A and B and derives the p "frozen" matrices C^k, whose
+// rows parameterize the n simulation groups.
+//
+// Rows are generated from a per-row deterministic stream so that any row can
+// be regenerated independently of the others — the property the launcher
+// relies on to re-create the parameter set of a restarted simulation group
+// (Sec. 4.2.2) and to append fresh rows when convergence is not reached
+// (Sec. 3.4).
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Distribution is a one-dimensional probability law for an input parameter.
+type Distribution interface {
+	// Sample draws one value using the provided random stream.
+	Sample(rng *rand.Rand) float64
+	// String describes the law, e.g. "Uniform[0,1]".
+	String() string
+}
+
+// Uniform is the continuous uniform law on [Low, High].
+type Uniform struct {
+	Low, High float64
+}
+
+// Sample draws from the uniform law.
+func (u Uniform) Sample(rng *rand.Rand) float64 {
+	return u.Low + (u.High-u.Low)*rng.Float64()
+}
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g]", u.Low, u.High) }
+
+// Normal is the Gaussian law with the given mean and standard deviation.
+type Normal struct {
+	Mean, Std float64
+}
+
+// Sample draws from the normal law.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mean + n.Std*rng.NormFloat64()
+}
+
+func (n Normal) String() string { return fmt.Sprintf("Normal(%g,%g)", n.Mean, n.Std) }
+
+// TruncatedNormal is a Gaussian clipped by rejection to [Low, High]; it is
+// the usual choice for physical parameters that must stay in a valid range.
+type TruncatedNormal struct {
+	Mean, Std, Low, High float64
+}
+
+// Sample draws from the truncated normal law by rejection (falling back to
+// clamping after a bounded number of attempts so it cannot loop forever on
+// a degenerate configuration).
+func (t TruncatedNormal) Sample(rng *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := t.Mean + t.Std*rng.NormFloat64()
+		if v >= t.Low && v <= t.High {
+			return v
+		}
+	}
+	return math.Min(t.High, math.Max(t.Low, t.Mean))
+}
+
+func (t TruncatedNormal) String() string {
+	return fmt.Sprintf("TruncNormal(%g,%g)[%g,%g]", t.Mean, t.Std, t.Low, t.High)
+}
+
+// LogUniform is log-uniform on [Low, High], Low > 0: the logarithm of the
+// value is uniform. Common for parameters spanning orders of magnitude.
+type LogUniform struct {
+	Low, High float64
+}
+
+// Sample draws from the log-uniform law.
+func (l LogUniform) Sample(rng *rand.Rand) float64 {
+	lo, hi := math.Log(l.Low), math.Log(l.High)
+	return math.Exp(lo + (hi-lo)*rng.Float64())
+}
+
+func (l LogUniform) String() string { return fmt.Sprintf("LogUniform[%g,%g]", l.Low, l.High) }

@@ -1,0 +1,414 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"melissa/internal/checkpoint"
+	"melissa/internal/core"
+	"melissa/internal/enc"
+	"melissa/internal/mesh"
+	"melissa/internal/transport"
+	"melissa/internal/wire"
+)
+
+// procConfig is everything one server process needs, including the global
+// layout it advertises to connecting groups.
+type procConfig struct {
+	Config
+	Rank       int
+	Partition  mesh.Partition
+	AllAddrs   []string
+	Partitions []mesh.Partition
+}
+
+// groupStep keys one in-flight (group, timestep) assembly.
+type groupStep struct {
+	group, step int
+}
+
+// assembly collects the stage-2 pieces of one (group, timestep) until the
+// process's whole partition is covered, then is folded in one shot. Pieces
+// may arrive from several main-simulation ranks in any order.
+type assembly struct {
+	fields  [][]float64 // p+2 fields over the local partition
+	covered []bool
+	missing int
+}
+
+// CheckpointStats aggregates checkpoint timing, the quantity reported in
+// Sec. 5.4 (2.75 s mean write, 7.24 s mean read in the paper's setup).
+type CheckpointStats struct {
+	Writes        int
+	WriteDuration time.Duration
+	Reads         int
+	ReadDuration  time.Duration
+	LastBytes     int64
+}
+
+// Proc is one Melissa Server process: one partition, one inbox, no shared
+// state with its peers.
+type Proc struct {
+	cfg  procConfig
+	recv transport.Receiver
+
+	acc      *core.Accumulator
+	tracker  *core.GroupTracker
+	pending  map[groupStep]*assembly
+	lastMsg  map[int]time.Time
+	messages int64
+	folds    int64 // completed (group, timestep) updates; read concurrently
+	ckpt     CheckpointStats
+
+	launcher     transport.Sender // lazily dialed
+	lastReport   time.Time
+	lastCkpt     time.Time
+	startedAt    time.Time
+	stopFlag     atomic.Bool
+	stopCkpt     atomic.Bool
+	stoppedMu    sync.Mutex
+	stopped      bool
+	timedOutSeen map[int]bool
+}
+
+func newProc(cfg procConfig, recv transport.Receiver) *Proc {
+	return &Proc{
+		cfg:          cfg,
+		recv:         recv,
+		acc:          core.NewAccumulator(cfg.Partition.Len(), cfg.Timesteps, cfg.P, cfg.Stats),
+		tracker:      core.NewGroupTracker(cfg.Timesteps - 1),
+		pending:      make(map[groupStep]*assembly),
+		lastMsg:      make(map[int]time.Time),
+		timedOutSeen: make(map[int]bool),
+	}
+}
+
+// Rank returns the process rank.
+func (p *Proc) Rank() int { return p.cfg.Rank }
+
+// Partition returns the cell range this process owns.
+func (p *Proc) Partition() mesh.Partition { return p.cfg.Partition }
+
+// Accumulator exposes the statistics state (read after the server stopped).
+func (p *Proc) Accumulator() *core.Accumulator { return p.acc }
+
+// Tracker exposes the group bookkeeping (read after the server stopped).
+func (p *Proc) Tracker() *core.GroupTracker { return p.tracker }
+
+// Messages returns how many data messages this process folded or discarded.
+func (p *Proc) Messages() int64 { return atomic.LoadInt64(&p.messages) }
+
+// Folds returns how many complete (group, timestep) updates this process
+// has applied. Safe to read while the server runs; a study of G groups and
+// T timesteps is fully assimilated when Folds reaches G·T.
+func (p *Proc) Folds() int64 { return atomic.LoadInt64(&p.folds) }
+
+// Checkpoints returns the checkpoint timing statistics.
+func (p *Proc) Checkpoints() CheckpointStats { return p.ckpt }
+
+// requestStop asks the run loop to exit at the next iteration.
+func (p *Proc) requestStop(finalCheckpoint bool) {
+	p.stopCkpt.Store(finalCheckpoint)
+	p.stopFlag.Store(true)
+}
+
+// run is the process main loop: drain the inbox, fold data, and perform the
+// periodic duties (reports, heartbeats, timeout detection, checkpoints).
+// Single-threaded by design — statistics updates need no locks.
+func (p *Proc) run() {
+	defer p.markStopped()
+	p.startedAt = time.Now()
+	p.lastReport = p.startedAt
+	p.lastCkpt = p.startedAt
+
+	pollEvery := p.cfg.ReportInterval / 4
+	if pollEvery <= 0 || pollEvery > 100*time.Millisecond {
+		pollEvery = 100 * time.Millisecond
+	}
+	for {
+		if p.stopFlag.Load() {
+			p.drainInbox()
+			if p.stopCkpt.Load() && p.cfg.CheckpointDir != "" {
+				p.writeCheckpoint()
+			}
+			p.sendReport() // final status to the launcher
+			return
+		}
+		msg, err := p.recv.Recv(pollEvery)
+		switch err {
+		case nil:
+			p.dispatch(msg.Payload)
+		case transport.ErrTimeout:
+			// fall through to periodic work
+		case transport.ErrClosed:
+			return
+		}
+		now := time.Now()
+		if now.Sub(p.lastReport) >= p.cfg.ReportInterval {
+			p.lastReport = now
+			p.sendHeartbeat(now)
+			p.sendReport()
+		}
+		if p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval {
+			p.lastCkpt = now
+			p.writeCheckpoint()
+		}
+	}
+}
+
+// drainInbox consumes messages already queued (or still trickling in) so a
+// clean stop never discards data the clients consider delivered. It returns
+// after the inbox stays quiet for one poll interval.
+func (p *Proc) drainInbox() {
+	for {
+		msg, err := p.recv.Recv(50 * time.Millisecond)
+		if err != nil {
+			return
+		}
+		p.dispatch(msg.Payload)
+	}
+}
+
+func (p *Proc) markStopped() {
+	p.stoppedMu.Lock()
+	p.stopped = true
+	p.stoppedMu.Unlock()
+	if p.launcher != nil {
+		p.launcher.Close()
+	}
+	p.recv.Close()
+}
+
+func (p *Proc) dispatch(payload []byte) {
+	msg, err := wire.Decode(payload)
+	if err != nil {
+		log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+		return
+	}
+	switch m := msg.(type) {
+	case *wire.Data:
+		p.handleData(m)
+	case *wire.Hello:
+		p.handleHello(m)
+	case *wire.Stop:
+		p.requestStop(m.Checkpoint)
+	case *wire.Heartbeat:
+		// Clients may ping data endpoints; nothing to do.
+	default:
+		log.Printf("melissa server %d: unexpected message %T", p.cfg.Rank, msg)
+	}
+}
+
+// handleHello implements the server side of the dynamic connection handshake
+// (Sec. 4.1.3): process zero answers with the full layout so the group can
+// open direct connections to every relevant server process.
+func (p *Proc) handleHello(m *wire.Hello) {
+	if p.cfg.Rank != 0 {
+		log.Printf("melissa server %d: Hello sent to non-main process", p.cfg.Rank)
+		return
+	}
+	reply, err := p.cfg.Network.Dial(m.ReplyAddr)
+	if err != nil {
+		log.Printf("melissa server 0: cannot reach group %d at %s: %v", m.GroupID, m.ReplyAddr, err)
+		return
+	}
+	defer reply.Close()
+	w := &wire.Welcome{
+		Timesteps:  p.cfg.Timesteps,
+		Cells:      p.cfg.Cells,
+		P:          p.cfg.P,
+		ServerAddr: p.cfg.AllAddrs,
+		Partitions: p.cfg.Partitions,
+	}
+	if err := reply.Send(wire.Encode(w)); err != nil {
+		log.Printf("melissa server 0: welcome to group %d failed: %v", m.GroupID, err)
+	}
+}
+
+// handleData folds one stage-2 piece. The discard-on-replay policy
+// (Sec. 4.2.1) drops whole (group, step) updates whose step was already
+// committed; partial assemblies tolerate replays by overwriting.
+func (p *Proc) handleData(m *wire.Data) {
+	atomic.AddInt64(&p.messages, 1)
+	p.lastMsg[m.GroupID] = time.Now()
+
+	if len(m.Fields) != p.cfg.P+2 {
+		log.Printf("melissa server %d: group %d sent %d fields, want %d — dropped",
+			p.cfg.Rank, m.GroupID, len(m.Fields), p.cfg.P+2)
+		return
+	}
+	if !p.tracker.ShouldApply(m.GroupID, m.Timestep) {
+		return // replayed message after a group restart
+	}
+	part := p.cfg.Partition
+	lo, hi := m.CellLo, m.CellHi
+	if lo < part.Lo || hi > part.Hi || lo >= hi {
+		log.Printf("melissa server %d: group %d piece [%d,%d) outside partition [%d,%d) — dropped",
+			p.cfg.Rank, m.GroupID, lo, hi, part.Lo, part.Hi)
+		return
+	}
+	for f := range m.Fields {
+		if len(m.Fields[f]) != hi-lo {
+			log.Printf("melissa server %d: group %d field %d has %d cells, want %d — dropped",
+				p.cfg.Rank, m.GroupID, f, len(m.Fields[f]), hi-lo)
+			return
+		}
+	}
+
+	key := groupStep{m.GroupID, m.Timestep}
+	asm, ok := p.pending[key]
+	if !ok {
+		asm = &assembly{
+			fields:  make([][]float64, p.cfg.P+2),
+			covered: make([]bool, part.Len()),
+			missing: part.Len(),
+		}
+		for f := range asm.fields {
+			asm.fields[f] = make([]float64, part.Len())
+		}
+		p.pending[key] = asm
+	}
+	off := lo - part.Lo
+	for f, vals := range m.Fields {
+		copy(asm.fields[f][off:off+hi-lo], vals)
+	}
+	for c := off; c < off+hi-lo; c++ {
+		if !asm.covered[c] {
+			asm.covered[c] = true
+			asm.missing--
+		}
+	}
+	if asm.missing > 0 {
+		return // wait for the remaining pieces of this (group, step)
+	}
+	p.acc.UpdateGroup(m.Timestep, asm.fields[0], asm.fields[1], asm.fields[2:])
+	p.tracker.Commit(m.GroupID, m.Timestep)
+	delete(p.pending, key)
+	atomic.AddInt64(&p.folds, 1)
+}
+
+func (p *Proc) ensureLauncher() transport.Sender {
+	if p.cfg.LauncherAddr == "" {
+		return nil
+	}
+	if p.launcher == nil {
+		s, err := p.cfg.Network.Dial(p.cfg.LauncherAddr)
+		if err != nil {
+			return nil // launcher temporarily unreachable; retry next tick
+		}
+		p.launcher = s
+	}
+	return p.launcher
+}
+
+func (p *Proc) sendHeartbeat(now time.Time) {
+	s := p.ensureLauncher()
+	if s == nil {
+		return
+	}
+	hb := &wire.Heartbeat{
+		Sender:     fmt.Sprintf("server-%d", p.cfg.Rank),
+		TimeMillis: now.UnixMilli(),
+	}
+	if err := s.Send(wire.Encode(hb)); err != nil {
+		p.launcher = nil // reconnect next time
+	}
+}
+
+// sendReport ships the bookkeeping lists of Sec. 4.2.2 to the launcher:
+// running and finished groups, plus any group whose message gap exceeded
+// the timeout.
+func (p *Proc) sendReport() {
+	s := p.ensureLauncher()
+	if s == nil {
+		return
+	}
+	rep := &wire.Report{
+		ProcRank: p.cfg.Rank,
+		Running:  p.tracker.Running(),
+		Finished: p.tracker.Finished(),
+		Messages: atomic.LoadInt64(&p.messages),
+	}
+	if p.cfg.GroupTimeout > 0 {
+		cutoff := time.Now().Add(-p.cfg.GroupTimeout)
+		for _, g := range rep.Running {
+			if last, ok := p.lastMsg[g]; ok && last.Before(cutoff) {
+				rep.TimedOut = append(rep.TimedOut, g)
+			}
+		}
+	}
+	if p.cfg.ConvergenceReports {
+		rep.MaxCIWidth = p.acc.MaxCIWidth(p.cfg.CILevel)
+	}
+	if err := s.Send(wire.Encode(rep)); err != nil {
+		p.launcher = nil
+	}
+}
+
+// writeCheckpoint saves the process state. The run loop is blocked while
+// writing — incoming messages wait in the transport buffers, exactly the
+// behavior measured in Sec. 5.4.
+func (p *Proc) writeCheckpoint() {
+	start := time.Now()
+	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
+	err := checkpoint.Write(path, func(w *enc.Writer) {
+		w.Int(p.cfg.Partition.Lo)
+		w.Int(p.cfg.Partition.Hi)
+		w.I64(atomic.LoadInt64(&p.messages))
+		p.acc.Encode(w)
+		p.tracker.Encode(w)
+	})
+	if err != nil {
+		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+		return
+	}
+	p.ckpt.Writes++
+	p.ckpt.WriteDuration += time.Since(start)
+	if info := checkpointSize(path); info > 0 {
+		p.ckpt.LastBytes = info
+	}
+}
+
+// restore loads the last checkpoint, if any (Sec. 4.2.3 server restart).
+func (p *Proc) restore() error {
+	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
+	if p.cfg.CheckpointDir == "" || !checkpoint.Exists(path) {
+		return nil // cold start
+	}
+	start := time.Now()
+	r, err := checkpoint.Read(path)
+	if err != nil {
+		return err
+	}
+	lo := r.Int()
+	hi := r.Int()
+	if lo != p.cfg.Partition.Lo || hi != p.cfg.Partition.Hi {
+		return fmt.Errorf("server: checkpoint partition [%d,%d) does not match process %d partition [%d,%d)",
+			lo, hi, p.cfg.Rank, p.cfg.Partition.Lo, p.cfg.Partition.Hi)
+	}
+	p.messages = r.I64()
+	acc, err := core.DecodeAccumulator(r)
+	if err != nil {
+		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
+	}
+	tracker, err := core.DecodeGroupTracker(r)
+	if err != nil {
+		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
+	}
+	p.acc = acc
+	p.tracker = tracker
+	p.ckpt.Reads++
+	p.ckpt.ReadDuration += time.Since(start)
+	return nil
+}
+
+func checkpointSize(path string) int64 {
+	info, err := statFile(path)
+	if err != nil {
+		return 0
+	}
+	return info
+}

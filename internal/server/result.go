@@ -1,0 +1,135 @@
+package server
+
+import (
+	"os"
+
+	"melissa/internal/core"
+	"melissa/internal/mesh"
+)
+
+func statFile(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
+
+// Result is the assembled global view of a finished study: per-timestep,
+// per-cell Sobol' index fields stitched together from every server process's
+// partition. This is the Melissa equivalent of the statistic field files the
+// launcher collects at the end of a run (artifact appendix A.4).
+type Result struct {
+	Cells     int
+	Timesteps int
+	P         int
+
+	partitions []mesh.Partition
+	procs      []*Proc
+}
+
+func newResult(cfg Config, partitions []mesh.Partition, procs []*Proc) *Result {
+	return &Result{
+		Cells:      cfg.Cells,
+		Timesteps:  cfg.Timesteps,
+		P:          cfg.P,
+		partitions: partitions,
+		procs:      procs,
+	}
+}
+
+// GroupsFolded returns the number of groups folded into timestep t (equal
+// across processes once the study has drained).
+func (r *Result) GroupsFolded(t int) int64 {
+	if len(r.procs) == 0 {
+		return 0
+	}
+	return r.procs[0].acc.N(t)
+}
+
+// assemble stitches per-partition fields into one global field.
+func (r *Result) assemble(get func(p *Proc, dst []float64) []float64) []float64 {
+	out := make([]float64, r.Cells)
+	var scratch []float64
+	for i, p := range r.procs {
+		part := r.partitions[i]
+		scratch = get(p, scratch)
+		copy(out[part.Lo:part.Hi], scratch[:part.Len()])
+	}
+	return out
+}
+
+// FirstField returns the global first-order Sobol' field S_k(·, t).
+func (r *Result) FirstField(t, k int) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.FirstField(t, k, dst)
+	})
+}
+
+// TotalField returns the global total-order Sobol' field ST_k(·, t).
+func (r *Result) TotalField(t, k int) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.TotalField(t, k, dst)
+	})
+}
+
+// MeanField returns the global output-mean field at timestep t.
+func (r *Result) MeanField(t int) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.MeanField(t, dst)
+	})
+}
+
+// VarianceField returns the global output-variance field at timestep t
+// (the Fig. 8 map).
+func (r *Result) VarianceField(t int) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.VarianceField(t, dst)
+	})
+}
+
+// InteractionField returns the global 1−ΣS_k field at timestep t.
+func (r *Result) InteractionField(t int) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.InteractionField(t, dst)
+	})
+}
+
+// MaxCIWidth returns the widest confidence interval over every process.
+func (r *Result) MaxCIWidth(level float64) float64 {
+	var worst float64
+	for _, p := range r.procs {
+		if w := p.acc.MaxCIWidth(level); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// MemoryBytes totals the accumulator memory across processes — the Sec. 4.1.1
+// server memory model.
+func (r *Result) MemoryBytes() int64 {
+	var total int64
+	for _, p := range r.procs {
+		total += p.acc.MemoryBytes()
+	}
+	return total
+}
+
+// Messages totals the data messages processed across processes.
+func (r *Result) Messages() int64 {
+	var total int64
+	for _, p := range r.procs {
+		total += p.Messages()
+	}
+	return total
+}
+
+// Tracker returns a merged view of group states across all processes.
+func (r *Result) Tracker() *core.GroupTracker {
+	merged := core.NewGroupTracker(r.Timesteps - 1)
+	for _, p := range r.procs {
+		merged.Merge(p.tracker)
+	}
+	return merged
+}

@@ -1,0 +1,203 @@
+// Package server implements Melissa Server (Sec. 4.1): a parallel in-transit
+// statistics engine. The server is M processes, each owning one block of the
+// evenly partitioned mesh; simulation groups connect dynamically, push their
+// per-timestep results, and every process folds incoming data into its local
+// ubiquitous Sobol' accumulator with no inter-process communication or
+// synchronization ("updating the statistics is a local operation").
+//
+// Fault tolerance follows Sec. 4.2: discard-on-replay filtering of restarted
+// groups, per-group message timeouts reported to the launcher, periodic
+// atomic checkpoints (one file per process), and restart from the last
+// checkpoint.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"melissa/internal/core"
+	"melissa/internal/mesh"
+	"melissa/internal/transport"
+)
+
+// Config assembles a parallel server.
+type Config struct {
+	// Procs is M, the number of server processes.
+	Procs int
+	// Cells, Timesteps and P define the study shape.
+	Cells, Timesteps, P int
+	// Stats selects the optional statistics beyond Sobol' indices.
+	Stats core.Options
+	// Network provides the endpoints (in-memory or TCP).
+	Network transport.Network
+	// GroupTimeout is the maximum inter-message gap before a running group
+	// is declared unresponsive (the paper sets 300 s; tests use shorter).
+	// Zero disables detection.
+	GroupTimeout time.Duration
+	// CheckpointInterval enables periodic checkpoints when positive
+	// (the paper's experiment uses 600 s).
+	CheckpointInterval time.Duration
+	// CheckpointDir is where checkpoint files live.
+	CheckpointDir string
+	// LauncherAddr, when set, receives heartbeats and reports.
+	LauncherAddr string
+	// ReportInterval is the heartbeat/report period (default 1 s).
+	ReportInterval time.Duration
+	// CILevel is the confidence level for convergence reports (default .95).
+	CILevel float64
+	// ConvergenceReports enables MaxCIWidth computation in reports. It
+	// scans the whole accumulator, so it is off by default.
+	ConvergenceReports bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = time.Second
+	}
+	if c.CILevel == 0 {
+		c.CILevel = 0.95
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Procs < 1:
+		return fmt.Errorf("server: need at least one process, got %d", c.Procs)
+	case c.Cells < 1 || c.Timesteps < 1 || c.P < 1:
+		return fmt.Errorf("server: invalid shape cells=%d timesteps=%d p=%d", c.Cells, c.Timesteps, c.P)
+	case c.Network == nil:
+		return fmt.Errorf("server: nil network")
+	case c.CheckpointInterval > 0 && c.CheckpointDir == "":
+		return fmt.Errorf("server: checkpointing enabled without a directory")
+	}
+	return nil
+}
+
+// Server is a running (or runnable) parallel Melissa Server inside one Go
+// process: each server process is a goroutine with its own receiver,
+// accumulator and bookkeeping, communicating with nothing but its inbox.
+type Server struct {
+	cfg        Config
+	partitions []mesh.Partition
+	procs      []*Proc
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+// New creates the server processes and opens their endpoints. Addresses are
+// available immediately (before Start) so the launcher can advertise them.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		partitions: mesh.BlockPartition(cfg.Cells, cfg.Procs),
+	}
+	addrs := make([]string, cfg.Procs)
+	recvs := make([]transport.Receiver, cfg.Procs)
+	for rank := 0; rank < cfg.Procs; rank++ {
+		r, err := cfg.Network.Listen("")
+		if err != nil {
+			for _, rr := range recvs[:rank] {
+				rr.Close()
+			}
+			return nil, fmt.Errorf("server: opening endpoint %d: %w", rank, err)
+		}
+		recvs[rank] = r
+		addrs[rank] = r.Addr()
+	}
+	for rank := 0; rank < cfg.Procs; rank++ {
+		s.procs = append(s.procs, newProc(procConfig{
+			Config:     cfg,
+			Rank:       rank,
+			Partition:  s.partitions[rank],
+			AllAddrs:   addrs,
+			Partitions: s.partitions,
+		}, recvs[rank]))
+	}
+	return s, nil
+}
+
+// Addrs returns the data endpoint address of every server process.
+func (s *Server) Addrs() []string {
+	out := make([]string, len(s.procs))
+	for i, p := range s.procs {
+		out[i] = p.recv.Addr()
+	}
+	return out
+}
+
+// MainAddr returns the address of process zero, the one simulation groups
+// contact first during the dynamic-connection handshake (Sec. 4.1.3).
+func (s *Server) MainAddr() string { return s.procs[0].recv.Addr() }
+
+// Partitions returns the server-side cell partitioning.
+func (s *Server) Partitions() []mesh.Partition {
+	return append([]mesh.Partition(nil), s.partitions...)
+}
+
+// Restore loads every process state from the checkpoint directory. It must
+// be called before Start. Missing files leave the corresponding process
+// fresh (a cold start); corrupt files are errors.
+func (s *Server) Restore() error {
+	for _, p := range s.procs {
+		if err := p.restore(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches every server process goroutine.
+func (s *Server) Start() {
+	if s.started {
+		panic("server: double Start")
+	}
+	s.started = true
+	for _, p := range s.procs {
+		s.wg.Add(1)
+		go func(p *Proc) {
+			defer s.wg.Done()
+			p.run()
+		}(p)
+	}
+}
+
+// Stop asks every process to exit (after an optional final checkpoint) and
+// waits for them.
+func (s *Server) Stop(finalCheckpoint bool) {
+	for _, p := range s.procs {
+		p.requestStop(finalCheckpoint)
+	}
+	s.wg.Wait()
+}
+
+// Wait blocks until every process has exited (e.g. after all groups
+// finished and Stop was requested, or after a walltime-induced stop).
+func (s *Server) Wait() { s.wg.Wait() }
+
+// Procs exposes the per-process state; callers must not use it while the
+// server is running (only before Start or after Stop/Wait).
+func (s *Server) Procs() []*Proc { return s.procs }
+
+// TotalFolds sums the completed (group, timestep) updates across processes.
+// Safe to poll while running: a study of G groups and T timesteps is fully
+// assimilated when this reaches G·T·Procs.
+func (s *Server) TotalFolds() int64 {
+	var total int64
+	for _, p := range s.procs {
+		total += p.Folds()
+	}
+	return total
+}
+
+// Result assembles the global study result from all process partitions.
+// Call only after the server stopped.
+func (s *Server) Result() *Result {
+	return newResult(s.cfg, s.partitions, s.procs)
+}

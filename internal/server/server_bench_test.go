@@ -1,0 +1,48 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/transport"
+)
+
+// BenchmarkServerIngest measures end-to-end assimilation throughput: one
+// group streaming through the real client/server path (handshake, two-stage
+// transfer, assembly, fold) on the in-memory transport.
+func BenchmarkServerIngest(b *testing.B) {
+	const cells, timesteps, p = 4096, 8, 6
+	net := transport.NewMemNetwork(transport.Options{})
+	design := testDesign(p, 1<<20)
+	sim := testSim(cells, timesteps)
+
+	cfg := Config{
+		Procs: 2, Cells: cells, Timesteps: timesteps, P: p,
+		Network: net, ReportInterval: time.Hour,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Start()
+	defer s.Stop(false)
+
+	b.SetBytes(int64(8 * cells * (p + 2) * timesteps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.RunGroup(net, s.MainAddr(), client.RunConfig{
+			GroupID:  i,
+			SimRanks: 2,
+			Rows:     design.GroupRows(i % design.N()),
+			Sim:      sim,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Wait until everything queued is folded before stopping the timer.
+	want := int64((b.N) * timesteps * 2)
+	for s.TotalFolds() < want {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,72 @@
+package sobol
+
+// This file holds the classical, two-pass Martinez computation over fully
+// stored output vectors — the way existing UQ packages (OpenTURNS, Dakota,
+// ...) compute Sobol' indices, requiring all N samples in memory or on disk
+// (Sec. 6 of the paper). It exists as the ground truth for the exactness
+// tests of the iterative estimator and as the "classical" baseline of the
+// benchmarks: same estimator, O(n) storage instead of O(1).
+
+// Classical computes Martinez first-order and total Sobol' indices from
+// fully materialized output vectors: yA[i] = f(A_i), yB[i] = f(B_i),
+// yC[k][i] = f(C^k_i). It performs two passes (means first, then centered
+// moments) like a postmortem tool reading ensemble files back from disk.
+func Classical(yA, yB []float64, yC [][]float64) (first, total []float64) {
+	n := len(yA)
+	if len(yB) != n {
+		panic("sobol: classical input length mismatch")
+	}
+	p := len(yC)
+	first = make([]float64, p)
+	total = make([]float64, p)
+
+	meanA := meanOf(yA)
+	meanB := meanOf(yB)
+	varA := centeredSum2(yA, meanA)
+	varB := centeredSum2(yB, meanB)
+
+	for k := 0; k < p; k++ {
+		if len(yC[k]) != n {
+			panic("sobol: classical input length mismatch")
+		}
+		meanC := meanOf(yC[k])
+		varC := centeredSum2(yC[k], meanC)
+		covBC := centeredCross(yB, meanB, yC[k], meanC)
+		covAC := centeredCross(yA, meanA, yC[k], meanC)
+		first[k] = safeRatio(covBC, varB, varC)
+		total[k] = 1 - safeRatio(covAC, varA, varC)
+	}
+	return first, total
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func centeredSum2(xs []float64, mean float64) float64 {
+	var s float64
+	for _, x := range xs {
+		d := x - mean
+		s += d * d
+	}
+	return s
+}
+
+func centeredCross(xs []float64, mx float64, ys []float64, my float64) float64 {
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s
+}
+
+func safeRatio(cov, v1, v2 float64) float64 {
+	if v1 == 0 || v2 == 0 {
+		return 0
+	}
+	return cov / (sqrt64(v1) * sqrt64(v2))
+}

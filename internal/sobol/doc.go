@@ -1,0 +1,21 @@
+// Package sobol implements variance-based (Sobol') sensitivity indices in
+// the iterative, one-pass form that is the core algorithmic contribution of
+// the paper (Sec. 3).
+//
+// The primary estimator is Martinez's correlation form (Eq. 5-6):
+//
+//	S_k  =     Corr(Y^B, Y^Ck)   (first order)
+//	ST_k = 1 − Corr(Y^A, Y^Ck)   (total order)
+//
+// where Y^A, Y^B, Y^Ck are the outputs of the pick-freeze simulations. Both
+// are ratios of one-pass covariance/variance accumulators, so each new group
+// result updates every index in O(p) time and O(p) memory — no sample is
+// ever stored. The paper selects Martinez because it is numerically stable
+// and admits a simple asymptotic confidence interval via the Fisher
+// transform (Eq. 8-9), implemented here exactly.
+//
+// For ablation, the package also provides the Jansen and Saltelli-2010
+// estimators in equivalent iterative forms, and a classical two-pass
+// reference implementation used by tests to establish the exactness of the
+// iterative computation.
+package sobol

@@ -1,0 +1,159 @@
+package sobol
+
+import (
+	"fmt"
+
+	"melissa/internal/stats"
+)
+
+// Jansen is the iterative Jansen estimator:
+//
+//	S_k  = 1 − (1/(2n))·Σ (Y^B − Y^Ck)² / V(Y)
+//	ST_k =     (1/(2n))·Σ (Y^A − Y^Ck)² / V(Y)
+//
+// with V(Y) estimated one-pass over the pooled A and B outputs. Included for
+// the estimator-choice ablation (the paper cites [4, 38] and selects
+// Martinez for stability and its confidence interval).
+type Jansen struct {
+	sumSqBC []float64 // Σ (yB − yCk)²
+	sumSqAC []float64 // Σ (yA − yCk)²
+	pooled  stats.Moments
+	n       int64
+}
+
+var _ Estimator = (*Jansen)(nil)
+
+// NewJansen returns a Jansen estimator for p parameters.
+func NewJansen(p int) *Jansen {
+	if p < 1 {
+		panic("sobol: need at least one parameter")
+	}
+	return &Jansen{
+		sumSqBC: make([]float64, p),
+		sumSqAC: make([]float64, p),
+	}
+}
+
+// Name implements Estimator.
+func (j *Jansen) Name() string { return "jansen" }
+
+// P implements Estimator.
+func (j *Jansen) P() int { return len(j.sumSqBC) }
+
+// N implements Estimator.
+func (j *Jansen) N() int64 { return j.n }
+
+// Update implements Estimator.
+func (j *Jansen) Update(yA, yB float64, yC []float64) {
+	if len(yC) != len(j.sumSqBC) {
+		panic(fmt.Sprintf("sobol: update with %d C-outputs, want %d", len(yC), len(j.sumSqBC)))
+	}
+	for k, y := range yC {
+		db := yB - y
+		da := yA - y
+		j.sumSqBC[k] += db * db
+		j.sumSqAC[k] += da * da
+	}
+	j.pooled.Update(yA)
+	j.pooled.Update(yB)
+	j.n++
+}
+
+// First implements Estimator.
+func (j *Jansen) First(k int) float64 {
+	v := j.pooled.Variance()
+	if j.n == 0 || v == 0 {
+		return 0
+	}
+	return 1 - j.sumSqBC[k]/(2*float64(j.n))/v
+}
+
+// Total implements Estimator.
+func (j *Jansen) Total(k int) float64 {
+	v := j.pooled.Variance()
+	if j.n == 0 || v == 0 {
+		return 0
+	}
+	return j.sumSqAC[k] / (2 * float64(j.n)) / v
+}
+
+// Saltelli is the iterative Saltelli-2010 estimator:
+//
+//	S_k  = (1/n)·Σ Y^B·(Y^Ck − Y^A) / V(Y)
+//	ST_k = (1/(2n))·Σ (Y^A − Y^Ck)² / V(Y)   (same total form as Jansen)
+type Saltelli struct {
+	sumProd []float64 // Σ yB·(yCk − yA)
+	sumSqAC []float64 // Σ (yA − yCk)²
+	pooled  stats.Moments
+	n       int64
+}
+
+var _ Estimator = (*Saltelli)(nil)
+
+// NewSaltelli returns a Saltelli estimator for p parameters.
+func NewSaltelli(p int) *Saltelli {
+	if p < 1 {
+		panic("sobol: need at least one parameter")
+	}
+	return &Saltelli{
+		sumProd: make([]float64, p),
+		sumSqAC: make([]float64, p),
+	}
+}
+
+// Name implements Estimator.
+func (s *Saltelli) Name() string { return "saltelli" }
+
+// P implements Estimator.
+func (s *Saltelli) P() int { return len(s.sumProd) }
+
+// N implements Estimator.
+func (s *Saltelli) N() int64 { return s.n }
+
+// Update implements Estimator.
+func (s *Saltelli) Update(yA, yB float64, yC []float64) {
+	if len(yC) != len(s.sumProd) {
+		panic(fmt.Sprintf("sobol: update with %d C-outputs, want %d", len(yC), len(s.sumProd)))
+	}
+	for k, y := range yC {
+		s.sumProd[k] += yB * (y - yA)
+		da := yA - y
+		s.sumSqAC[k] += da * da
+	}
+	s.pooled.Update(yA)
+	s.pooled.Update(yB)
+	s.n++
+}
+
+// First implements Estimator.
+func (s *Saltelli) First(k int) float64 {
+	v := s.pooled.Variance()
+	if s.n == 0 || v == 0 {
+		return 0
+	}
+	return s.sumProd[k] / float64(s.n) / v
+}
+
+// Total implements Estimator.
+func (s *Saltelli) Total(k int) float64 {
+	v := s.pooled.Variance()
+	if s.n == 0 || v == 0 {
+		return 0
+	}
+	return s.sumSqAC[k] / (2 * float64(s.n)) / v
+}
+
+// NewEstimator constructs an estimator by name ("martinez", "jansen",
+// "saltelli"); unknown names return an error.
+func NewEstimator(name string, p int) (Estimator, error) {
+	switch name {
+	case "martinez":
+		return NewMartinez(p), nil
+	case "jansen":
+		return NewJansen(p), nil
+	case "saltelli":
+		return NewSaltelli(p), nil
+	default:
+		return nil, fmt.Errorf("sobol: unknown estimator %q", name)
+	}
+}

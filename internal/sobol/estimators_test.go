@@ -1,0 +1,165 @@
+package sobol
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJansenIshigamiConvergence(t *testing.T) {
+	fn := Ishigami()
+	j := NewJansen(fn.P())
+	Estimate(fn, 20000, 11, j)
+	if err := maxAbsErr(j.First, fn.ExactFirst); err > 0.03 {
+		t.Errorf("jansen first-order max error %v", err)
+	}
+	if err := maxAbsErr(j.Total, fn.ExactTotal); err > 0.03 {
+		t.Errorf("jansen total-order max error %v", err)
+	}
+}
+
+func TestSaltelliIshigamiConvergence(t *testing.T) {
+	fn := Ishigami()
+	s := NewSaltelli(fn.P())
+	Estimate(fn, 20000, 12, s)
+	if err := maxAbsErr(s.First, fn.ExactFirst); err > 0.03 {
+		t.Errorf("saltelli first-order max error %v", err)
+	}
+	if err := maxAbsErr(s.Total, fn.ExactTotal); err > 0.03 {
+		t.Errorf("saltelli total-order max error %v", err)
+	}
+}
+
+func TestEstimatorsAgreeOnLargeSamples(t *testing.T) {
+	fn := GFunction([]float64{0, 2, 9})
+	m := NewMartinez(fn.P())
+	j := NewJansen(fn.P())
+	s := NewSaltelli(fn.P())
+	for _, est := range []Estimator{m, j, s} {
+		Estimate(fn, 15000, 13, est)
+	}
+	for k := 0; k < fn.P(); k++ {
+		if d := math.Abs(m.First(k) - j.First(k)); d > 0.05 {
+			t.Errorf("martinez vs jansen S%d differ by %v", k, d)
+		}
+		if d := math.Abs(m.First(k) - s.First(k)); d > 0.05 {
+			t.Errorf("martinez vs saltelli S%d differ by %v", k, d)
+		}
+		if d := math.Abs(j.Total(k) - s.Total(k)); d > 1e-12 {
+			t.Errorf("jansen and saltelli share the total form; differ by %v", d)
+		}
+	}
+}
+
+func TestEstimatorFactory(t *testing.T) {
+	for _, name := range []string{"martinez", "jansen", "saltelli"} {
+		est, err := NewEstimator(name, 4)
+		if err != nil {
+			t.Fatalf("NewEstimator(%q): %v", name, err)
+		}
+		if est.Name() != name || est.P() != 4 || est.N() != 0 {
+			t.Fatalf("factory returned wrong estimator for %q", name)
+		}
+	}
+	if _, err := NewEstimator("bogus", 2); err == nil {
+		t.Fatal("expected error for unknown estimator")
+	}
+}
+
+func TestEstimatorsEmptyAndDegenerate(t *testing.T) {
+	for _, name := range []string{"martinez", "jansen", "saltelli"} {
+		est, _ := NewEstimator(name, 2)
+		if est.First(0) != 0 || est.Total(0) != 0 {
+			t.Errorf("%s: empty estimator should report 0", name)
+		}
+		// Constant output: zero variance everywhere must not yield NaN.
+		for i := 0; i < 5; i++ {
+			est.Update(1, 1, []float64{1, 1})
+		}
+		if math.IsNaN(est.First(0)) || math.IsNaN(est.Total(1)) {
+			t.Errorf("%s: NaN on constant output", name)
+		}
+	}
+}
+
+func TestEstimatorUpdateDimensionPanics(t *testing.T) {
+	for _, name := range []string{"jansen", "saltelli"} {
+		est, _ := NewEstimator(name, 3)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on dimension mismatch", name)
+				}
+			}()
+			est.Update(0, 0, []float64{1})
+		}()
+	}
+}
+
+// Property: for arbitrary (finite) group outputs, Martinez indices remain in
+// the admissible numeric range: S_k is a correlation in [−1, 1], ST_k = 1−ρ
+// is in [0, 2].
+func TestQuickMartinezRange(t *testing.T) {
+	type group struct{ A, B, C1, C2 float64 }
+	f := func(groups []group) bool {
+		m := NewMartinez(2)
+		for _, g := range groups {
+			vals := []float64{g.A, g.B, g.C1, g.C2}
+			for i, v := range vals {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					vals[i] = 0
+				} else {
+					vals[i] = math.Mod(v, 1e8)
+				}
+			}
+			m.Update(vals[0], vals[1], []float64{vals[2], vals[3]})
+		}
+		for k := 0; k < 2; k++ {
+			s, st := m.First(k), m.Total(k)
+			if math.IsNaN(s) || s < -1.0000001 || s > 1.0000001 {
+				return false
+			}
+			if math.IsNaN(st) || st < -0.0000001 || st > 2.0000001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the output by a positive constant leaves all indices
+// unchanged (Sobol' indices are ratios of variances).
+func TestQuickScaleInvariance(t *testing.T) {
+	fn := Ishigami()
+	base := NewMartinez(fn.P())
+	Estimate(fn, 300, 21, base)
+
+	f := func(rawScale float64) bool {
+		scale := math.Abs(math.Mod(rawScale, 1e4))
+		if scale < 1e-6 {
+			scale = 1.5
+		}
+		scaled := NewMartinez(fn.P())
+		scaledFn := &Function{
+			FuncName: "scaled",
+			Params:   fn.Params,
+			Eval:     func(x []float64) float64 { return scale * fn.Eval(x) },
+		}
+		Estimate(scaledFn, 300, 21, scaled)
+		for k := 0; k < fn.P(); k++ {
+			if math.Abs(base.First(k)-scaled.First(k)) > 1e-9 {
+				return false
+			}
+			if math.Abs(base.Total(k)-scaled.Total(k)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package sobol
+
+import (
+	"math"
+
+	"melissa/internal/sampling"
+)
+
+func sqrt64(x float64) float64 { return math.Sqrt(x) }
+
+// Function is an analytic benchmark model f(X1..Xp) with known Sobol'
+// indices, used to validate estimators and to drive the convergence and
+// ablation experiments. It plays the role of the black-box solver of Fig. 1.
+type Function struct {
+	// FuncName identifies the function.
+	FuncName string
+	// Params are the input parameter laws.
+	Params []sampling.Distribution
+	// Eval computes the scalar output for one parameter set.
+	Eval func(x []float64) float64
+	// ExactFirst and ExactTotal are the analytic indices, when known.
+	ExactFirst []float64
+	ExactTotal []float64
+}
+
+// P returns the number of input parameters.
+func (f *Function) P() int { return len(f.Params) }
+
+// Ishigami returns the Ishigami function with the standard constants
+// a = 7, b = 0.1:
+//
+//	f(x) = sin(x1) + a·sin²(x2) + b·x3⁴·sin(x1),  xi ~ U(−π, π)
+//
+// Its Sobol' indices are known in closed form; it is the canonical
+// sensitivity-analysis benchmark (strongly nonlinear, with an x1–x3
+// interaction and S3 = 0 but ST3 > 0).
+func Ishigami() *Function {
+	const a, b = 7.0, 0.1
+	pi := math.Pi
+	v1 := 0.5 * (1 + b*math.Pow(pi, 4)/5) * (1 + b*math.Pow(pi, 4)/5)
+	v2 := a * a / 8
+	v13 := 8 * b * b * math.Pow(pi, 8) / 225
+	v := v1 + v2 + v13
+	return &Function{
+		FuncName: "ishigami",
+		Params: []sampling.Distribution{
+			sampling.Uniform{Low: -pi, High: pi},
+			sampling.Uniform{Low: -pi, High: pi},
+			sampling.Uniform{Low: -pi, High: pi},
+		},
+		Eval: func(x []float64) float64 {
+			return math.Sin(x[0]) + a*math.Sin(x[1])*math.Sin(x[1]) +
+				b*math.Pow(x[2], 4)*math.Sin(x[0])
+		},
+		ExactFirst: []float64{v1 / v, v2 / v, 0},
+		ExactTotal: []float64{(v1 + v13) / v, v2 / v, v13 / v},
+	}
+}
+
+// GFunction returns the Sobol' g-function with coefficients a:
+//
+//	f(x) = Π_k (|4·xk − 2| + a_k)/(1 + a_k),  xk ~ U(0, 1)
+//
+// Small a_k means an influential parameter. Exact indices follow from
+// V_k = (1/3)/(1+a_k)² and V = Π(1+V_k) − 1.
+func GFunction(a []float64) *Function {
+	p := len(a)
+	params := make([]sampling.Distribution, p)
+	vk := make([]float64, p)
+	prod := 1.0
+	for k := range a {
+		params[k] = sampling.Uniform{Low: 0, High: 1}
+		vk[k] = (1.0 / 3.0) / ((1 + a[k]) * (1 + a[k]))
+		prod *= 1 + vk[k]
+	}
+	v := prod - 1
+	first := make([]float64, p)
+	total := make([]float64, p)
+	for k := range a {
+		first[k] = vk[k] / v
+		total[k] = vk[k] * (prod / (1 + vk[k])) / v
+	}
+	coef := append([]float64(nil), a...)
+	return &Function{
+		FuncName: "gfunction",
+		Params:   params,
+		Eval: func(x []float64) float64 {
+			out := 1.0
+			for k, xv := range x {
+				out *= (math.Abs(4*xv-2) + coef[k]) / (1 + coef[k])
+			}
+			return out
+		},
+		ExactFirst: first,
+		ExactTotal: total,
+	}
+}
+
+// LinearNormal returns f(x) = Σ c_k·x_k with x_k ~ N(0, σ_k). For an
+// additive model first-order and total indices coincide:
+// S_k = ST_k = c_k²σ_k² / Σ c_j²σ_j².
+func LinearNormal(coef, sigma []float64) *Function {
+	p := len(coef)
+	params := make([]sampling.Distribution, p)
+	var v float64
+	contrib := make([]float64, p)
+	for k := range coef {
+		params[k] = sampling.Normal{Mean: 0, Std: sigma[k]}
+		contrib[k] = coef[k] * coef[k] * sigma[k] * sigma[k]
+		v += contrib[k]
+	}
+	first := make([]float64, p)
+	for k := range contrib {
+		first[k] = contrib[k] / v
+	}
+	c := append([]float64(nil), coef...)
+	return &Function{
+		FuncName: "linear",
+		Params:   params,
+		Eval: func(x []float64) float64 {
+			var s float64
+			for k, xv := range x {
+				s += c[k] * xv
+			}
+			return s
+		},
+		ExactFirst: first,
+		ExactTotal: append([]float64(nil), first...),
+	}
+}
+
+// Estimate runs a full pick-freeze study of fn with n groups on the given
+// estimator, feeding groups in order, and returns the estimator for
+// inspection. It is the scalar-output reference pipeline (Fig. 1) used by
+// tests and benchmarks; the distributed framework replaces the inner loop
+// with real simulations streaming to the server.
+func Estimate(fn *Function, n int, seed uint64, est Estimator) Estimator {
+	design := sampling.NewDesign(fn.Params, n, seed)
+	p := fn.P()
+	yC := make([]float64, p)
+	for i := 0; i < n; i++ {
+		yA := fn.Eval(design.RowA(i))
+		yB := fn.Eval(design.RowB(i))
+		for k := 0; k < p; k++ {
+			yC[k] = fn.Eval(design.RowC(i, k))
+		}
+		est.Update(yA, yB, yC)
+	}
+	return est
+}
+
+// Materialize evaluates fn over the full design and returns the stored
+// output vectors (the "ensemble files" of a classical study): yA, yB and
+// yC[k]. Memory is O(n·(p+2)) — exactly the cost Melissa avoids.
+func Materialize(fn *Function, n int, seed uint64) (yA, yB []float64, yC [][]float64) {
+	design := sampling.NewDesign(fn.Params, n, seed)
+	p := fn.P()
+	yA = make([]float64, n)
+	yB = make([]float64, n)
+	yC = make([][]float64, p)
+	for k := range yC {
+		yC[k] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		yA[i] = fn.Eval(design.RowA(i))
+		yB[i] = fn.Eval(design.RowB(i))
+		for k := 0; k < p; k++ {
+			yC[k][i] = fn.Eval(design.RowC(i, k))
+		}
+	}
+	return yA, yB, yC
+}

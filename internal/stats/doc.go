@@ -1,0 +1,23 @@
+// Package stats implements the iterative (one-pass, online, parallel)
+// statistics that underpin Melissa's in-transit sensitivity analysis
+// (Sec. 3.1 of the paper).
+//
+// All accumulators support three operations:
+//
+//   - Update: fold one new sample in O(1) memory,
+//   - Merge: combine two partial accumulators (pairwise/parallel reduction,
+//     Chan et al. 1982; Pébay 2008),
+//   - query: read the current estimate at any point of the stream.
+//
+// The update formulas are the numerically stable single-pass forms of
+// Pébay, "Formulas for robust, one-pass parallel computation of covariances
+// and arbitrary-order statistical moments" (SAND2008-6212), reference [34]
+// of the paper. They are exact: after n updates an accumulator holds the
+// same value (up to floating-point round-off) as the corresponding two-pass
+// textbook formula over the same n samples, in any order.
+//
+// Scalar accumulators (Moments, Covariance, ...) track one quantity; the
+// Field* variants track one quantity per mesh cell with a single shared
+// sample count, which is the layout Melissa Server uses for ubiquitous
+// statistics (every cell of every timestep).
+package stats

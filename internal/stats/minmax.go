@@ -1,0 +1,118 @@
+package stats
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// MinMax tracks the running minimum and maximum of a stream.
+// The zero value is empty; Min/Max on an empty accumulator return ±Inf so
+// that merging an empty accumulator is the identity.
+type MinMax struct {
+	n   int64
+	min float64
+	max float64
+}
+
+// Update folds one sample.
+func (m *MinMax) Update(x float64) {
+	if m.n == 0 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	m.n++
+}
+
+// Merge folds other into m.
+func (m *MinMax) Merge(other MinMax) {
+	if other.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = other
+		return
+	}
+	if other.min < m.min {
+		m.min = other.min
+	}
+	if other.max > m.max {
+		m.max = other.max
+	}
+	m.n += other.n
+}
+
+// N returns the number of samples seen.
+func (m *MinMax) N() int64 { return m.n }
+
+// Min returns the running minimum (+Inf when empty).
+func (m *MinMax) Min() float64 {
+	if m.n == 0 {
+		return math.Inf(1)
+	}
+	return m.min
+}
+
+// Max returns the running maximum (-Inf when empty).
+func (m *MinMax) Max() float64 {
+	if m.n == 0 {
+		return math.Inf(-1)
+	}
+	return m.max
+}
+
+// Exceedance counts how many samples exceeded a fixed threshold, one of the
+// iterative statistics of the early Melissa implementation (reference [44]
+// of the paper).
+type Exceedance struct {
+	Threshold float64
+	n         int64
+	count     int64
+}
+
+// NewExceedance returns a counter for the given threshold.
+func NewExceedance(threshold float64) *Exceedance {
+	return &Exceedance{Threshold: threshold}
+}
+
+// Update folds one sample.
+func (e *Exceedance) Update(x float64) {
+	e.n++
+	if x > e.Threshold {
+		e.count++
+	}
+}
+
+// Merge folds other into e. The thresholds must match; merging counters with
+// different thresholds is a programming error and panics.
+func (e *Exceedance) Merge(other Exceedance) {
+	if other.n == 0 {
+		return
+	}
+	if e.n > 0 && e.Threshold != other.Threshold {
+		panic("stats: merging Exceedance counters with different thresholds")
+	}
+	if e.n == 0 {
+		e.Threshold = other.Threshold
+	}
+	e.n += other.n
+	e.count += other.count
+}
+
+// N returns the number of samples seen.
+func (e *Exceedance) N() int64 { return e.n }
+
+// Count returns the number of samples that exceeded the threshold.
+func (e *Exceedance) Count() int64 { return e.count }
+
+// Probability returns the fraction of samples above the threshold.
+func (e *Exceedance) Probability() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return float64(e.count) / float64(e.n)
+}

@@ -1,0 +1,105 @@
+// Package studies provides the built-in study definitions shared by the
+// command-line tools: the tube-bundle CFD case of the paper, the Ishigami
+// benchmark, and a cheap synthetic field model. A study is identified by a
+// name plus shape flags, so independent processes (server, clients,
+// launcher) reconstruct identical designs from the same flags — the way the
+// paper's launcher scripts and Code_Saturne cases share one configuration.
+package studies
+
+import (
+	"fmt"
+	"math"
+
+	"melissa/internal/cfd"
+	"melissa/internal/client"
+	"melissa/internal/sampling"
+	"melissa/internal/sobol"
+)
+
+// Study bundles everything a client or launcher needs to run one use case.
+type Study struct {
+	Name       string
+	Params     []sampling.Distribution
+	Cells      int
+	Timesteps  int
+	Sim        client.Simulation
+	ParamNames []string
+	// Nx, Ny are set for grid-shaped studies (rendering).
+	Nx, Ny int
+}
+
+// P returns the parameter count.
+func (s *Study) P() int { return len(s.Params) }
+
+// Design builds the pick-freeze design for n groups.
+func (s *Study) Design(n int, seed uint64) *sampling.Design {
+	return sampling.NewDesign(s.Params, n, seed)
+}
+
+// Build constructs a named study. Supported names: "tubebundle" (uses nx,
+// ny; 100 timesteps; the Sec. 5.2 case), "ishigami" (scalar, 1 timestep),
+// "synthetic" (cells×timesteps field with an additive/quadratic model).
+func Build(name string, nx, ny, cells, timesteps int) (*Study, error) {
+	switch name {
+	case "tubebundle":
+		cfg := cfd.DefaultConfig(nx, ny)
+		solver, err := cfd.NewSolver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Study{
+			Name:      "tubebundle",
+			Params:    cfd.StudyDistributions(cfg),
+			Cells:     solver.Cells(),
+			Timesteps: cfg.Timesteps,
+			Sim: client.SimFunc(func(row []float64, emit func(int, []float64) bool) {
+				solver.RunRow(row, emit)
+			}),
+			ParamNames: cfd.ParamNames[:],
+			Nx:         nx, Ny: ny,
+		}, nil
+	case "ishigami":
+		fn := sobol.Ishigami()
+		return &Study{
+			Name:      "ishigami",
+			Params:    fn.Params,
+			Cells:     1,
+			Timesteps: 1,
+			Sim: client.SimFunc(func(row []float64, emit func(int, []float64) bool) {
+				emit(0, []float64{fn.Eval(row)})
+			}),
+			ParamNames: []string{"x1", "x2", "x3"},
+		}, nil
+	case "synthetic":
+		if cells < 1 || timesteps < 1 {
+			return nil, fmt.Errorf("studies: synthetic needs cells/timesteps, got %d/%d", cells, timesteps)
+		}
+		params := []sampling.Distribution{
+			sampling.Uniform{Low: -1, High: 1},
+			sampling.Uniform{Low: -1, High: 1},
+			sampling.Normal{Mean: 0, Std: 1},
+		}
+		return &Study{
+			Name:      "synthetic",
+			Params:    params,
+			Cells:     cells,
+			Timesteps: timesteps,
+			Sim: client.SimFunc(func(row []float64, emit func(int, []float64) bool) {
+				field := make([]float64, cells)
+				for t := 0; t < timesteps; t++ {
+					for c := range field {
+						x := float64(c) / float64(cells)
+						field[c] = row[0]*math.Sin(2*math.Pi*x) +
+							row[1]*x + row[2]*row[2]*(1+float64(t))*0.1
+					}
+					if !emit(t, field) {
+						return
+					}
+				}
+			}),
+			ParamNames: []string{"amp", "slope", "offset"},
+		}, nil
+	default:
+		return nil, fmt.Errorf("studies: unknown study %q (want tubebundle, ishigami or synthetic)", name)
+	}
+}

@@ -1,0 +1,111 @@
+package studies
+
+import (
+	"testing"
+)
+
+func TestBuildTubeBundle(t *testing.T) {
+	st, err := Build("tubebundle", 48, 16, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 48*16 || st.Timesteps != 100 || st.P() != 6 {
+		t.Fatalf("shape: cells=%d steps=%d p=%d", st.Cells, st.Timesteps, st.P())
+	}
+	if st.Nx != 48 || st.Ny != 16 {
+		t.Fatalf("grid %dx%d", st.Nx, st.Ny)
+	}
+	if len(st.ParamNames) != 6 {
+		t.Fatalf("param names %v", st.ParamNames)
+	}
+	// The simulation emits exactly Timesteps fields of Cells values.
+	design := st.Design(4, 1)
+	steps := 0
+	st.Sim.Run(design.RowA(0), func(step int, field []float64) bool {
+		if step != steps || len(field) != st.Cells {
+			t.Fatalf("emit step=%d len=%d", step, len(field))
+		}
+		steps++
+		return steps < 3 // abort early: Run must respect it
+	})
+	if steps != 3 {
+		t.Fatalf("abort ignored: %d steps", steps)
+	}
+}
+
+func TestBuildIshigami(t *testing.T) {
+	st, err := Build("ishigami", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 1 || st.Timesteps != 1 || st.P() != 3 {
+		t.Fatalf("shape: %+v", st)
+	}
+	var got []float64
+	st.Sim.Run([]float64{0.5, 1.0, -0.5}, func(step int, field []float64) bool {
+		got = append(got, field...)
+		return true
+	})
+	if len(got) != 1 {
+		t.Fatalf("emitted %d values", len(got))
+	}
+}
+
+func TestBuildSynthetic(t *testing.T) {
+	st, err := Build("synthetic", 0, 0, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 64 || st.Timesteps != 5 || st.P() != 3 {
+		t.Fatalf("shape: %+v", st)
+	}
+	count := 0
+	st.Sim.Run([]float64{1, 0.5, 0.2}, func(step int, field []float64) bool {
+		if len(field) != 64 {
+			t.Fatalf("field len %d", len(field))
+		}
+		count++
+		return true
+	})
+	if count != 5 {
+		t.Fatalf("emitted %d steps", count)
+	}
+	// Deterministic: same row, same output (restart exactness relies on it).
+	var a, b float64
+	st.Sim.Run([]float64{1, 2, 3}, func(step int, f []float64) bool { a = f[10]; return false })
+	st.Sim.Run([]float64{1, 2, 3}, func(step int, f []float64) bool { b = f[10]; return false })
+	if a != b {
+		t.Fatal("synthetic sim not deterministic")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build("bogus", 0, 0, 0, 0); err == nil {
+		t.Error("unknown study accepted")
+	}
+	if _, err := Build("synthetic", 0, 0, 0, 5); err == nil {
+		t.Error("synthetic without cells accepted")
+	}
+	if _, err := Build("tubebundle", 1, 1, 0, 0); err == nil {
+		t.Error("degenerate tubebundle grid accepted")
+	}
+}
+
+func TestDesignConsistencyAcrossProcesses(t *testing.T) {
+	// Two independently built studies (as separate client processes would)
+	// must produce identical group rows from the same flags.
+	a, _ := Build("synthetic", 0, 0, 32, 2)
+	b, _ := Build("synthetic", 0, 0, 32, 2)
+	da := a.Design(10, 77)
+	db := b.Design(10, 77)
+	for g := 0; g < 10; g++ {
+		ra, rb := da.GroupRows(g), db.GroupRows(g)
+		for s := range ra {
+			for j := range ra[s] {
+				if ra[s][j] != rb[s][j] {
+					t.Fatalf("group %d sim %d param %d differs", g, s, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Package transport provides the asynchronous, buffered messaging layer
+// standing in for ZeroMQ (Sec. 4.1.3). Its semantics mirror the properties
+// the paper relies on:
+//
+//   - messages are queued on the sender side and delivered by a background
+//     pump, so Send is normally non-blocking;
+//   - both sides hold bounded buffers; Send blocks only when *both* the
+//     send-side and receive-side buffers are full — the backpressure that
+//     suspended the simulations in the 15-node experiment (Sec. 5.3);
+//   - per-connection ordering is FIFO (TCP/ZeroMQ guarantee), while
+//     messages from different connections interleave arbitrarily;
+//   - receivers drain a single inbox regardless of how many clients are
+//     connected (PUSH/PULL fan-in).
+//
+// Two implementations share the Network interface: an in-memory network for
+// tests, benchmarks and single-process studies, and a TCP network (package
+// net) for real distributed deployments with dynamic connection.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Errors returned by senders and receivers.
+var (
+	// ErrClosed is returned when the endpoint (or its peer) is closed.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrTimeout is returned by Recv when no message arrived in time.
+	ErrTimeout = errors.New("transport: receive timeout")
+)
+
+// Message is one delivered payload.
+type Message struct {
+	// Payload is the message body. The slice is owned by the receiver.
+	Payload []byte
+}
+
+// Sender is the client end of a one-way channel (ZeroMQ PUSH-like).
+// Implementations are safe for concurrent use.
+type Sender interface {
+	// Send enqueues one payload. It copies the payload (callers may reuse
+	// the slice) and blocks only when both the local queue and the remote
+	// inbox are full. It returns ErrClosed once either end is closed.
+	Send(payload []byte) error
+	// Close flushes queued messages and releases the connection.
+	Close() error
+}
+
+// Receiver is the server end (ZeroMQ PULL-like): a single inbox fan-in for
+// any number of senders.
+type Receiver interface {
+	// Recv waits up to timeout for one message. A timeout ≤ 0 waits
+	// indefinitely. It returns ErrTimeout or ErrClosed.
+	Recv(timeout time.Duration) (Message, error)
+	// Addr returns the address peers dial to reach this receiver.
+	Addr() string
+	// Close shuts the inbox down; blocked senders are released with errors.
+	Close() error
+}
+
+// Network abstracts endpoint creation so the server, clients and launcher
+// run identically in-process and over real sockets.
+type Network interface {
+	// Listen creates a receiver. hint may be empty ("pick an address") or a
+	// concrete address, e.g. "127.0.0.1:0" for TCP.
+	Listen(hint string) (Receiver, error)
+	// Dial opens a sender towards the receiver at addr.
+	Dial(addr string) (Sender, error)
+}
+
+// Options sizes the bounded buffers ("buffer sizes can be user controlled",
+// Sec. 4.1.3).
+type Options struct {
+	// SendBuffer is the per-sender queue capacity in messages.
+	SendBuffer int
+	// RecvBuffer is the per-receiver inbox capacity in messages.
+	RecvBuffer int
+}
+
+// DefaultOptions returns the buffer sizes used when an Options field is 0.
+func DefaultOptions() Options {
+	return Options{SendBuffer: 64, RecvBuffer: 1024}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.SendBuffer <= 0 {
+		o.SendBuffer = d.SendBuffer
+	}
+	if o.RecvBuffer <= 0 {
+		o.RecvBuffer = d.RecvBuffer
+	}
+	return o
+}

@@ -1,0 +1,272 @@
+// Package wire defines the binary message protocol spoken between the
+// Melissa clients (simulation groups), the parallel server and the launcher.
+// It is the Go analogue of the message layer the paper builds on ZeroMQ
+// (Sec. 4.1.3): a handful of small control messages plus the bulk Data
+// message carrying the p+2 fields of one group for one timestep and one
+// cell range.
+//
+// Every message is a one-byte type tag followed by a type-specific payload
+// encoded with the enc codec. Decoding is strict: trailing bytes or
+// truncated payloads are errors.
+package wire
+
+import (
+	"fmt"
+
+	"melissa/internal/enc"
+	"melissa/internal/mesh"
+)
+
+// MsgType tags a wire message.
+type MsgType uint8
+
+// Message types.
+const (
+	// TypeHello announces a simulation group to the server main process.
+	TypeHello MsgType = iota + 1
+	// TypeWelcome answers a Hello with the server layout (dynamic
+	// connection handshake of Sec. 4.1.3).
+	TypeWelcome
+	// TypeData carries simulation results: one group, one timestep, one
+	// cell range, all p+2 simulations.
+	TypeData
+	// TypeHeartbeat is a liveness beacon (server process → launcher).
+	TypeHeartbeat
+	// TypeReport carries a server process's group bookkeeping to the
+	// launcher (Sec. 4.2.2) plus convergence information (Sec. 4.1.5).
+	TypeReport
+	// TypeStop asks a server process to checkpoint (if configured) and exit.
+	TypeStop
+)
+
+// Hello announces a new simulation group. ReplyAddr is an address the
+// server dials back to deliver the Welcome.
+type Hello struct {
+	GroupID   int
+	SimRanks  int // parallel ranks per simulation (N of the N×M pattern)
+	ReplyAddr string
+}
+
+// Welcome describes the server layout to a freshly connected group: the
+// address and cell partition of every server process, plus the study shape
+// the client must conform to.
+type Welcome struct {
+	Timesteps  int
+	Cells      int
+	P          int
+	ServerAddr []string
+	Partitions []mesh.Partition
+}
+
+// Data is the bulk payload: the fields of all p+2 simulations of one group
+// restricted to [CellLo, CellHi), at one timestep. Fields[0] is f(A_i),
+// Fields[1] is f(B_i), Fields[2+k] is f(C^k_i).
+type Data struct {
+	GroupID  int
+	Timestep int
+	CellLo   int
+	CellHi   int
+	Fields   [][]float64
+}
+
+// Heartbeat is a liveness beacon.
+type Heartbeat struct {
+	// Sender identifies the beating process, e.g. "server-3".
+	Sender string
+	// TimeMillis is the sender's clock (for launcher-side staleness checks).
+	TimeMillis int64
+}
+
+// Report is the periodic server→launcher status message: which groups this
+// server process believes are running or finished, and how converged the
+// statistics are.
+type Report struct {
+	ProcRank int
+	// Running and Finished are group ids as tracked by core.GroupTracker.
+	Running  []int
+	Finished []int
+	// TimedOut lists running groups whose inter-message gap exceeded the
+	// server's group timeout (Sec. 4.2.2, unfinished-group detection); the
+	// launcher kills and restarts them.
+	TimedOut []int
+	// MaxCIWidth is the widest 95% confidence interval across all indices
+	// (+Inf encoded as math.Inf). Used for convergence control.
+	MaxCIWidth float64
+	// Messages is the total number of data messages folded so far.
+	Messages int64
+}
+
+// Stop asks a server process to shut down cleanly.
+type Stop struct {
+	// Checkpoint requests a final checkpoint before exiting.
+	Checkpoint bool
+}
+
+// Encode serializes any supported message with its type tag.
+func Encode(msg any) []byte {
+	w := enc.NewWriter(64)
+	switch m := msg.(type) {
+	case *Hello:
+		w.U8(uint8(TypeHello))
+		w.Int(m.GroupID)
+		w.Int(m.SimRanks)
+		w.String(m.ReplyAddr)
+	case *Welcome:
+		w.U8(uint8(TypeWelcome))
+		w.Int(m.Timesteps)
+		w.Int(m.Cells)
+		w.Int(m.P)
+		w.U32(uint32(len(m.ServerAddr)))
+		for _, a := range m.ServerAddr {
+			w.String(a)
+		}
+		w.U32(uint32(len(m.Partitions)))
+		for _, p := range m.Partitions {
+			w.Int(p.Lo)
+			w.Int(p.Hi)
+		}
+	case *Data:
+		w = enc.NewWriter(32 + 8*len(m.Fields)*(m.CellHi-m.CellLo))
+		w.U8(uint8(TypeData))
+		w.Int(m.GroupID)
+		w.Int(m.Timestep)
+		w.Int(m.CellLo)
+		w.Int(m.CellHi)
+		w.U32(uint32(len(m.Fields)))
+		for _, f := range m.Fields {
+			w.F64Slice(f)
+		}
+	case *Heartbeat:
+		w.U8(uint8(TypeHeartbeat))
+		w.String(m.Sender)
+		w.I64(m.TimeMillis)
+	case *Report:
+		w.U8(uint8(TypeReport))
+		w.Int(m.ProcRank)
+		w.U32(uint32(len(m.Running)))
+		for _, g := range m.Running {
+			w.Int(g)
+		}
+		w.U32(uint32(len(m.Finished)))
+		for _, g := range m.Finished {
+			w.Int(g)
+		}
+		w.U32(uint32(len(m.TimedOut)))
+		for _, g := range m.TimedOut {
+			w.Int(g)
+		}
+		w.F64(m.MaxCIWidth)
+		w.I64(m.Messages)
+	case *Stop:
+		w.U8(uint8(TypeStop))
+		w.Bool(m.Checkpoint)
+	default:
+		panic(fmt.Sprintf("wire: cannot encode %T", msg))
+	}
+	return w.Bytes()
+}
+
+// Decode parses a wire payload into one of the message structs.
+func Decode(payload []byte) (any, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("wire: empty message")
+	}
+	r := enc.NewReader(payload)
+	typ := MsgType(r.U8())
+	var msg any
+	switch typ {
+	case TypeHello:
+		m := &Hello{}
+		m.GroupID = r.Int()
+		m.SimRanks = r.Int()
+		m.ReplyAddr = r.String()
+		msg = m
+	case TypeWelcome:
+		m := &Welcome{}
+		m.Timesteps = r.Int()
+		m.Cells = r.Int()
+		m.P = r.Int()
+		na := int(r.U32())
+		if r.Err() == nil && na >= 0 && na < 1<<20 {
+			m.ServerAddr = make([]string, na)
+			for i := range m.ServerAddr {
+				m.ServerAddr[i] = r.String()
+			}
+		}
+		np := int(r.U32())
+		if r.Err() == nil && np >= 0 && np < 1<<20 {
+			m.Partitions = make([]mesh.Partition, np)
+			for i := range m.Partitions {
+				m.Partitions[i].Lo = r.Int()
+				m.Partitions[i].Hi = r.Int()
+			}
+		}
+		msg = m
+	case TypeData:
+		m := &Data{}
+		m.GroupID = r.Int()
+		m.Timestep = r.Int()
+		m.CellLo = r.Int()
+		m.CellHi = r.Int()
+		nf := int(r.U32())
+		if r.Err() == nil && nf >= 0 && nf < 1<<16 {
+			m.Fields = make([][]float64, nf)
+			for i := range m.Fields {
+				m.Fields[i] = r.F64Slice()
+			}
+		}
+		msg = m
+	case TypeHeartbeat:
+		m := &Heartbeat{}
+		m.Sender = r.String()
+		m.TimeMillis = r.I64()
+		msg = m
+	case TypeReport:
+		m := &Report{}
+		m.ProcRank = r.Int()
+		nr := int(r.U32())
+		if r.Err() == nil && nr > 0 && nr < 1<<24 {
+			m.Running = make([]int, nr)
+			for i := range m.Running {
+				m.Running[i] = r.Int()
+			}
+		}
+		nf := int(r.U32())
+		if r.Err() == nil && nf > 0 && nf < 1<<24 {
+			m.Finished = make([]int, nf)
+			for i := range m.Finished {
+				m.Finished[i] = r.Int()
+			}
+		}
+		nt := int(r.U32())
+		if r.Err() == nil && nt > 0 && nt < 1<<24 {
+			m.TimedOut = make([]int, nt)
+			for i := range m.TimedOut {
+				m.TimedOut[i] = r.Int()
+			}
+		}
+		m.MaxCIWidth = r.F64()
+		m.Messages = r.I64()
+		msg = m
+	case TypeStop:
+		m := &Stop{}
+		m.Checkpoint = r.Bool()
+		msg = m
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", typ)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %d: %w", typ, err)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after message type %d", r.Remaining(), typ)
+	}
+	return msg, nil
+}
+
+// DataSizeBytes returns the encoded size of a Data message carrying `fields`
+// fields of `cells` cells — the quantity the performance model uses for
+// bandwidth accounting.
+func DataSizeBytes(fields, cells int) int64 {
+	return 1 + 4*8 + 4 + int64(fields)*(8+8*int64(cells))
+}

@@ -1,0 +1,46 @@
+package wire
+
+import "testing"
+
+// The Data message dominates traffic: 8 fields per cell range per timestep.
+
+func benchData(cells int) *Data {
+	fields := make([][]float64, 8)
+	for i := range fields {
+		f := make([]float64, cells)
+		for c := range f {
+			f[c] = float64(i*cells + c)
+		}
+		fields[i] = f
+	}
+	return &Data{GroupID: 1, Timestep: 50, CellLo: 0, CellHi: cells, Fields: fields}
+}
+
+func BenchmarkDataEncode10kCells(b *testing.B) {
+	d := benchData(10000)
+	b.SetBytes(DataSizeBytes(8, 10000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(d)
+	}
+}
+
+func BenchmarkDataDecode10kCells(b *testing.B) {
+	payload := Encode(benchData(10000))
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHelloRoundTrip(b *testing.B) {
+	h := &Hello{GroupID: 42, SimRanks: 64, ReplyAddr: "127.0.0.1:55555"}
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(Encode(h)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"melissa/internal/mesh"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	payload := Encode(msg)
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := &Hello{GroupID: 42, SimRanks: 4, ReplyAddr: "mem://17"}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	in := &Welcome{
+		Timesteps:  100,
+		Cells:      9603840,
+		P:          6,
+		ServerAddr: []string{"a:1", "b:2", "c:3"},
+		Partitions: []mesh.Partition{{Lo: 0, Hi: 3201280}, {Lo: 3201280, Hi: 6402560}, {Lo: 6402560, Hi: 9603840}},
+	}
+	got := roundTrip(t, in)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	in := &Data{
+		GroupID:  7,
+		Timestep: 80,
+		CellLo:   100,
+		CellHi:   104,
+		Fields: [][]float64{
+			{1, 2, 3, 4},
+			{5, 6, 7, 8},
+			{9, 10, 11, 12},
+		},
+	}
+	got := roundTrip(t, in).(*Data)
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestDataSizeMatchesEncoding(t *testing.T) {
+	for _, tc := range []struct{ fields, cells int }{
+		{8, 1}, {8, 1000}, {3, 17}, {2, 0},
+	} {
+		fields := make([][]float64, tc.fields)
+		for i := range fields {
+			fields[i] = make([]float64, tc.cells)
+		}
+		d := &Data{CellLo: 0, CellHi: tc.cells, Fields: fields}
+		if got, want := int64(len(Encode(d))), DataSizeBytes(tc.fields, tc.cells); got != want {
+			t.Errorf("fields=%d cells=%d: encoded %d bytes, model says %d", tc.fields, tc.cells, got, want)
+		}
+	}
+}
+
+func TestHeartbeatReportStopRoundTrip(t *testing.T) {
+	hb := &Heartbeat{Sender: "server-3", TimeMillis: 123456789}
+	if got := roundTrip(t, hb); !reflect.DeepEqual(got, hb) {
+		t.Fatalf("heartbeat: %+v", got)
+	}
+	rep := &Report{
+		ProcRank:   2,
+		Running:    []int{1, 5, 9},
+		Finished:   []int{0, 2},
+		TimedOut:   []int{5},
+		MaxCIWidth: 0.125,
+		Messages:   4242,
+	}
+	if got := roundTrip(t, rep); !reflect.DeepEqual(got, rep) {
+		t.Fatalf("report: %+v", got)
+	}
+	// Empty lists survive (decoded as nil or empty — compare fields).
+	rep2 := &Report{ProcRank: 0, MaxCIWidth: math.Inf(1)}
+	got := roundTrip(t, rep2).(*Report)
+	if got.ProcRank != 0 || got.Running != nil || got.Finished != nil || got.TimedOut != nil || !math.IsInf(got.MaxCIWidth, 1) {
+		t.Fatalf("empty report: %+v", got)
+	}
+	stop := &Stop{Checkpoint: true}
+	if got := roundTrip(t, stop); !reflect.DeepEqual(got, stop) {
+		t.Fatalf("stop: %+v", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := Decode([]byte{99}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	good := Encode(&Hello{GroupID: 1, SimRanks: 2, ReplyAddr: "x"})
+	if _, err := Decode(good[:len(good)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Decode(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEncodeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Encode(struct{}{})
+}

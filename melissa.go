@@ -1,0 +1,235 @@
+// Package melissa is a Go implementation of Melissa, the large-scale
+// in-transit sensitivity-analysis framework of Terraz et al. (SC'17):
+// "Melissa: Large Scale In Transit Sensitivity Analysis Avoiding
+// Intermediate Files".
+//
+// Melissa computes ubiquitous Sobol' indices — first-order and total
+// variance-based sensitivity indices for every mesh cell and every timestep
+// of a multi-run simulation study — without storing any simulation output.
+// Groups of p+2 pick-freeze simulations stream their per-timestep fields to
+// a parallel server that folds them into one-pass (iterative) statistics
+// and discards the data. The architecture is fault tolerant (heartbeats,
+// discard-on-replay, checkpoint/restart) and elastic (groups are
+// independent batch jobs that connect dynamically).
+//
+// Two entry points cover most uses:
+//
+//   - EstimateSobol runs the iterative Martinez estimator on a scalar
+//     function in-process — the algorithmic core with no distribution.
+//   - RunStudy executes a full field study through the complete framework:
+//     launcher, batch scheduler, parallel server, simulation groups and
+//     two-stage data transfers, all inside one process.
+//
+// The cmd/ binaries run the same components across real TCP sockets.
+package melissa
+
+import (
+	"fmt"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/core"
+	"melissa/internal/launcher"
+	"melissa/internal/sampling"
+	"melissa/internal/scheduler"
+	"melissa/internal/server"
+	"melissa/internal/sobol"
+	"melissa/internal/transport"
+)
+
+// Distribution describes the probability law of one uncertain input
+// parameter (Sec. 2 of the paper: global sensitivity analysis treats inputs
+// as random variables).
+type Distribution = sampling.Distribution
+
+// Re-exported parameter laws.
+type (
+	// Uniform is the uniform law on [Low, High].
+	Uniform = sampling.Uniform
+	// Normal is the Gaussian law.
+	Normal = sampling.Normal
+	// LogUniform is log-uniform on [Low, High].
+	LogUniform = sampling.LogUniform
+	// TruncatedNormal is a Gaussian clipped to [Low, High].
+	TruncatedNormal = sampling.TruncatedNormal
+)
+
+// Interval is a confidence interval (Eq. 8-9 of the paper).
+type Interval = sobol.Interval
+
+// Simulation is the solver abstraction: Run integrates one parameter set
+// and emits one field per output timestep, in order. Emit returns false
+// when the run must abort (e.g. the group was killed).
+type Simulation = client.Simulation
+
+// SimFunc adapts a plain function to Simulation.
+type SimFunc = client.SimFunc
+
+// StudyConfig describes a full ubiquitous sensitivity study.
+type StudyConfig struct {
+	// Parameters are the p uncertain inputs.
+	Parameters []Distribution
+	// Groups is n, the number of pick-freeze rows; the study runs
+	// n × (p+2) simulations (Sec. 3.2).
+	Groups int
+	// Seed makes the parameter sample reproducible.
+	Seed uint64
+	// Cells and Timesteps define one simulation's output shape.
+	Cells, Timesteps int
+	// Simulation is the solver run by every group member.
+	Simulation Simulation
+
+	// ServerProcs is the number of parallel server processes (default 1);
+	// SimRanks the parallel width of one simulation (default 1).
+	ServerProcs, SimRanks int
+
+	// MinMax, Threshold and HigherMoments enable the optional iterative
+	// statistics computed on the A and B samples (Sec. 4.1).
+	MinMax        bool
+	Threshold     *float64
+	HigherMoments bool
+
+	// ClusterNodes bounds the virtual cluster (0 = effectively unbounded);
+	// GroupNodes/ServerNodes are the per-job footprints (default 1).
+	ClusterNodes, GroupNodes, ServerNodes int
+
+	// MaxRetries is the per-group restart budget (default 3).
+	MaxRetries int
+	// GroupTimeout enables server-side straggler detection.
+	GroupTimeout time.Duration
+	// CheckpointDir/CheckpointInterval enable server checkpoints.
+	CheckpointDir      string
+	CheckpointInterval time.Duration
+	// ConvergenceTarget, when positive, stops the study once every Sobol'
+	// index is bracketed by a 95% confidence interval narrower than this
+	// (the loopback control of Sec. 3.4/4.1.5).
+	ConvergenceTarget float64
+}
+
+// StudyStats summarizes the execution of a study.
+type StudyStats struct {
+	WallClock        time.Duration
+	GroupsFinished   int
+	GroupsGivenUp    int
+	Restarts         int
+	TimeoutKills     int
+	ServerRestarts   int
+	Converged        bool
+	PeakNodes        int
+	MessagesFolded   int64
+	ServerMemory     int64
+	DataAvoidedBytes int64
+}
+
+// FieldResult exposes the assembled ubiquitous statistics of a study.
+type FieldResult struct {
+	res *server.Result
+	p   int
+}
+
+// P returns the number of input parameters.
+func (r *FieldResult) P() int { return r.p }
+
+// Cells returns the mesh size.
+func (r *FieldResult) Cells() int { return r.res.Cells }
+
+// Timesteps returns the number of output steps.
+func (r *FieldResult) Timesteps() int { return r.res.Timesteps }
+
+// GroupsFolded returns how many groups contributed to timestep t.
+func (r *FieldResult) GroupsFolded(t int) int64 { return r.res.GroupsFolded(t) }
+
+// First returns the per-cell first-order Sobol' index field S_k(·, t).
+func (r *FieldResult) First(t, k int) []float64 { return r.res.FirstField(t, k) }
+
+// Total returns the per-cell total-order Sobol' index field ST_k(·, t).
+func (r *FieldResult) Total(t, k int) []float64 { return r.res.TotalField(t, k) }
+
+// Mean returns the per-cell output mean at timestep t.
+func (r *FieldResult) Mean(t int) []float64 { return r.res.MeanField(t) }
+
+// Variance returns the per-cell output variance at timestep t (the Fig. 8
+// co-visualization map).
+func (r *FieldResult) Variance(t int) []float64 { return r.res.VarianceField(t) }
+
+// Interaction returns the per-cell 1 − ΣS_k field at timestep t, the
+// interaction-share diagnostic of Sec. 5.5.
+func (r *FieldResult) Interaction(t int) []float64 { return r.res.InteractionField(t) }
+
+// MaxCIWidth returns the widest 95% confidence interval over all indices.
+func (r *FieldResult) MaxCIWidth() float64 { return r.res.MaxCIWidth(0.95) }
+
+// RunStudy executes a complete study in-process: it builds the pick-freeze
+// design, starts the parallel server and the launcher, runs every
+// simulation group through the two-stage transfer path, and returns the
+// assembled ubiquitous Sobol' fields.
+func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
+	var stats StudyStats
+	if len(cfg.Parameters) == 0 {
+		return nil, stats, fmt.Errorf("melissa: no parameters")
+	}
+	if cfg.Groups < 1 {
+		return nil, stats, fmt.Errorf("melissa: need at least one group")
+	}
+	if cfg.Simulation == nil {
+		return nil, stats, fmt.Errorf("melissa: nil simulation")
+	}
+	if cfg.Cells < 1 || cfg.Timesteps < 1 {
+		return nil, stats, fmt.Errorf("melissa: invalid output shape %dx%d", cfg.Cells, cfg.Timesteps)
+	}
+	design := sampling.NewDesign(cfg.Parameters, cfg.Groups, cfg.Seed)
+	// More server processes than cells would leave processes with empty
+	// partitions; clamp (the paper partitions the mesh evenly, Sec. 4.1.1).
+	if cfg.ServerProcs > cfg.Cells {
+		cfg.ServerProcs = cfg.Cells
+	}
+
+	var cluster *scheduler.Cluster
+	if cfg.ClusterNodes > 0 {
+		cluster = scheduler.New(cfg.ClusterNodes)
+	}
+	lcfg := launcher.Config{
+		Design:             design,
+		Sim:                cfg.Simulation,
+		Cells:              cfg.Cells,
+		Timesteps:          cfg.Timesteps,
+		SimRanks:           cfg.SimRanks,
+		Stats:              core.Options{MinMax: cfg.MinMax, Threshold: cfg.Threshold, HigherMoments: cfg.HigherMoments},
+		Network:            transport.NewMemNetwork(transport.Options{}),
+		Cluster:            cluster,
+		ServerProcs:        cfg.ServerProcs,
+		ServerNodes:        cfg.ServerNodes,
+		GroupNodes:         cfg.GroupNodes,
+		MaxRetries:         cfg.MaxRetries,
+		GroupTimeout:       cfg.GroupTimeout,
+		CheckpointDir:      cfg.CheckpointDir,
+		CheckpointInterval: cfg.CheckpointInterval,
+		ConvergenceTarget:  cfg.ConvergenceTarget,
+	}
+	l, err := launcher.New(lcfg)
+	if err != nil {
+		return nil, stats, err
+	}
+	res, lstats, err := l.Run()
+	if err != nil {
+		return nil, stats, err
+	}
+	stats = StudyStats{
+		WallClock:        lstats.WallClock,
+		GroupsFinished:   lstats.GroupsFinished,
+		GroupsGivenUp:    lstats.GroupsGivenUp,
+		Restarts:         lstats.Restarts,
+		TimeoutKills:     lstats.TimeoutKills,
+		ServerRestarts:   lstats.ServerRestarts,
+		Converged:        lstats.Converged,
+		PeakNodes:        lstats.PeakNodes,
+		MessagesFolded:   res.Messages(),
+		ServerMemory:     res.MemoryBytes(),
+		DataAvoidedBytes: int64(res.Messages()) * 0, // refined below
+	}
+	// Data volume the study avoided writing: every simulation's every
+	// timestep at 8 bytes per cell.
+	stats.DataAvoidedBytes = int64(stats.GroupsFinished) * int64(len(cfg.Parameters)+2) *
+		int64(cfg.Timesteps) * int64(cfg.Cells) * 8
+	return &FieldResult{res: res, p: design.P()}, stats, nil
+}

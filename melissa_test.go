@@ -1,0 +1,252 @@
+package melissa
+
+import (
+	"math"
+	"testing"
+
+	"melissa/internal/sobol"
+)
+
+func ishigami(x []float64) float64 {
+	return math.Sin(x[0]) + 7*math.Sin(x[1])*math.Sin(x[1]) +
+		0.1*math.Pow(x[2], 4)*math.Sin(x[0])
+}
+
+func ishigamiParams() []Distribution {
+	return []Distribution{
+		Uniform{Low: -math.Pi, High: math.Pi},
+		Uniform{Low: -math.Pi, High: math.Pi},
+		Uniform{Low: -math.Pi, High: math.Pi},
+	}
+}
+
+func TestEstimateSobolIshigami(t *testing.T) {
+	res, err := EstimateSobol(ishigami, ishigamiParams(), 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := sobol.Ishigami()
+	for k := 0; k < 3; k++ {
+		if d := math.Abs(res.First[k] - exact.ExactFirst[k]); d > 0.03 {
+			t.Errorf("S%d = %v, want %v", k+1, res.First[k], exact.ExactFirst[k])
+		}
+		if d := math.Abs(res.Total[k] - exact.ExactTotal[k]); d > 0.03 {
+			t.Errorf("ST%d = %v, want %v", k+1, res.Total[k], exact.ExactTotal[k])
+		}
+		if !res.FirstCI[k].Contains(res.First[k]) {
+			t.Errorf("CI %v does not contain estimate %v", res.FirstCI[k], res.First[k])
+		}
+	}
+	if res.Groups != 20000 {
+		t.Errorf("groups = %d", res.Groups)
+	}
+}
+
+func TestEstimateSobolValidation(t *testing.T) {
+	if _, err := EstimateSobol(nil, ishigamiParams(), 10, 1); err == nil {
+		t.Error("nil function accepted")
+	}
+	if _, err := EstimateSobol(ishigami, nil, 10, 1); err == nil {
+		t.Error("no parameters accepted")
+	}
+	if _, err := EstimateSobol(ishigami, ishigamiParams(), 1, 1); err == nil {
+		t.Error("single group accepted")
+	}
+	if _, err := EstimateSobolOpt(ishigami, ishigamiParams(), 10, 1,
+		ScalarOptions{Estimator: "bogus"}); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+func TestEstimateSobolAlternativeEstimators(t *testing.T) {
+	for _, name := range []string{"jansen", "saltelli"} {
+		res, err := EstimateSobolOpt(ishigami, ishigamiParams(), 8000, 3,
+			ScalarOptions{Estimator: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := sobol.Ishigami()
+		for k := 0; k < 3; k++ {
+			if d := math.Abs(res.First[k] - exact.ExactFirst[k]); d > 0.05 {
+				t.Errorf("%s: S%d = %v, want %v", name, k+1, res.First[k], exact.ExactFirst[k])
+			}
+		}
+		if res.FirstCI != nil {
+			t.Errorf("%s should not claim confidence intervals", name)
+		}
+	}
+}
+
+// RunStudy on a scalar function (1 cell, 1 timestep) must agree with the
+// in-process estimator: the whole distributed pipeline is exact.
+func TestRunStudyScalarMatchesEstimate(t *testing.T) {
+	const groups = 300
+	cfg := StudyConfig{
+		Parameters: ishigamiParams(),
+		Groups:     groups,
+		Seed:       11,
+		Cells:      1,
+		Timesteps:  1,
+		Simulation: SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			emit(0, []float64{ishigami(row)})
+		}),
+		ServerProcs: 1,
+	}
+	res, stats, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GroupsFinished != groups {
+		t.Fatalf("finished %d", stats.GroupsFinished)
+	}
+	direct, err := EstimateSobol(ishigami, ishigamiParams(), groups, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if d := math.Abs(res.First(0, k)[0] - direct.First[k]); d > 1e-9 {
+			t.Errorf("S%d: distributed %v vs direct %v", k+1, res.First(0, k)[0], direct.First[k])
+		}
+		if d := math.Abs(res.Total(0, k)[0] - direct.Total[k]); d > 1e-9 {
+			t.Errorf("ST%d: distributed %v vs direct %v", k+1, res.Total(0, k)[0], direct.Total[k])
+		}
+	}
+	if stats.DataAvoidedBytes != int64(groups)*5*8 {
+		t.Errorf("data avoided %d bytes", stats.DataAvoidedBytes)
+	}
+}
+
+func TestRunStudyValidation(t *testing.T) {
+	good := StudyConfig{
+		Parameters: ishigamiParams(), Groups: 2, Cells: 1, Timesteps: 1,
+		Simulation: SimFunc(func([]float64, func(int, []float64) bool) {}),
+	}
+	for _, mutate := range []func(*StudyConfig){
+		func(c *StudyConfig) { c.Parameters = nil },
+		func(c *StudyConfig) { c.Groups = 0 },
+		func(c *StudyConfig) { c.Simulation = nil },
+		func(c *StudyConfig) { c.Cells = 0 },
+		func(c *StudyConfig) { c.Timesteps = 0 },
+	} {
+		cfg := good
+		mutate(&cfg)
+		if _, _, err := RunStudy(cfg); err == nil {
+			t.Error("invalid config accepted")
+		}
+	}
+}
+
+func TestRunStudyMultiProcMultiRank(t *testing.T) {
+	// Field study across 3 server processes and 4-rank simulations with a
+	// spatially varying model: the field indices must vary across cells.
+	const cells, timesteps, groups = 30, 2, 200
+	cfg := StudyConfig{
+		Parameters: []Distribution{Normal{Mean: 0, Std: 1}, Normal{Mean: 0, Std: 1}},
+		Groups:     groups,
+		Seed:       5,
+		Cells:      cells,
+		Timesteps:  timesteps,
+		Simulation: SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			f := make([]float64, cells)
+			for s := 0; s < timesteps; s++ {
+				for c := range f {
+					w := float64(c) / float64(cells-1) // x1-weight grows with c
+					f[c] = w*row[0] + (1-w)*row[1]
+				}
+				if !emit(s, f) {
+					return
+				}
+			}
+		}),
+		ServerProcs: 3,
+		SimRanks:    4,
+		MinMax:      true,
+	}
+	res, stats, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GroupsFinished != groups {
+		t.Fatalf("finished %d", stats.GroupsFinished)
+	}
+	s0 := res.First(0, 0)
+	// Cell 0 is pure x2, the last cell pure x1 (Martinez correlation noise
+	// at n=200 is ~0.07, so allow a few sigmas around the exact 0 and 1).
+	if s0[0] > 0.3 || s0[cells-1] < 0.8 {
+		t.Fatalf("ubiquitous S1 gradient wrong: S1(0)=%v S1(last)=%v", s0[0], s0[cells-1])
+	}
+	if s0[cells-1] <= s0[0] {
+		t.Fatalf("S1 not increasing across cells: %v .. %v", s0[0], s0[cells-1])
+	}
+	inter := res.Interaction(0)
+	for c := 1; c < cells-1; c++ {
+		if math.Abs(inter[c]) > 0.2 {
+			t.Fatalf("additive model shows interaction %v at cell %d", inter[c], c)
+		}
+	}
+	if res.MaxCIWidth() <= 0 || math.IsInf(res.MaxCIWidth(), 1) {
+		t.Fatalf("CI width %v", res.MaxCIWidth())
+	}
+	if stats.ServerMemory <= 0 || stats.MessagesFolded <= 0 {
+		t.Fatalf("accounting empty: %+v", stats)
+	}
+}
+
+func TestRunStudyConvergenceStop(t *testing.T) {
+	cfg := StudyConfig{
+		Parameters: ishigamiParams(),
+		Groups:     5000,
+		Seed:       13,
+		Cells:      1,
+		Timesteps:  1,
+		Simulation: SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			emit(0, []float64{ishigami(row)})
+		}),
+		ConvergenceTarget: 0.8,
+	}
+	res, stats, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("study did not converge early")
+	}
+	if n := res.GroupsFolded(0); n >= 5000 || n < 4 {
+		t.Fatalf("folded %d groups", n)
+	}
+}
+
+func TestTubeBundleStudyConstruction(t *testing.T) {
+	study, grid, err := TubeBundleStudy(48, 16, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Cells != 48*16 || study.Timesteps != 100 || len(study.Parameters) != 6 {
+		t.Fatalf("study shape: %+v", study)
+	}
+	if grid.Nx != 48 || grid.Ny != 16 {
+		t.Fatalf("grid %+v", grid)
+	}
+	solid := 0
+	for i := 0; i < study.Cells; i++ {
+		if grid.Solid(i) {
+			solid++
+		}
+	}
+	if solid == 0 {
+		t.Fatal("no tubes on the grid")
+	}
+	names := TubeBundleParamNames()
+	if len(names) != 6 || names[0] != "conc-upper" {
+		t.Fatalf("names %v", names)
+	}
+	if k, err := TubeBundleParamIndex("dur-lower"); err != nil || k != 5 {
+		t.Fatalf("index: %d %v", k, err)
+	}
+	if _, err := TubeBundleParamIndex("bogus"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, _, err := TubeBundleStudy(2, 2, 1, 1); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package melissa
+
+import (
+	"fmt"
+
+	"melissa/internal/sampling"
+	"melissa/internal/sobol"
+)
+
+// ScalarResult holds iterative Sobol' estimates for a scalar-output model
+// (the classical setting of Fig. 1), with the asymptotic confidence
+// intervals of Eq. 8-9.
+type ScalarResult struct {
+	// First and Total are the index estimates per parameter.
+	First, Total []float64
+	// FirstCI and TotalCI are the 95% confidence intervals per parameter.
+	FirstCI, TotalCI []Interval
+	// Groups is the number of pick-freeze rows consumed.
+	Groups int64
+}
+
+// ScalarOptions tunes EstimateSobol.
+type ScalarOptions struct {
+	// Estimator selects "martinez" (default), "jansen" or "saltelli".
+	Estimator string
+	// Level is the confidence level (default 0.95). Only Martinez provides
+	// intervals; other estimators leave the CI slices nil.
+	Level float64
+}
+
+// EstimateSobol computes first-order and total Sobol' indices of f by the
+// iterative pick-freeze scheme: it draws n rows of the A and B matrices from
+// the given parameter laws, evaluates the p+2 pick-freeze points per row,
+// and folds each row into the one-pass estimator — O(p) memory regardless
+// of n, the Sec. 3 algorithm without the distributed machinery.
+func EstimateSobol(f func(x []float64) float64, params []Distribution, groups int, seed uint64) (*ScalarResult, error) {
+	return EstimateSobolOpt(f, params, groups, seed, ScalarOptions{})
+}
+
+// EstimateSobolOpt is EstimateSobol with explicit options.
+func EstimateSobolOpt(f func(x []float64) float64, params []Distribution, groups int, seed uint64, opts ScalarOptions) (*ScalarResult, error) {
+	if f == nil {
+		return nil, fmt.Errorf("melissa: nil function")
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("melissa: no parameters")
+	}
+	if groups < 2 {
+		return nil, fmt.Errorf("melissa: need at least two groups, got %d", groups)
+	}
+	name := opts.Estimator
+	if name == "" {
+		name = "martinez"
+	}
+	level := opts.Level
+	if level == 0 {
+		level = 0.95
+	}
+	p := len(params)
+	est, err := sobol.NewEstimator(name, p)
+	if err != nil {
+		return nil, err
+	}
+	design := sampling.NewDesign(params, groups, seed)
+	yC := make([]float64, p)
+	for i := 0; i < groups; i++ {
+		yA := f(design.RowA(i))
+		yB := f(design.RowB(i))
+		for k := 0; k < p; k++ {
+			yC[k] = f(design.RowC(i, k))
+		}
+		est.Update(yA, yB, yC)
+	}
+	out := &ScalarResult{
+		First:  make([]float64, p),
+		Total:  make([]float64, p),
+		Groups: est.N(),
+	}
+	for k := 0; k < p; k++ {
+		out.First[k] = est.First(k)
+		out.Total[k] = est.Total(k)
+	}
+	if m, ok := est.(*sobol.Martinez); ok {
+		out.FirstCI = make([]Interval, p)
+		out.TotalCI = make([]Interval, p)
+		for k := 0; k < p; k++ {
+			out.FirstCI[k] = m.FirstCI(k, level)
+			out.TotalCI[k] = m.TotalCI(k, level)
+		}
+	}
+	return out, nil
+}
