@@ -301,8 +301,26 @@ func BenchmarkAblationTwoPhase(b *testing.B) {
 
 // BenchmarkEndToEndStudyThroughput measures the full framework's group
 // throughput on a synthetic field study (messages through the real
-// client/server path, in-memory transport).
+// client/server path, in-memory transport). Variants sweep the server fold
+// worker-pool width and the client wire batching; "fold1-batch1" is the
+// pre-pipeline baseline.
 func BenchmarkEndToEndStudyThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		foldWorkers int
+		batchSteps  int
+	}{
+		{"fold1-batch1", 1, 1},
+		{"fold4-batch1", 4, 1},
+		{"fold4-batch4", 4, 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchEndToEndStudy(b, bc.foldWorkers, bc.batchSteps)
+		})
+	}
+}
+
+func benchEndToEndStudy(b *testing.B, foldWorkers, batchSteps int) {
 	const cells, timesteps, groups = 512, 4, 32
 	for i := 0; i < b.N; i++ {
 		cfg := StudyConfig{
@@ -324,6 +342,8 @@ func BenchmarkEndToEndStudyThroughput(b *testing.B) {
 			}),
 			ServerProcs: 2,
 			SimRanks:    2,
+			FoldWorkers: foldWorkers,
+			BatchSteps:  batchSteps,
 		}
 		if _, _, err := RunStudy(cfg); err != nil {
 			b.Fatal(err)

@@ -35,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "design master seed")
 	group := flag.Int("group", 0, "this group's row index i")
 	simRanks := flag.Int("sim-ranks", 1, "parallel ranks per simulation")
+	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "handshake timeout")
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		Rows:           design.GroupRows(*group),
 		Sim:            st.Sim,
 		ConnectTimeout: *connectTimeout,
+		BatchSteps:     *batchSteps,
 	})
 	if err != nil {
 		log.Fatalf("melissa-client: group %d failed: %v", *group, err)

@@ -34,6 +34,8 @@ func main() {
 	groups := flag.Int("groups", 64, "simulation groups (n)")
 	seed := flag.Uint64("seed", 2017, "design master seed")
 	serverProcs := flag.Int("server-procs", 2, "parallel server processes")
+	foldWorkers := flag.Int("fold-workers", 0, "fold workers per server process (0 = GOMAXPROCS-aware)")
+	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	simRanks := flag.Int("sim-ranks", 2, "parallel ranks per simulation")
 	clusterNodes := flag.Int("cluster-nodes", 0, "virtual cluster size (0 = unbounded)")
 	groupNodes := flag.Int("group-nodes", 1, "nodes per group job")
@@ -62,6 +64,8 @@ func main() {
 		Network:           transport.NewTCPNetwork(transport.Options{}),
 		Cluster:           cluster,
 		ServerProcs:       *serverProcs,
+		FoldWorkers:       *foldWorkers,
+		BatchSteps:        *batchSteps,
 		GroupNodes:        *groupNodes,
 		GroupTimeout:      *groupTimeout,
 		ConvergenceTarget: *convergence,

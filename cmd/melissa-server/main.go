@@ -27,6 +27,7 @@ import (
 
 func main() {
 	procs := flag.Int("procs", 2, "server processes (M)")
+	foldWorkers := flag.Int("fold-workers", 0, "fold workers per process (0 = GOMAXPROCS-aware)")
 	cells := flag.Int("cells", 1024, "mesh cells per field")
 	timesteps := flag.Int("timesteps", 10, "output timesteps per simulation")
 	p := flag.Int("p", 3, "number of uncertain parameters")
@@ -41,6 +42,7 @@ func main() {
 
 	cfg := server.Config{
 		Procs:        *procs,
+		FoldWorkers:  *foldWorkers,
 		Cells:        *cells,
 		Timesteps:    *timesteps,
 		P:            *p,

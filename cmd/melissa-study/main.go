@@ -42,6 +42,8 @@ func main() {
 	nx := flag.Int("nx", 96, "tube-bundle grid x")
 	ny := flag.Int("ny", 32, "tube-bundle grid y")
 	groups := flag.Int("groups", 128, "tube-bundle groups")
+	foldWorkers := flag.Int("fold-workers", 0, "fold workers per server process (0 = GOMAXPROCS-aware)")
+	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	flag.Parse()
 
 	if *fig6 {
@@ -51,7 +53,7 @@ func main() {
 		runSec54(*out)
 	}
 	if *fig7 {
-		runFig7(*out, *nx, *ny, *groups)
+		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps)
 	}
 	if *conv {
 		runConvergence(*out)
@@ -185,7 +187,7 @@ func runSec54(out string) {
 	_ = out
 }
 
-func runFig7(out string, nx, ny, groups int) {
+func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int) {
 	fmt.Println("================ Fig. 7/8: tube-bundle Sobol' maps (live) ================")
 	study, grid, err := melissa.TubeBundleStudy(nx, ny, groups, 2017)
 	if err != nil {
@@ -193,6 +195,8 @@ func runFig7(out string, nx, ny, groups int) {
 	}
 	study.ServerProcs = 4
 	study.SimRanks = 4
+	study.FoldWorkers = foldWorkers
+	study.BatchSteps = batchSteps
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {

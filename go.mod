@@ -1,0 +1,3 @@
+module melissa
+
+go 1.24

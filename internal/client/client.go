@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"melissa/internal/enc"
 	"melissa/internal/mesh"
 	"melissa/internal/transport"
 	"melissa/internal/wire"
@@ -44,10 +45,32 @@ type Connection struct {
 	SimRanks int
 	Layout   *wire.Welcome
 
+	// BatchSteps, when > 1, buffers that many timesteps per server process
+	// and ships them as a single wire.DataBatch message, amortizing framing
+	// and syscall/channel overhead (set it before the first SendTimestep;
+	// call Flush — or Close — to push a partial final batch). The default 1
+	// sends one Data message per (sim rank, server process, timestep).
+	// Batching stretches the group's inter-message gap by the same factor —
+	// server-side group timeouts must account for it (the launcher scales
+	// its GroupTimeout automatically).
+	BatchSteps int
+
 	net      transport.Network
 	senders  []transport.Sender
 	routes   []mesh.Transfer
 	simParts []mesh.Partition
+
+	// pending[r] buffers the not-yet-sent steps of route r when batching;
+	// step and field storage is reused across flushes. cutScratch holds the
+	// per-route sub-slice headers of the unbatched path. A Connection is
+	// not safe for concurrent use.
+	pending    []routeBatch
+	cutScratch [][]float64
+}
+
+// routeBatch accumulates the buffered timesteps of one route.
+type routeBatch struct {
+	steps []wire.DataStep
 }
 
 // Connect performs the dynamic-connection handshake of Sec. 4.1.3: it
@@ -134,8 +157,14 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 				c.GroupID, i, len(f), c.Layout.Cells)
 		}
 	}
+	if c.BatchSteps > 1 {
+		return c.bufferTimestep(step, fields)
+	}
+	if c.cutScratch == nil {
+		c.cutScratch = make([][]float64, len(fields))
+	}
+	cut := c.cutScratch
 	for _, tr := range c.routes {
-		cut := make([][]float64, len(fields))
 		for fi, f := range fields {
 			cut[fi] = f[tr.Cells.Lo:tr.Cells.Hi]
 		}
@@ -146,9 +175,90 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 			CellHi:   tr.Cells.Hi,
 			Fields:   cut,
 		}
-		if err := c.senders[tr.ServerRank].Send(wire.Encode(data)); err != nil {
+		w := enc.GetWriter(int(wire.DataSizeBytes(len(cut), tr.Cells.Len())))
+		wire.EncodeTo(w, data)
+		err := c.senders[tr.ServerRank].Send(w.Bytes())
+		enc.PutWriter(w) // Send copied the payload
+		if err != nil {
 			return fmt.Errorf("client: group %d step %d to server %d: %w",
 				c.GroupID, step, tr.ServerRank, err)
+		}
+	}
+	return nil
+}
+
+// bufferTimestep copies one step's route cuts into the per-route batch
+// buffers and flushes every route that reached BatchSteps.
+func (c *Connection) bufferTimestep(step int, fields [][]float64) error {
+	if c.pending == nil {
+		c.pending = make([]routeBatch, len(c.routes))
+	}
+	for ri, tr := range c.routes {
+		rb := &c.pending[ri]
+		n := len(rb.steps)
+		if cap(rb.steps) > n {
+			rb.steps = rb.steps[:n+1]
+		} else {
+			rb.steps = append(rb.steps, wire.DataStep{})
+		}
+		st := &rb.steps[n]
+		st.Timestep = step
+		if cap(st.Fields) < len(fields) {
+			st.Fields = make([][]float64, len(fields))
+		} else {
+			st.Fields = st.Fields[:len(fields)]
+		}
+		for fi, f := range fields {
+			src := f[tr.Cells.Lo:tr.Cells.Hi]
+			dst := st.Fields[fi]
+			if cap(dst) < len(src) {
+				dst = make([]float64, len(src))
+			} else {
+				dst = dst[:len(src)]
+			}
+			copy(dst, src)
+			st.Fields[fi] = dst
+		}
+		if len(rb.steps) >= c.BatchSteps {
+			if err := c.flushRoute(ri); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushRoute ships route ri's buffered steps as one DataBatch.
+func (c *Connection) flushRoute(ri int) error {
+	rb := &c.pending[ri]
+	if len(rb.steps) == 0 {
+		return nil
+	}
+	tr := c.routes[ri]
+	batch := &wire.DataBatch{
+		GroupID: c.GroupID,
+		CellLo:  tr.Cells.Lo,
+		CellHi:  tr.Cells.Hi,
+		Steps:   rb.steps,
+	}
+	w := enc.GetWriter(int(wire.DataBatchSizeBytes(len(rb.steps), len(rb.steps[0].Fields), tr.Cells.Len())))
+	wire.EncodeTo(w, batch)
+	err := c.senders[tr.ServerRank].Send(w.Bytes())
+	enc.PutWriter(w)
+	rb.steps = rb.steps[:0] // keep field storage for the next batch
+	if err != nil {
+		return fmt.Errorf("client: group %d batch to server %d: %w", c.GroupID, tr.ServerRank, err)
+	}
+	return nil
+}
+
+// Flush ships any partially filled batches. It is a no-op when batching is
+// off; when batching is on, call it after the last SendTimestep (Close also
+// flushes, but swallows errors).
+func (c *Connection) Flush() error {
+	for ri := range c.pending {
+		if err := c.flushRoute(ri); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -157,8 +267,10 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 // Messages returns how many stage-2 messages one timestep produces.
 func (c *Connection) Messages() int { return len(c.routes) }
 
-// Close releases all server connections — the Finalize call.
+// Close releases all server connections — the Finalize call. Buffered
+// batches are flushed best-effort first.
 func (c *Connection) Close() {
+	c.Flush()
 	for _, s := range c.senders {
 		if s != nil {
 			s.Close()

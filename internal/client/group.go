@@ -21,6 +21,9 @@ type RunConfig struct {
 	Sim Simulation
 	// ConnectTimeout bounds the handshake (default 10 s).
 	ConnectTimeout time.Duration
+	// BatchSteps, when > 1, batches that many timesteps per wire message
+	// (see Connection.BatchSteps).
+	BatchSteps int
 	// BeforeStep, when non-nil, is a fault-injection hook called before
 	// each timestep is sent. Returning an error makes the whole group fail
 	// (the paper treats a group as a single failure unit, Sec. 4.2).
@@ -63,6 +66,7 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 		return err
 	}
 	defer conn.Close()
+	conn.BatchSteps = rc.BatchSteps
 
 	if got, want := len(rc.Rows), conn.Layout.P+2; got != want {
 		return fmt.Errorf("client: group %d has %d rows but the server expects p+2 = %d", rc.GroupID, got, want)
@@ -116,5 +120,5 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 			return err
 		}
 	}
-	return nil
+	return conn.Flush()
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -28,6 +30,46 @@ func BenchmarkUpdateGroup10kCellsP6(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.UpdateGroup(0, yA, yB, yC)
+	}
+}
+
+// BenchmarkUpdateGroupSharded10kCellsP6 measures the same fold split into
+// cell-range shards with one goroutine per shard — the server's fold
+// worker-pool configuration. Compare ns/op against the unsharded benchmark
+// above: the work per fold is identical, so the speedup is the pool width
+// (minus coordination overhead).
+func BenchmarkUpdateGroupSharded10kCellsP6(b *testing.B) {
+	const cells, p = 10000, 6
+	rng := rand.New(rand.NewSource(1))
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		return f
+	}
+	yA, yB := field(), field()
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = field()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			sacc := NewSharded(cells, 1, p, Options{}, workers)
+			b.SetBytes(8 * cells * (p + 2))
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < sacc.NumShards(); w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						sacc.UpdateGroupShard(w, 0, yA, yB, yC)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
 	}
 }
 

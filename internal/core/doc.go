@@ -21,4 +21,22 @@
 // discard-on-replay bookkeeping of Sec. 4.2.1: per-group last-folded
 // timestep, started/finished state, and filtering of replayed messages after
 // a group restart, so that re-executed timesteps are never folded twice.
+//
+// # Sharded folding
+//
+// ShardedAccumulator splits one partition's accumulator into contiguous
+// cell-range shards so a pool of workers can fold concurrently — the
+// all-cores-per-node fold engine of the server. The concurrency contract is:
+//
+//   - shard i is only ever updated by one goroutine at a time
+//     (UpdateGroupShard(i, ...)), and
+//   - every shard sees every (group, timestep) update, all shards in the
+//     same order.
+//
+// Under that contract the per-cell floating-point operation sequence is
+// identical to the single-threaded Accumulator, so sharded results are
+// bitwise equal to dense results for any shard count. Read methods present
+// the stitched dense view and must only run while no worker is folding.
+// Checkpoints use the dense format (Encode/DecodeSharded), making them
+// interchangeable across shard counts.
 package core

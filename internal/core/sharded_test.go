@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"melissa/internal/enc"
+)
+
+func shardedOpts() Options {
+	th := 0.5
+	return Options{MinMax: true, Threshold: &th, HigherMoments: true}
+}
+
+// feedSharded folds the same stream into every shard sequentially (the
+// dense-compatible path).
+func feedSharded(s *ShardedAccumulator, t int, groups []groupSample) {
+	for _, g := range groups {
+		s.UpdateGroup(t, g.yA, g.yB, g.yC)
+	}
+}
+
+// TestShardedMatchesDenseBitwise is the core equivalence guarantee: for any
+// shard count, folding the same update stream yields bitwise-identical
+// statistics, because each cell sees the exact same float operation
+// sequence.
+func TestShardedMatchesDenseBitwise(t *testing.T) {
+	const cells, timesteps, p, nGroups = 101, 3, 4, 12
+	rng := rand.New(rand.NewSource(7))
+	streams := make([][]groupSample, timesteps)
+	for ts := range streams {
+		streams[ts] = randomGroups(rng, nGroups, cells, p)
+	}
+
+	dense := NewAccumulator(cells, timesteps, p, shardedOpts())
+	for ts, groups := range streams {
+		feedAll(dense, ts, groups)
+	}
+
+	for _, shards := range []int{1, 2, 3, 7, cells, cells + 5} {
+		s := NewSharded(cells, timesteps, p, shardedOpts(), shards)
+		if shards <= cells && s.NumShards() != shards {
+			t.Fatalf("NewSharded(%d) produced %d shards", shards, s.NumShards())
+		}
+		for ts, groups := range streams {
+			feedSharded(s, ts, groups)
+		}
+		compareShardedToDense(t, s, dense)
+	}
+}
+
+func compareShardedToDense(t *testing.T, s *ShardedAccumulator, dense *Accumulator) {
+	t.Helper()
+	cells, timesteps, p := dense.Cells(), dense.Timesteps(), dense.P()
+	if s.Cells() != cells || s.Timesteps() != timesteps || s.P() != p {
+		t.Fatalf("sharded shape %d/%d/%d vs dense %d/%d/%d",
+			s.Cells(), s.Timesteps(), s.P(), cells, timesteps, p)
+	}
+	var sf, df []float64
+	for ts := 0; ts < timesteps; ts++ {
+		if s.N(ts) != dense.N(ts) {
+			t.Fatalf("step %d: n %d vs %d", ts, s.N(ts), dense.N(ts))
+		}
+		for k := 0; k < p; k++ {
+			sf = s.FirstField(ts, k, sf)
+			df = dense.FirstField(ts, k, df)
+			for c := range sf {
+				if sf[c] != df[c] {
+					t.Fatalf("%d shards: S%d(step %d, cell %d) = %v, dense %v",
+						s.NumShards(), k, ts, c, sf[c], df[c])
+				}
+			}
+			sf = s.TotalField(ts, k, sf)
+			df = dense.TotalField(ts, k, df)
+			for c := range sf {
+				if sf[c] != df[c] {
+					t.Fatalf("%d shards: ST%d(step %d, cell %d) = %v, dense %v",
+						s.NumShards(), k, ts, c, sf[c], df[c])
+				}
+			}
+			for _, c := range []int{0, cells / 2, cells - 1} {
+				if s.FirstAt(ts, k, c) != dense.FirstAt(ts, k, c) {
+					t.Fatalf("FirstAt(%d,%d,%d) mismatch", ts, k, c)
+				}
+				if s.TotalAt(ts, k, c) != dense.TotalAt(ts, k, c) {
+					t.Fatalf("TotalAt(%d,%d,%d) mismatch", ts, k, c)
+				}
+			}
+		}
+		for name, pair := range map[string][2][]float64{
+			"mean":        {s.MeanField(ts, nil), dense.MeanField(ts, nil)},
+			"variance":    {s.VarianceField(ts, nil), dense.VarianceField(ts, nil)},
+			"interaction": {s.InteractionField(ts, nil), dense.InteractionField(ts, nil)},
+		} {
+			for c := range pair[0] {
+				if pair[0][c] != pair[1][c] {
+					t.Fatalf("%d shards: %s(step %d, cell %d) = %v, dense %v",
+						s.NumShards(), name, ts, c, pair[0][c], pair[1][c])
+				}
+			}
+		}
+	}
+	if s.MaxCIWidth(0.95) != dense.MaxCIWidth(0.95) {
+		t.Fatalf("MaxCIWidth %v vs %v", s.MaxCIWidth(0.95), dense.MaxCIWidth(0.95))
+	}
+	if s.MemoryBytes() != dense.MemoryBytes() {
+		t.Fatalf("MemoryBytes %d vs %d", s.MemoryBytes(), dense.MemoryBytes())
+	}
+}
+
+// TestShardedConcurrentFoldRace hammers the per-shard concurrency contract:
+// one goroutine per shard, all folding the same ordered stream — the exact
+// access pattern of the server worker pool. Run with -race; results must
+// still be bitwise equal to dense.
+func TestShardedConcurrentFoldRace(t *testing.T) {
+	const cells, p, nGroups, shards = 64, 3, 40, 4
+	rng := rand.New(rand.NewSource(11))
+	groups := randomGroups(rng, nGroups, cells, p)
+
+	dense := NewAccumulator(cells, 1, p, Options{})
+	feedAll(dense, 0, groups)
+
+	s := NewSharded(cells, 1, p, Options{}, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < s.NumShards(); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, g := range groups {
+				s.UpdateGroupShard(w, 0, g.yA, g.yB, g.yC)
+			}
+		}(w)
+	}
+	wg.Wait()
+	compareShardedToDense(t, s, dense)
+}
+
+// TestShardedSplitDenseRoundTrip checks the checkpoint conversions: a dense
+// accumulator split mid-stream must keep folding identically, Dense() must
+// reassemble exactly, and the encoded bytes must match the dense format so
+// checkpoints are interchangeable across FoldWorkers settings.
+func TestShardedSplitDenseRoundTrip(t *testing.T) {
+	const cells, p, shards = 53, 3, 4
+	rng := rand.New(rand.NewSource(3))
+	first := randomGroups(rng, 8, cells, p)
+	second := randomGroups(rng, 8, cells, p)
+
+	dense := NewAccumulator(cells, 1, p, shardedOpts())
+	feedAll(dense, 0, first)
+
+	s := SplitAccumulator(dense, shards)
+	feedAll(dense, 0, second)
+	feedSharded(s, 0, second)
+	compareShardedToDense(t, s, dense)
+
+	back := s.Dense()
+	var wd, ws enc.Writer
+	dense.Encode(&wd)
+	back.Encode(&ws)
+	if !bytes.Equal(wd.Bytes(), ws.Bytes()) {
+		t.Fatal("Dense() round trip changed the encoded state")
+	}
+
+	ws.Reset()
+	s.Encode(&ws)
+	if !bytes.Equal(wd.Bytes(), ws.Bytes()) {
+		t.Fatal("sharded Encode differs from the dense checkpoint format")
+	}
+
+	decoded, err := DecodeSharded(enc.NewReader(ws.Bytes()), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareShardedToDense(t, decoded, dense)
+
+	// A single-shard accumulator must also encode identically (fast path).
+	one := SplitAccumulator(dense, 1)
+	ws.Reset()
+	one.Encode(&ws)
+	if !bytes.Equal(wd.Bytes(), ws.Bytes()) {
+		t.Fatal("single-shard Encode differs from the dense checkpoint format")
+	}
+}
+
+// TestAccumulatorShard checks the public range extractor used for
+// re-sharding.
+func TestAccumulatorShard(t *testing.T) {
+	const cells, p = 10, 2
+	rng := rand.New(rand.NewSource(5))
+	dense := NewAccumulator(cells, 1, p, Options{})
+	feedAll(dense, 0, randomGroups(rng, 5, cells, p))
+
+	covered := 0
+	for i := 0; i < 3; i++ {
+		sh := dense.Shard(i, 3)
+		for c := 0; c < sh.Cells(); c++ {
+			if got, want := sh.FirstAt(0, 0, c), dense.FirstAt(0, 0, covered+c); got != want {
+				t.Fatalf("shard %d cell %d: %v vs dense %v", i, c, got, want)
+			}
+		}
+		covered += sh.Cells()
+	}
+	if covered != cells {
+		t.Fatalf("shards cover %d of %d cells", covered, cells)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Shard index did not panic")
+		}
+	}()
+	dense.Shard(3, 3)
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShortBuffer is returned when a decoder runs out of input bytes.
@@ -26,6 +27,33 @@ type Writer struct {
 // NewWriter returns a Writer whose underlying buffer has the given capacity.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles Writers across hot encode paths (per-timestep wire
+// messages). Buffers above maxPooledWriter are dropped on PutWriter so one
+// checkpoint-sized encode does not pin hundreds of megabytes in the pool.
+var writerPool = sync.Pool{New: func() any { return &Writer{} }}
+
+const maxPooledWriter = 1 << 22 // 4 MiB
+
+// GetWriter returns a pooled Writer, reset and grown to at least the given
+// capacity. Release it with PutWriter once the encoded bytes have been
+// consumed (transport senders copy payloads synchronously, so PutWriter is
+// safe immediately after Send returns).
+func GetWriter(capacity int) *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	w.grow(capacity)
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not touch w — or any
+// slice previously obtained from w.Bytes() — afterwards.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriter {
+		return
+	}
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded payload. The slice is owned by the Writer and is
@@ -194,7 +222,7 @@ func (r *Reader) F64Slice() []float64 {
 	if r.err != nil || n < 0 {
 		return nil
 	}
-	if 8*n > r.Remaining() {
+	if n > r.Remaining()/8 { // division sidesteps 8*n overflow on corrupt lengths
 		r.err = fmt.Errorf("%w: float64 slice of %d elements exceeds remaining %d bytes",
 			ErrShortBuffer, n, r.Remaining())
 		return nil
@@ -204,6 +232,31 @@ func (r *Reader) F64Slice() []float64 {
 		vs[i] = r.F64()
 	}
 	return vs
+}
+
+// F64SliceReuse reads a length-prefixed []float64 into dst's storage when
+// its capacity suffices, allocating only on growth. It returns the filled
+// slice (which may alias dst). This is the steady-state-zero-allocation
+// decode used by the server fold loop.
+func (r *Reader) F64SliceReuse(dst []float64) []float64 {
+	n := int(r.U64())
+	if r.err != nil || n < 0 {
+		return dst[:0]
+	}
+	if n > r.Remaining()/8 { // division sidesteps 8*n overflow on corrupt lengths
+		r.err = fmt.Errorf("%w: float64 slice of %d elements exceeds remaining %d bytes",
+			ErrShortBuffer, n, r.Remaining())
+		return dst[:0]
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = r.F64()
+	}
+	return dst
 }
 
 // F64SliceInto reads a length-prefixed []float64 into dst, which must have
@@ -228,7 +281,7 @@ func (r *Reader) I64Slice() []int64 {
 	if r.err != nil || n < 0 {
 		return nil
 	}
-	if 8*n > r.Remaining() {
+	if n > r.Remaining()/8 { // division sidesteps 8*n overflow on corrupt lengths
 		r.err = fmt.Errorf("%w: int64 slice of %d elements exceeds remaining %d bytes",
 			ErrShortBuffer, n, r.Remaining())
 		return nil

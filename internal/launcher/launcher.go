@@ -43,6 +43,14 @@ type Config struct {
 	// ServerProcs is M; ServerNodes is the scheduler footprint of the
 	// server job; GroupNodes the footprint of one group job.
 	ServerProcs, ServerNodes, GroupNodes int
+	// FoldWorkers is the per-server-process fold worker-pool width
+	// (0 = GOMAXPROCS-aware default; see server.Config.FoldWorkers).
+	FoldWorkers int
+	// BatchSteps, when > 1, makes every group batch that many timesteps
+	// per wire message (see client.Connection.BatchSteps). The server-side
+	// GroupTimeout is scaled by BatchSteps to match the stretched
+	// inter-message cadence.
+	BatchSteps int
 	// GroupWalltime bounds one group execution in the scheduler (0 = none).
 	GroupWalltime time.Duration
 
@@ -268,14 +276,22 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 // startServer creates (or re-creates) the parallel server, optionally
 // restoring from the last checkpoint (Sec. 4.2.3).
 func (l *Launcher) startServer(restore bool) error {
+	// Batching stretches a healthy group's inter-message gap by the batch
+	// factor; scale the liveness timeout so batched groups are not falsely
+	// declared unresponsive.
+	groupTimeout := l.cfg.GroupTimeout
+	if l.cfg.BatchSteps > 1 {
+		groupTimeout *= time.Duration(l.cfg.BatchSteps)
+	}
 	srv, err := server.New(server.Config{
 		Procs:              l.cfg.ServerProcs,
+		FoldWorkers:        l.cfg.FoldWorkers,
 		Cells:              l.cfg.Cells,
 		Timesteps:          l.cfg.Timesteps,
 		P:                  l.cfg.Design.P(),
 		Stats:              l.cfg.Stats,
 		Network:            l.cfg.Network,
-		GroupTimeout:       l.cfg.GroupTimeout,
+		GroupTimeout:       groupTimeout,
 		CheckpointInterval: l.cfg.CheckpointInterval,
 		CheckpointDir:      l.cfg.CheckpointDir,
 		LauncherAddr:       l.recv.Addr(),
@@ -400,6 +416,7 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 			Rows:           rows,
 			Sim:            l.cfg.Sim,
 			ConnectTimeout: l.cfg.ConnectTimeout,
+			BatchSteps:     l.cfg.BatchSteps,
 			BeforeStep:     hook,
 		})
 		l.done <- groupDone{group: id, attempt: attempt, job: job, err: err}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,12 +32,19 @@ type groupStep struct {
 }
 
 // assembly collects the stage-2 pieces of one (group, timestep) until the
-// process's whole partition is covered, then is folded in one shot. Pieces
-// may arrive from several main-simulation ranks in any order.
+// process's whole partition is covered, then is handed to the fold worker
+// pool in one shot. Pieces may arrive from several main-simulation ranks in
+// any order. Assemblies are pooled: the last fold worker to finish returns
+// the assembly for reuse, so steady-state folding allocates nothing.
 type assembly struct {
+	step    int
 	fields  [][]float64 // p+2 fields over the local partition
 	covered []bool
 	missing int
+	// remaining counts the fold workers that have not yet applied this
+	// assembly to their shard; the worker that decrements it to zero
+	// retires the assembly.
+	remaining atomic.Int32
 }
 
 // CheckpointStats aggregates checkpoint timing, the quantity reported in
@@ -50,18 +58,39 @@ type CheckpointStats struct {
 }
 
 // Proc is one Melissa Server process: one partition, one inbox, no shared
-// state with its peers.
+// state with its peers. Internally the process is a two-stage pipeline:
+// the inbox goroutine (run) receives, decodes and assembles messages, and a
+// pool of fold workers applies completed (group, timestep) assemblies to
+// the cell-range shards of the accumulator — all cores of the node fold,
+// not just one per process.
 type Proc struct {
 	cfg  procConfig
 	recv transport.Receiver
 
-	acc      *core.Accumulator
+	acc      *core.ShardedAccumulator
 	tracker  *core.GroupTracker
 	pending  map[groupStep]*assembly
 	lastMsg  map[int]time.Time
 	messages int64
 	folds    int64 // completed (group, timestep) updates; read concurrently
 	ckpt     CheckpointStats
+
+	// Fold pipeline. workCh[i] feeds shard i's worker; every completed
+	// assembly is enqueued on every channel in arrival order, which makes
+	// the per-cell update sequence — and therefore the statistics —
+	// bitwise identical to the single-threaded fold. foldWG tracks
+	// in-flight assemblies so the inbox can quiesce the pool before any
+	// read of the accumulator (reports, checkpoints, shutdown).
+	workers  int
+	workCh   []chan *assembly
+	workerWG sync.WaitGroup
+	foldWG   sync.WaitGroup
+	asmPool  sync.Pool
+
+	// dataScratch/batchScratch are the inbox's reusable decode targets for
+	// the bulk message types.
+	dataScratch  wire.Data
+	batchScratch wire.DataBatch
 
 	launcher     transport.Sender // lazily dialed
 	lastReport   time.Time
@@ -74,11 +103,38 @@ type Proc struct {
 	timedOutSeen map[int]bool
 }
 
+// foldWorkers resolves the configured pool width against the machine and
+// the partition: 0 means GOMAXPROCS spread across the server processes,
+// capped at 8 per process; anything is clamped to [1, partition cells].
+func (cfg procConfig) foldWorkers() int {
+	w := cfg.FoldWorkers
+	if w <= 0 {
+		procs := cfg.Procs
+		if procs < 1 {
+			procs = 1
+		}
+		w = runtime.GOMAXPROCS(0) / procs
+		if w > 8 {
+			w = 8
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	if n := cfg.Partition.Len(); n > 0 && w > n {
+		w = n
+	}
+	return w
+}
+
 func newProc(cfg procConfig, recv transport.Receiver) *Proc {
+	workers := cfg.foldWorkers()
+	acc := core.NewSharded(cfg.Partition.Len(), cfg.Timesteps, cfg.P, cfg.Stats, workers)
 	return &Proc{
 		cfg:          cfg,
 		recv:         recv,
-		acc:          core.NewAccumulator(cfg.Partition.Len(), cfg.Timesteps, cfg.P, cfg.Stats),
+		acc:          acc,
+		workers:      acc.NumShards(),
 		tracker:      core.NewGroupTracker(cfg.Timesteps - 1),
 		pending:      make(map[groupStep]*assembly),
 		lastMsg:      make(map[int]time.Time),
@@ -92,8 +148,12 @@ func (p *Proc) Rank() int { return p.cfg.Rank }
 // Partition returns the cell range this process owns.
 func (p *Proc) Partition() mesh.Partition { return p.cfg.Partition }
 
-// Accumulator exposes the statistics state (read after the server stopped).
-func (p *Proc) Accumulator() *core.Accumulator { return p.acc }
+// Accumulator exposes the statistics state (read after the server stopped,
+// or while the fold pipeline is quiescent).
+func (p *Proc) Accumulator() *core.ShardedAccumulator { return p.acc }
+
+// FoldWorkers returns the resolved fold worker-pool width of this process.
+func (p *Proc) FoldWorkers() int { return p.workers }
 
 // Tracker exposes the group bookkeeping (read after the server stopped).
 func (p *Proc) Tracker() *core.GroupTracker { return p.tracker }
@@ -115,11 +175,16 @@ func (p *Proc) requestStop(finalCheckpoint bool) {
 	p.stopFlag.Store(true)
 }
 
-// run is the process main loop: drain the inbox, fold data, and perform the
-// periodic duties (reports, heartbeats, timeout detection, checkpoints).
-// Single-threaded by design — statistics updates need no locks.
+// run is the inbox stage of the pipeline: drain the inbox, decode and
+// assemble data, hand completed assemblies to the fold workers, and perform
+// the periodic duties (reports, heartbeats, timeout detection,
+// checkpoints). All maps and trackers are owned by this goroutine; the
+// accumulator shards are owned by the workers and only read here after
+// quiesce().
 func (p *Proc) run() {
 	defer p.markStopped()
+	p.startWorkers()
+	defer p.stopWorkers()
 	p.startedAt = time.Now()
 	p.lastReport = p.startedAt
 	p.lastCkpt = p.startedAt
@@ -131,6 +196,7 @@ func (p *Proc) run() {
 	for {
 		if p.stopFlag.Load() {
 			p.drainInbox()
+			p.quiesce()
 			if p.stopCkpt.Load() && p.cfg.CheckpointDir != "" {
 				p.writeCheckpoint()
 			}
@@ -159,6 +225,79 @@ func (p *Proc) run() {
 	}
 }
 
+// startWorkers launches one fold worker per accumulator shard. Channel
+// capacity bounds the decoded-but-unfolded backlog; when workers fall
+// behind, the inbox blocks on enqueue and backpressure propagates through
+// the transport to the simulations, exactly as in the unsharded design.
+func (p *Proc) startWorkers() {
+	p.workCh = make([]chan *assembly, p.workers)
+	for i := range p.workCh {
+		p.workCh[i] = make(chan *assembly, 64)
+		p.workerWG.Add(1)
+		go p.foldWorker(i, p.workCh[i])
+	}
+}
+
+// stopWorkers closes the work channels (workers drain what is queued) and
+// joins the pool.
+func (p *Proc) stopWorkers() {
+	for _, ch := range p.workCh {
+		close(ch)
+	}
+	p.workerWG.Wait()
+}
+
+// foldWorker is the second pipeline stage: it owns shard i and applies
+// every assembly, in enqueue order, to its cell range. The worker that
+// retires an assembly (last shard folded) publishes the fold and recycles
+// the assembly's buffers.
+func (p *Proc) foldWorker(i int, ch chan *assembly) {
+	defer p.workerWG.Done()
+	for asm := range ch {
+		p.acc.UpdateGroupShard(i, asm.step, asm.fields[0], asm.fields[1], asm.fields[2:])
+		if asm.remaining.Add(-1) == 0 {
+			atomic.AddInt64(&p.folds, 1)
+			p.asmPool.Put(asm)
+			p.foldWG.Done()
+		}
+	}
+}
+
+// enqueueFold hands one completed assembly to every shard worker.
+func (p *Proc) enqueueFold(asm *assembly) {
+	asm.remaining.Store(int32(len(p.workCh)))
+	p.foldWG.Add(1)
+	for _, ch := range p.workCh {
+		ch <- asm
+	}
+}
+
+// quiesce blocks until every enqueued assembly has been folded into every
+// shard. Only the inbox goroutine may call it (it is the only enqueuer),
+// after which the accumulator may be read safely until the next enqueue.
+func (p *Proc) quiesce() { p.foldWG.Wait() }
+
+// getAssembly returns a reset assembly sized for this partition, reusing a
+// retired one when available.
+func (p *Proc) getAssembly() *assembly {
+	n := p.cfg.Partition.Len()
+	if v := p.asmPool.Get(); v != nil {
+		asm := v.(*assembly)
+		clear(asm.covered)
+		asm.missing = n
+		return asm
+	}
+	asm := &assembly{
+		fields:  make([][]float64, p.cfg.P+2),
+		covered: make([]bool, n),
+		missing: n,
+	}
+	for f := range asm.fields {
+		asm.fields[f] = make([]float64, n)
+	}
+	return asm
+}
+
 // drainInbox consumes messages already queued (or still trickling in) so a
 // clean stop never discards data the clients consider delivered. It returns
 // after the inbox stays quiet for one poll interval.
@@ -182,15 +321,38 @@ func (p *Proc) markStopped() {
 	p.recv.Close()
 }
 
+// dispatch routes one inbox payload. The bulk data types decode into the
+// proc's reusable scratch (zero steady-state allocation); everything else
+// takes the generic decode path. Payload buffers are recycled into the
+// transport pool once fully copied out.
 func (p *Proc) dispatch(payload []byte) {
+	switch wire.PayloadType(payload) {
+	case wire.TypeData:
+		err := wire.DecodeDataInto(payload, &p.dataScratch)
+		transport.Recycle(payload)
+		if err != nil {
+			log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+			return
+		}
+		p.handleData(&p.dataScratch)
+		return
+	case wire.TypeDataBatch:
+		err := wire.DecodeDataBatchInto(payload, &p.batchScratch)
+		transport.Recycle(payload)
+		if err != nil {
+			log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+			return
+		}
+		p.handleDataBatch(&p.batchScratch)
+		return
+	}
 	msg, err := wire.Decode(payload)
+	transport.Recycle(payload)
 	if err != nil {
 		log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
 		return
 	}
 	switch m := msg.(type) {
-	case *wire.Data:
-		p.handleData(m)
 	case *wire.Hello:
 		p.handleHello(m)
 	case *wire.Stop:
@@ -234,45 +396,55 @@ func (p *Proc) handleHello(m *wire.Hello) {
 func (p *Proc) handleData(m *wire.Data) {
 	atomic.AddInt64(&p.messages, 1)
 	p.lastMsg[m.GroupID] = time.Now()
+	p.foldPiece(m.GroupID, m.Timestep, m.CellLo, m.CellHi, m.Fields)
+}
 
-	if len(m.Fields) != p.cfg.P+2 {
+// handleDataBatch unpacks a batched message: one wire message, several
+// (timestep, piece) updates.
+func (p *Proc) handleDataBatch(b *wire.DataBatch) {
+	atomic.AddInt64(&p.messages, 1)
+	p.lastMsg[b.GroupID] = time.Now()
+	for i := range b.Steps {
+		st := &b.Steps[i]
+		p.foldPiece(b.GroupID, st.Timestep, b.CellLo, b.CellHi, st.Fields)
+	}
+}
+
+// foldPiece validates one (group, timestep, cell-range) piece, copies it
+// into the matching assembly and enqueues the assembly on the fold pipeline
+// once the partition is fully covered.
+func (p *Proc) foldPiece(group, step, lo, hi int, fields [][]float64) {
+	if len(fields) != p.cfg.P+2 {
 		log.Printf("melissa server %d: group %d sent %d fields, want %d — dropped",
-			p.cfg.Rank, m.GroupID, len(m.Fields), p.cfg.P+2)
+			p.cfg.Rank, group, len(fields), p.cfg.P+2)
 		return
 	}
-	if !p.tracker.ShouldApply(m.GroupID, m.Timestep) {
+	if !p.tracker.ShouldApply(group, step) {
 		return // replayed message after a group restart
 	}
 	part := p.cfg.Partition
-	lo, hi := m.CellLo, m.CellHi
 	if lo < part.Lo || hi > part.Hi || lo >= hi {
 		log.Printf("melissa server %d: group %d piece [%d,%d) outside partition [%d,%d) — dropped",
-			p.cfg.Rank, m.GroupID, lo, hi, part.Lo, part.Hi)
+			p.cfg.Rank, group, lo, hi, part.Lo, part.Hi)
 		return
 	}
-	for f := range m.Fields {
-		if len(m.Fields[f]) != hi-lo {
+	for f := range fields {
+		if len(fields[f]) != hi-lo {
 			log.Printf("melissa server %d: group %d field %d has %d cells, want %d — dropped",
-				p.cfg.Rank, m.GroupID, f, len(m.Fields[f]), hi-lo)
+				p.cfg.Rank, group, f, len(fields[f]), hi-lo)
 			return
 		}
 	}
 
-	key := groupStep{m.GroupID, m.Timestep}
+	key := groupStep{group, step}
 	asm, ok := p.pending[key]
 	if !ok {
-		asm = &assembly{
-			fields:  make([][]float64, p.cfg.P+2),
-			covered: make([]bool, part.Len()),
-			missing: part.Len(),
-		}
-		for f := range asm.fields {
-			asm.fields[f] = make([]float64, part.Len())
-		}
+		asm = p.getAssembly()
+		asm.step = step
 		p.pending[key] = asm
 	}
 	off := lo - part.Lo
-	for f, vals := range m.Fields {
+	for f, vals := range fields {
 		copy(asm.fields[f][off:off+hi-lo], vals)
 	}
 	for c := off; c < off+hi-lo; c++ {
@@ -284,10 +456,9 @@ func (p *Proc) handleData(m *wire.Data) {
 	if asm.missing > 0 {
 		return // wait for the remaining pieces of this (group, step)
 	}
-	p.acc.UpdateGroup(m.Timestep, asm.fields[0], asm.fields[1], asm.fields[2:])
-	p.tracker.Commit(m.GroupID, m.Timestep)
+	p.tracker.Commit(group, step)
 	delete(p.pending, key)
-	atomic.AddInt64(&p.folds, 1)
+	p.enqueueFold(asm)
 }
 
 func (p *Proc) ensureLauncher() transport.Sender {
@@ -341,6 +512,7 @@ func (p *Proc) sendReport() {
 		}
 	}
 	if p.cfg.ConvergenceReports {
+		p.quiesce() // the scan reads every shard
 		rep.MaxCIWidth = p.acc.MaxCIWidth(p.cfg.CILevel)
 	}
 	if err := s.Send(wire.Encode(rep)); err != nil {
@@ -350,8 +522,11 @@ func (p *Proc) sendReport() {
 
 // writeCheckpoint saves the process state. The run loop is blocked while
 // writing — incoming messages wait in the transport buffers, exactly the
-// behavior measured in Sec. 5.4.
+// behavior measured in Sec. 5.4. The fold pipeline is quiesced first so the
+// checkpoint captures a consistent accumulator; the format is the dense
+// single-accumulator layout regardless of FoldWorkers.
 func (p *Proc) writeCheckpoint() {
+	p.quiesce()
 	start := time.Now()
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	err := checkpoint.Write(path, func(w *enc.Writer) {
@@ -390,7 +565,7 @@ func (p *Proc) restore() error {
 			lo, hi, p.cfg.Rank, p.cfg.Partition.Lo, p.cfg.Partition.Hi)
 	}
 	p.messages = r.I64()
-	acc, err := core.DecodeAccumulator(r)
+	acc, err := core.DecodeSharded(r, p.workers)
 	if err != nil {
 		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
 	}
@@ -399,6 +574,7 @@ func (p *Proc) restore() error {
 		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
 	}
 	p.acc = acc
+	p.workers = acc.NumShards()
 	p.tracker = tracker
 	p.ckpt.Reads++
 	p.ckpt.ReadDuration += time.Since(start)

@@ -5,10 +5,31 @@
 // ubiquitous Sobol' accumulator with no inter-process communication or
 // synchronization ("updating the statistics is a local operation").
 //
+// # The fold pipeline
+//
+// Each process is internally a two-stage pipeline so the fold path uses all
+// cores of the node, not one per process:
+//
+//	inbox goroutine:  recv → decode (into reusable scratch) → assemble
+//	fold workers:     apply completed assemblies to the owned cell-range
+//	                  shard of the core.ShardedAccumulator
+//
+// Config.FoldWorkers sets the pool width (0 = GOMAXPROCS-aware). The inbox
+// enqueues every completed (group, timestep) assembly on every worker's
+// channel in arrival order; each worker folds its shard in that order, which
+// keeps the statistics bitwise independent of the worker count. All maps
+// (pending assemblies, tracker, lastMsg) stay inbox-owned and lock-free; the
+// accumulator is only read (reports, checkpoints, results) after quiesce(),
+// i.e. once every enqueued assembly has been folded into every shard.
+// Assemblies and decode scratch are pooled, so steady-state folding
+// allocates approximately nothing. Bounded worker queues preserve the
+// end-to-end backpressure of Sec. 4.1.3: if folding falls behind, the inbox
+// blocks, transport buffers fill, and the simulations suspend.
+//
 // Fault tolerance follows Sec. 4.2: discard-on-replay filtering of restarted
 // groups, per-group message timeouts reported to the launcher, periodic
-// atomic checkpoints (one file per process), and restart from the last
-// checkpoint.
+// atomic checkpoints (one file per process, dense format regardless of
+// FoldWorkers), and restart from the last checkpoint.
 package server
 
 import (
@@ -25,6 +46,13 @@ import (
 type Config struct {
 	// Procs is M, the number of server processes.
 	Procs int
+	// FoldWorkers is the per-process fold worker-pool width: the process's
+	// partition is split into that many cell-range shards and completed
+	// (group, timestep) assemblies are folded into all shards concurrently.
+	// 0 picks a GOMAXPROCS-aware default (capped at 8 per process); 1
+	// reproduces the single-threaded fold. Values above the partition size
+	// are clamped. Results are bitwise independent of the setting.
+	FoldWorkers int
 	// Cells, Timesteps and P define the study shape.
 	Cells, Timesteps, P int
 	// Stats selects the optional statistics beyond Sobol' indices.

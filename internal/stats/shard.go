@@ -1,0 +1,65 @@
+package stats
+
+// Extract/Inject support spatial domain decomposition of the per-cell
+// trackers: a sharded accumulator holds one tracker per contiguous cell
+// sub-range and converts to/from the dense single-tracker layout at
+// checkpoint boundaries. Extract(lo, hi) copies cells [lo, hi) into a fresh
+// tracker; Inject copies a sub-range tracker back into cells
+// [lo, lo+src.Cells()) and adopts its sample count (the count is identical
+// across shards of one partition, since every sample field covers them all).
+
+// Extract returns a new tracker over cells [lo, hi) with the same sample
+// count.
+func (f *FieldMinMax) Extract(lo, hi int) *FieldMinMax {
+	out := NewFieldMinMax(hi - lo)
+	out.n = f.n
+	copy(out.min, f.min[lo:hi])
+	copy(out.max, f.max[lo:hi])
+	return out
+}
+
+// Inject copies src into cells [lo, lo+src.Cells()) of f and adopts src's
+// sample count.
+func (f *FieldMinMax) Inject(src *FieldMinMax, lo int) {
+	f.n = src.n
+	copy(f.min[lo:lo+len(src.min)], src.min)
+	copy(f.max[lo:lo+len(src.max)], src.max)
+}
+
+// Extract returns a new counter over cells [lo, hi) with the same sample
+// count and threshold.
+func (f *FieldExceedance) Extract(lo, hi int) *FieldExceedance {
+	out := NewFieldExceedance(hi-lo, f.Threshold)
+	out.n = f.n
+	copy(out.counts, f.counts[lo:hi])
+	return out
+}
+
+// Inject copies src into cells [lo, lo+src.Cells()) of f and adopts src's
+// sample count.
+func (f *FieldExceedance) Inject(src *FieldExceedance, lo int) {
+	f.n = src.n
+	copy(f.counts[lo:lo+len(src.counts)], src.counts)
+}
+
+// Extract returns a new moments tracker over cells [lo, hi) with the same
+// sample count.
+func (f *FieldMoments) Extract(lo, hi int) *FieldMoments {
+	out := NewFieldMoments(hi - lo)
+	out.n = f.n
+	copy(out.means, f.means[lo:hi])
+	copy(out.m2, f.m2[lo:hi])
+	copy(out.m3, f.m3[lo:hi])
+	copy(out.m4, f.m4[lo:hi])
+	return out
+}
+
+// Inject copies src into cells [lo, lo+src.Cells()) of f and adopts src's
+// sample count.
+func (f *FieldMoments) Inject(src *FieldMoments, lo int) {
+	f.n = src.n
+	copy(f.means[lo:lo+len(src.means)], src.means)
+	copy(f.m2[lo:lo+len(src.m2)], src.m2)
+	copy(f.m3[lo:lo+len(src.m3)], src.m3)
+	copy(f.m4[lo:lo+len(src.m4)], src.m4)
+}

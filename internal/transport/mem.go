@@ -57,9 +57,10 @@ func (n *MemNetwork) Dial(addr string) (Sender, error) {
 		return nil, fmt.Errorf("transport: no receiver at %q", addr)
 	}
 	s := &memSender{
-		recv:  r,
-		queue: make(chan []byte, n.opts.SendBuffer),
-		done:  make(chan struct{}),
+		recv:     r,
+		queue:    make(chan []byte, n.opts.SendBuffer),
+		done:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
 	}
 	go s.pump()
 	return s, nil
@@ -119,10 +120,11 @@ func (r *memReceiver) Close() error {
 }
 
 type memSender struct {
-	recv  *memReceiver
-	queue chan []byte
-	done  chan struct{}
-	once  sync.Once
+	recv     *memReceiver
+	queue    chan []byte
+	done     chan struct{}
+	pumpDone chan struct{}
+	once     sync.Once
 
 	mu     sync.Mutex
 	closed bool
@@ -131,6 +133,7 @@ type memSender struct {
 // pump is the background delivery thread (the ZeroMQ I/O thread): it drains
 // the local queue into the remote inbox, blocking when the inbox is full.
 func (s *memSender) pump() {
+	defer close(s.pumpDone)
 	for {
 		select {
 		case payload, ok := <-s.queue:
@@ -170,7 +173,7 @@ func (s *memSender) Send(payload []byte) error {
 	if closed {
 		return ErrClosed
 	}
-	cp := make([]byte, len(payload))
+	cp := getPayload(len(payload))
 	copy(cp, payload)
 	select {
 	case s.queue <- cp:
@@ -182,6 +185,10 @@ func (s *memSender) Send(payload []byte) error {
 	}
 }
 
+// Close flushes the queued messages into the receiver inbox (the interface
+// contract) and releases the connection: it waits for the pump to finish,
+// so a caller that exits right after Close cannot lose delivered-looking
+// data. The wait ends early when the receiver goes away.
 func (s *memSender) Close() error {
 	s.once.Do(func() {
 		s.mu.Lock()
@@ -189,5 +196,6 @@ func (s *memSender) Close() error {
 		s.mu.Unlock()
 		close(s.done)
 	})
+	<-s.pumpDone
 	return nil
 }

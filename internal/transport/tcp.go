@@ -53,10 +53,11 @@ func (n *TCPNetwork) Dial(addr string) (Sender, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	s := &tcpSender{
-		conn:  conn,
-		queue: make(chan []byte, n.opts.SendBuffer),
-		done:  make(chan struct{}),
-		errCh: make(chan error, 1),
+		conn:     conn,
+		queue:    make(chan []byte, n.opts.SendBuffer),
+		done:     make(chan struct{}),
+		pumpDone: make(chan struct{}),
+		errCh:    make(chan error, 1),
 	}
 	go s.pump()
 	return s, nil
@@ -103,7 +104,7 @@ func (r *tcpReceiver) readLoop(conn net.Conn) {
 		if size > maxFrameSize {
 			return
 		}
-		payload := make([]byte, size)
+		payload := getPayload(int(size))
 		if _, err := io.ReadFull(br, payload); err != nil {
 			return
 		}
@@ -159,11 +160,12 @@ func (r *tcpReceiver) Close() error {
 }
 
 type tcpSender struct {
-	conn  net.Conn
-	queue chan []byte
-	done  chan struct{}
-	errCh chan error
-	once  sync.Once
+	conn     net.Conn
+	queue    chan []byte
+	done     chan struct{}
+	pumpDone chan struct{}
+	errCh    chan error
+	once     sync.Once
 
 	mu     sync.Mutex
 	closed bool
@@ -171,6 +173,7 @@ type tcpSender struct {
 
 // pump is the writer goroutine: it frames and writes queued payloads.
 func (s *tcpSender) pump() {
+	defer close(s.pumpDone)
 	bw := bufio.NewWriterSize(s.conn, 1<<16)
 	var lenBuf [4]byte
 	write := func(payload []byte) error {
@@ -186,7 +189,9 @@ func (s *tcpSender) pump() {
 	for {
 		select {
 		case payload := <-s.queue:
-			if err := write(payload); err != nil {
+			err := write(payload)
+			Recycle(payload)
+			if err != nil {
 				s.fail(err)
 				return
 			}
@@ -196,7 +201,9 @@ func (s *tcpSender) pump() {
 			for {
 				select {
 				case more := <-s.queue:
-					if err := write(more); err != nil {
+					err := write(more)
+					Recycle(more)
+					if err != nil {
 						s.fail(err)
 						return
 					}
@@ -213,7 +220,9 @@ func (s *tcpSender) pump() {
 			for {
 				select {
 				case payload := <-s.queue:
-					if err := write(payload); err != nil {
+					err := write(payload)
+					Recycle(payload)
+					if err != nil {
 						s.conn.Close()
 						return
 					}
@@ -251,7 +260,7 @@ func (s *tcpSender) Send(payload []byte) error {
 		return fmt.Errorf("%w: %v", ErrClosed, err)
 	default:
 	}
-	cp := make([]byte, len(payload))
+	cp := getPayload(len(payload))
 	copy(cp, payload)
 	select {
 	case s.queue <- cp:
@@ -261,6 +270,10 @@ func (s *tcpSender) Send(payload []byte) error {
 	}
 }
 
+// Close flushes the queued messages onto the socket (the interface
+// contract) and releases the connection: it waits for the pump, so a
+// process that exits right after Close has actually handed its frames to
+// the kernel. A dead peer ends the wait via a write error.
 func (s *tcpSender) Close() error {
 	s.once.Do(func() {
 		s.mu.Lock()
@@ -268,5 +281,6 @@ func (s *tcpSender) Close() error {
 		s.mu.Unlock()
 		close(s.done)
 	})
+	<-s.pumpDone
 	return nil
 }

@@ -19,6 +19,7 @@ package transport
 
 import (
 	"errors"
+	"sync"
 	"time"
 )
 
@@ -32,8 +33,41 @@ var (
 
 // Message is one delivered payload.
 type Message struct {
-	// Payload is the message body. The slice is owned by the receiver.
+	// Payload is the message body. The slice is owned by the receiver;
+	// consumers that copy everything out of it (wire.Decode and the
+	// DecodeInto variants do) may hand the buffer back with Recycle.
 	Payload []byte
+}
+
+// payloadPool recycles message buffers across the send and receive paths.
+// Buffers above maxPooledPayload are never pooled so one oversized frame
+// does not pin memory.
+var payloadPool sync.Pool
+
+const maxPooledPayload = 4 << 20
+
+// getPayload returns a buffer of length n, reusing pooled storage when a
+// large-enough buffer is available.
+func getPayload(n int) []byte {
+	if n <= maxPooledPayload {
+		if v := payloadPool.Get(); v != nil {
+			if b := v.([]byte); cap(b) >= n {
+				return b[:n]
+			}
+		}
+	}
+	return make([]byte, n)
+}
+
+// Recycle returns a payload buffer to the transport pool. It is optional:
+// a consumer that holds references into the payload must simply not call
+// it, and unrecycled buffers are reclaimed by the garbage collector. After
+// Recycle the caller must not touch the slice again.
+func Recycle(payload []byte) {
+	if payload == nil || cap(payload) > maxPooledPayload {
+		return
+	}
+	payloadPool.Put(payload[:0])
 }
 
 // Sender is the client end of a one-way channel (ZeroMQ PUSH-like).

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func benchBatch(steps, fields, cells int) *DataBatch {
+	b := &DataBatch{GroupID: 3, CellLo: 0, CellHi: cells}
+	for s := 0; s < steps; s++ {
+		st := DataStep{Timestep: s, Fields: make([][]float64, fields)}
+		for f := range st.Fields {
+			vals := make([]float64, cells)
+			for c := range vals {
+				vals[c] = float64(s*1000 + f*cells + c)
+			}
+			st.Fields[f] = vals
+		}
+		b.Steps = append(b.Steps, st)
+	}
+	return b
+}
+
+func TestDataBatchRoundTrip(t *testing.T) {
+	b := benchBatch(3, 4, 17)
+	payload := Encode(b)
+	if got := int64(len(payload)); got != DataBatchSizeBytes(3, 4, 17) {
+		t.Fatalf("encoded %d bytes, size model says %d", got, DataBatchSizeBytes(3, 4, 17))
+	}
+	decoded, err := Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, b) {
+		t.Fatalf("round trip: %+v", decoded)
+	}
+	if PayloadType(payload) != TypeDataBatch {
+		t.Fatalf("PayloadType = %d", PayloadType(payload))
+	}
+
+	// Empty batch survives too.
+	empty := &DataBatch{GroupID: 1, CellLo: 5, CellHi: 9}
+	got := roundTrip(t, empty).(*DataBatch)
+	if got.GroupID != 1 || got.CellLo != 5 || got.CellHi != 9 || len(got.Steps) != 0 {
+		t.Fatalf("empty batch: %+v", got)
+	}
+}
+
+// TestDecodeDataInto checks the scratch-reusing decoder: repeated decodes
+// into one scratch must reproduce Decode exactly and reuse the field
+// storage once capacities are warm.
+func TestDecodeDataInto(t *testing.T) {
+	var scratch Data
+	for _, cells := range []int{32, 8, 32} {
+		d := benchData(cells)
+		payload := Encode(d)
+		if err := DecodeDataInto(payload, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		cp := scratch
+		if !reflect.DeepEqual(&cp, d) {
+			t.Fatalf("cells=%d: scratch decode mismatch", cells)
+		}
+	}
+	// Warm scratch: decoding a same-shape payload must not reallocate the
+	// per-field storage.
+	payload := Encode(benchData(32))
+	if err := DecodeDataInto(payload, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	before := &scratch.Fields[0][0]
+	if err := DecodeDataInto(payload, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if before != &scratch.Fields[0][0] {
+		t.Fatal("warm scratch decode reallocated field storage")
+	}
+
+	if err := DecodeDataInto(Encode(&Stop{}), &scratch); err == nil {
+		t.Fatal("DecodeDataInto accepted a non-Data payload")
+	}
+	if err := DecodeDataInto(payload[:len(payload)-1], &scratch); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestDecodeDataBatchInto(t *testing.T) {
+	var scratch DataBatch
+	for _, steps := range []int{4, 2, 4} {
+		b := benchBatch(steps, 3, 16)
+		if err := DecodeDataBatchInto(Encode(b), &scratch); err != nil {
+			t.Fatal(err)
+		}
+		cp := scratch
+		if !reflect.DeepEqual(&cp, b) {
+			t.Fatalf("steps=%d: scratch decode mismatch", steps)
+		}
+	}
+	payload := Encode(benchBatch(4, 3, 16))
+	if err := DecodeDataBatchInto(payload, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	before := &scratch.Steps[0].Fields[0][0]
+	if err := DecodeDataBatchInto(payload, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	if before != &scratch.Steps[0].Fields[0][0] {
+		t.Fatal("warm scratch decode reallocated field storage")
+	}
+	if err := DecodeDataBatchInto(Encode(&Stop{}), &scratch); err == nil {
+		t.Fatal("DecodeDataBatchInto accepted a non-DataBatch payload")
+	}
+}

@@ -37,6 +37,10 @@ const (
 	TypeReport
 	// TypeStop asks a server process to checkpoint (if configured) and exit.
 	TypeStop
+	// TypeDataBatch carries several timesteps of one group for one cell
+	// range in a single message, cutting per-message framing and syscall
+	// overhead on the simulation→server hot path.
+	TypeDataBatch
 )
 
 // Hello announces a new simulation group. ReplyAddr is an address the
@@ -67,6 +71,24 @@ type Data struct {
 	CellLo   int
 	CellHi   int
 	Fields   [][]float64
+}
+
+// DataStep is one timestep's worth of fields inside a DataBatch.
+type DataStep struct {
+	Timestep int
+	Fields   [][]float64
+}
+
+// DataBatch carries several consecutive timesteps of one group restricted
+// to [CellLo, CellHi): the batched form of Data. Batching amortizes the
+// per-message overhead (type tag, framing, channel/syscall round trips)
+// across Steps, which matters once simulations emit faster than the
+// transport can frame individual messages.
+type DataBatch struct {
+	GroupID int
+	CellLo  int
+	CellHi  int
+	Steps   []DataStep
 }
 
 // Heartbeat is a liveness beacon.
@@ -102,9 +124,36 @@ type Stop struct {
 	Checkpoint bool
 }
 
-// Encode serializes any supported message with its type tag.
+// Encode serializes any supported message with its type tag into a fresh
+// buffer. Hot paths should prefer EncodeTo with a pooled enc.Writer.
 func Encode(msg any) []byte {
-	w := enc.NewWriter(64)
+	w := enc.NewWriter(encodedSizeHint(msg))
+	EncodeTo(w, msg)
+	return w.Bytes()
+}
+
+// encodedSizeHint returns a capacity that avoids regrowth for the bulk
+// messages (their exact size models live below); small control messages
+// just use a small default.
+func encodedSizeHint(msg any) int {
+	switch m := msg.(type) {
+	case *Data:
+		return int(DataSizeBytes(len(m.Fields), m.CellHi-m.CellLo))
+	case *DataBatch:
+		fields := 0
+		if len(m.Steps) > 0 {
+			fields = len(m.Steps[0].Fields)
+		}
+		return int(DataBatchSizeBytes(len(m.Steps), fields, m.CellHi-m.CellLo))
+	default:
+		return 64
+	}
+}
+
+// EncodeTo serializes any supported message with its type tag, appending to
+// w. Callers that encode per-timestep messages should obtain w from
+// enc.GetWriter and release it after the transport copied the payload.
+func EncodeTo(w *enc.Writer, msg any) {
 	switch m := msg.(type) {
 	case *Hello:
 		w.U8(uint8(TypeHello))
@@ -126,7 +175,6 @@ func Encode(msg any) []byte {
 			w.Int(p.Hi)
 		}
 	case *Data:
-		w = enc.NewWriter(32 + 8*len(m.Fields)*(m.CellHi-m.CellLo))
 		w.U8(uint8(TypeData))
 		w.Int(m.GroupID)
 		w.Int(m.Timestep)
@@ -135,6 +183,19 @@ func Encode(msg any) []byte {
 		w.U32(uint32(len(m.Fields)))
 		for _, f := range m.Fields {
 			w.F64Slice(f)
+		}
+	case *DataBatch:
+		w.U8(uint8(TypeDataBatch))
+		w.Int(m.GroupID)
+		w.Int(m.CellLo)
+		w.Int(m.CellHi)
+		w.U32(uint32(len(m.Steps)))
+		for _, st := range m.Steps {
+			w.Int(st.Timestep)
+			w.U32(uint32(len(st.Fields)))
+			for _, f := range st.Fields {
+				w.F64Slice(f)
+			}
 		}
 	case *Heartbeat:
 		w.U8(uint8(TypeHeartbeat))
@@ -163,7 +224,6 @@ func Encode(msg any) []byte {
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
-	return w.Bytes()
 }
 
 // Decode parses a wire payload into one of the message structs.
@@ -216,6 +276,27 @@ func Decode(payload []byte) (any, error) {
 			}
 		}
 		msg = m
+	case TypeDataBatch:
+		m := &DataBatch{}
+		m.GroupID = r.Int()
+		m.CellLo = r.Int()
+		m.CellHi = r.Int()
+		ns := int(r.U32())
+		if r.Err() == nil && ns >= 0 && ns < 1<<20 {
+			m.Steps = make([]DataStep, ns)
+			for i := range m.Steps {
+				m.Steps[i].Timestep = r.Int()
+				nf := int(r.U32())
+				if r.Err() != nil || nf < 0 || nf >= 1<<16 {
+					break
+				}
+				m.Steps[i].Fields = make([][]float64, nf)
+				for f := range m.Steps[i].Fields {
+					m.Steps[i].Fields[f] = r.F64Slice()
+				}
+			}
+		}
+		msg = m
 	case TypeHeartbeat:
 		m := &Heartbeat{}
 		m.Sender = r.String()
@@ -264,9 +345,111 @@ func Decode(payload []byte) (any, error) {
 	return msg, nil
 }
 
+// PayloadType peeks at the type tag of an encoded message without decoding
+// it, so receivers can route bulk payloads to scratch-reusing decoders.
+func PayloadType(payload []byte) MsgType {
+	if len(payload) == 0 {
+		return 0
+	}
+	return MsgType(payload[0])
+}
+
+// DecodeDataInto decodes a TypeData payload into m, reusing m's field
+// storage when capacities allow. Steady-state decoding of same-shaped data
+// messages allocates nothing.
+func DecodeDataInto(payload []byte, m *Data) error {
+	r := enc.NewReader(payload)
+	if typ := MsgType(r.U8()); typ != TypeData {
+		return fmt.Errorf("wire: DecodeDataInto on message type %d", typ)
+	}
+	m.GroupID = r.Int()
+	m.Timestep = r.Int()
+	m.CellLo = r.Int()
+	m.CellHi = r.Int()
+	nf := int(r.U32())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %d: %w", TypeData, err)
+	}
+	if nf < 0 || nf >= 1<<16 {
+		return fmt.Errorf("wire: data message with %d fields", nf)
+	}
+	m.Fields = growFields(m.Fields, nf)
+	for i := range m.Fields {
+		m.Fields[i] = r.F64SliceReuse(m.Fields[i])
+	}
+	return finishDecode(r, TypeData)
+}
+
+// DecodeDataBatchInto decodes a TypeDataBatch payload into m, reusing the
+// step and field storage when capacities allow.
+func DecodeDataBatchInto(payload []byte, m *DataBatch) error {
+	r := enc.NewReader(payload)
+	if typ := MsgType(r.U8()); typ != TypeDataBatch {
+		return fmt.Errorf("wire: DecodeDataBatchInto on message type %d", typ)
+	}
+	m.GroupID = r.Int()
+	m.CellLo = r.Int()
+	m.CellHi = r.Int()
+	ns := int(r.U32())
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %d: %w", TypeDataBatch, err)
+	}
+	if ns < 0 || ns >= 1<<20 {
+		return fmt.Errorf("wire: data batch with %d steps", ns)
+	}
+	if cap(m.Steps) < ns {
+		steps := make([]DataStep, ns)
+		copy(steps, m.Steps)
+		m.Steps = steps
+	} else {
+		m.Steps = m.Steps[:ns]
+	}
+	for i := range m.Steps {
+		st := &m.Steps[i]
+		st.Timestep = r.Int()
+		nf := int(r.U32())
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("wire: decoding %d: %w", TypeDataBatch, err)
+		}
+		if nf < 0 || nf >= 1<<16 {
+			return fmt.Errorf("wire: data batch step with %d fields", nf)
+		}
+		st.Fields = growFields(st.Fields, nf)
+		for f := range st.Fields {
+			st.Fields[f] = r.F64SliceReuse(st.Fields[f])
+		}
+	}
+	return finishDecode(r, TypeDataBatch)
+}
+
+func growFields(fields [][]float64, n int) [][]float64 {
+	if cap(fields) < n {
+		grown := make([][]float64, n)
+		copy(grown, fields)
+		return grown
+	}
+	return fields[:n]
+}
+
+func finishDecode(r *enc.Reader, typ MsgType) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("wire: decoding %d: %w", typ, err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after message type %d", r.Remaining(), typ)
+	}
+	return nil
+}
+
 // DataSizeBytes returns the encoded size of a Data message carrying `fields`
 // fields of `cells` cells — the quantity the performance model uses for
 // bandwidth accounting.
 func DataSizeBytes(fields, cells int) int64 {
 	return 1 + 4*8 + 4 + int64(fields)*(8+8*int64(cells))
+}
+
+// DataBatchSizeBytes returns the encoded size of a DataBatch carrying
+// `steps` timesteps of `fields` fields over `cells` cells.
+func DataBatchSizeBytes(steps, fields, cells int) int64 {
+	return 1 + 3*8 + 4 + int64(steps)*(8+4+int64(fields)*(8+8*int64(cells)))
 }

@@ -36,6 +36,43 @@ func BenchmarkDataDecode10kCells(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeDataInto10kCells measures the fold loop's scratch-reusing
+// decode: after the first iteration it allocates nothing.
+func BenchmarkDecodeDataInto10kCells(b *testing.B) {
+	payload := Encode(benchData(10000))
+	var scratch Data
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeDataInto(payload, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataBatchEncode8Steps encodes 8 timesteps in one message —
+// compare bytes/op and ns/op against 8× the single-step encode.
+func BenchmarkDataBatchEncode8Steps(b *testing.B) {
+	batch := benchBatch(8, 8, 1250) // same payload volume as one 10k-cell Data
+	b.SetBytes(DataBatchSizeBytes(8, 8, 1250))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(batch)
+	}
+}
+
+func BenchmarkDataBatchDecodeInto8Steps(b *testing.B) {
+	payload := Encode(benchBatch(8, 8, 1250))
+	var scratch DataBatch
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeDataBatchInto(payload, &scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHelloRoundTrip(b *testing.B) {
 	h := &Hello{GroupID: 42, SimRanks: 64, ReplyAddr: "127.0.0.1:55555"}
 	for i := 0; i < b.N; i++ {
