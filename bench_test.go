@@ -134,7 +134,7 @@ func BenchmarkSec54FaultTolerance(b *testing.B) {
 		if err := checkpoint.Write(path, func(w *enc.Writer) { acc.Encode(w) }); err != nil {
 			b.Fatal(err)
 		}
-		r, err := checkpoint.Read(path)
+		r, _, err := checkpoint.Read(path)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -18,9 +18,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"melissa/internal/core"
+	"melissa/internal/quantiles"
 	"melissa/internal/server"
 	"melissa/internal/transport"
 )
@@ -38,7 +41,30 @@ func main() {
 	restore := flag.Bool("restore", false, "restore from the last checkpoint before serving")
 	launcherAddr := flag.String("launcher", "", "launcher address for heartbeats/reports")
 	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
+	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
+	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
+	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
+	quantileList := flag.String("quantiles", "", "comma-separated quantile probes, e.g. 0.05,0.5,0.95 (empty = off)")
+	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
 	flag.Parse()
+
+	stats := core.Options{
+		MinMax:        *minMax,
+		HigherMoments: *higherMoments,
+		QuantileEps:   *quantileEps,
+	}
+	if *threshold != "" {
+		th, err := strconv.ParseFloat(*threshold, 64)
+		if err != nil {
+			log.Fatalf("melissa-server: -threshold: %v", err)
+		}
+		stats.Threshold = &th
+	}
+	probes, err := quantiles.ParseList(*quantileList)
+	if err != nil {
+		log.Fatalf("melissa-server: -quantiles: %v", err)
+	}
+	stats.Quantiles = probes
 
 	cfg := server.Config{
 		Procs:        *procs,
@@ -46,6 +72,7 @@ func main() {
 		Cells:        *cells,
 		Timesteps:    *timesteps,
 		P:            *p,
+		Stats:        stats,
 		Network:      transport.NewTCPNetwork(transport.Options{}),
 		GroupTimeout: *groupTimeout,
 		LauncherAddr: *launcherAddr,

@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"melissa"
@@ -30,8 +31,19 @@ import (
 	"melissa/internal/des"
 	"melissa/internal/enc"
 	"melissa/internal/harness"
+	"melissa/internal/quantiles"
 	"melissa/internal/sobol"
 )
+
+// statOptions carries the optional ubiquitous statistics selected on the
+// command line into the live study.
+type statOptions struct {
+	minMax        bool
+	threshold     *float64
+	higherMoments bool
+	quantiles     []float64
+	quantileEps   float64
+}
 
 func main() {
 	out := flag.String("out", "out", "output directory")
@@ -44,7 +56,30 @@ func main() {
 	groups := flag.Int("groups", 128, "tube-bundle groups")
 	foldWorkers := flag.Int("fold-workers", 0, "fold workers per server process (0 = GOMAXPROCS-aware)")
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
+	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
+	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
+	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
+	quantileList := flag.String("quantiles", "", "comma-separated quantile probes, e.g. 0.05,0.5,0.95 (empty = off)")
+	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
 	flag.Parse()
+
+	stats := statOptions{
+		minMax:        *minMax,
+		higherMoments: *higherMoments,
+		quantileEps:   *quantileEps,
+	}
+	if *threshold != "" {
+		th, err := strconv.ParseFloat(*threshold, 64)
+		if err != nil {
+			log.Fatalf("melissa-study: -threshold: %v", err)
+		}
+		stats.threshold = &th
+	}
+	probes, err := quantiles.ParseList(*quantileList)
+	if err != nil {
+		log.Fatalf("melissa-study: -quantiles: %v", err)
+	}
+	stats.quantiles = probes
 
 	if *fig6 {
 		runFig6(*out)
@@ -53,7 +88,7 @@ func main() {
 		runSec54(*out)
 	}
 	if *fig7 {
-		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps)
+		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps, stats)
 	}
 	if *conv {
 		runConvergence(*out)
@@ -165,7 +200,7 @@ func runSec54(out string) {
 	writeDur := time.Since(wStart)
 	info, _ := os.Stat(path)
 	rStart := time.Now()
-	r, err := checkpoint.Read(path)
+	r, _, err := checkpoint.Read(path)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -187,7 +222,7 @@ func runSec54(out string) {
 	_ = out
 }
 
-func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int) {
+func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int, opts statOptions) {
 	fmt.Println("================ Fig. 7/8: tube-bundle Sobol' maps (live) ================")
 	study, grid, err := melissa.TubeBundleStudy(nx, ny, groups, 2017)
 	if err != nil {
@@ -197,6 +232,11 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int) {
 	study.SimRanks = 4
 	study.FoldWorkers = foldWorkers
 	study.BatchSteps = batchSteps
+	study.MinMax = opts.minMax
+	study.Threshold = opts.threshold
+	study.HigherMoments = opts.higherMoments
+	study.Quantiles = opts.quantiles
+	study.QuantileEps = opts.quantileEps
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {
@@ -225,6 +265,17 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int) {
 	fmt.Printf("Fig. 8 — Var(Y) at timestep 80:\n%s\n", harness.Heatmap(variance, nx, ny, 0, 0))
 	if err := harness.WritePGM(filepath.Join(out, "fig7", "variance.pgm"), variance, nx, ny, 0, 0); err != nil {
 		log.Fatal(err)
+	}
+
+	// Ubiquitous quantile maps (the in-transit order statistics of Ribés
+	// et al.), one per configured probe, at the same timestep as Fig. 7/8.
+	for _, q := range res.QuantileProbes() {
+		field := res.Quantile(step, q)
+		name := fmt.Sprintf("quantile_q%g", q)
+		fmt.Printf("Quantile map — q=%g at timestep 80:\n%s\n", q, harness.Heatmap(field, nx, ny, 0, 0))
+		if err := harness.WritePGM(filepath.Join(out, "fig7", name+".pgm"), field, nx, ny, 0, 0); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -18,8 +18,16 @@ import (
 )
 
 const (
-	magic   = 0x4d4c5341 // "MLSA"
-	version = 1
+	magic = 0x4d4c5341 // "MLSA"
+
+	// V1 is the original payload format: Sobol' co-moments plus the
+	// optional min/max, exceedance and higher-moment trackers.
+	V1 = 1
+	// Version is the current (newest) format, written by Write: V2 appends
+	// the per-cell quantile-sketch state (core.LayoutV2). Read accepts
+	// every version from V1 up to Version and reports which one it found,
+	// so servers restart cleanly from checkpoints written by older builds.
+	Version = 2
 )
 
 // Filename returns the canonical checkpoint path for a server process rank,
@@ -28,15 +36,27 @@ func Filename(dir string, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("melissa-server-%04d.ckpt", rank))
 }
 
-// Write serializes a payload produced by fill into path, atomically.
+// Write serializes a payload produced by fill into path, atomically, in the
+// current format version.
 func Write(path string, fill func(w *enc.Writer)) error {
+	return WriteVersioned(path, Version, fill)
+}
+
+// WriteVersioned writes a checkpoint in an explicit format version — the
+// compatibility surface for producing files older builds (or tests
+// exercising the upgrade path) can read. The caller must fill the payload
+// in the matching layout (e.g. core.EncodeVersion).
+func WriteVersioned(path string, version int, fill func(w *enc.Writer)) error {
+	if version < V1 || version > Version {
+		return fmt.Errorf("checkpoint: cannot write unknown version %d (valid: %d..%d)", version, V1, Version)
+	}
 	w := enc.NewWriter(1 << 16)
 	fill(w)
 	payload := w.Bytes()
 
 	header := make([]byte, 16)
 	binary.LittleEndian.PutUint32(header[0:], magic)
-	binary.LittleEndian.PutUint32(header[4:], version)
+	binary.LittleEndian.PutUint32(header[4:], uint32(version))
 	binary.LittleEndian.PutUint32(header[8:], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(header[12:], uint32(len(payload)))
 
@@ -71,31 +91,37 @@ func Write(path string, fill func(w *enc.Writer)) error {
 	return nil
 }
 
-// Read loads and verifies a checkpoint, returning a reader over its payload.
-func Read(path string) (*enc.Reader, error) {
+// Read loads and verifies a checkpoint, returning a reader over its payload
+// and the format version found in the header (V1..Version). Callers pass
+// the version to the matching layout decoder (e.g.
+// core.DecodeAccumulatorVersion). Files written by a newer build are
+// rejected with a clean error rather than misread.
+func Read(path string) (*enc.Reader, int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: %w", err)
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	if len(raw) < 16 {
-		return nil, fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
+		return nil, 0, fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
 	}
 	if got := binary.LittleEndian.Uint32(raw[0:]); got != magic {
-		return nil, fmt.Errorf("checkpoint: %s: bad magic %#x", path, got)
+		return nil, 0, fmt.Errorf("checkpoint: %s: bad magic %#x", path, got)
 	}
-	if got := binary.LittleEndian.Uint32(raw[4:]); got != version {
-		return nil, fmt.Errorf("checkpoint: %s: unsupported version %d", path, got)
+	version := int(binary.LittleEndian.Uint32(raw[4:]))
+	if version < V1 || version > Version {
+		return nil, 0, fmt.Errorf("checkpoint: %s: unsupported version %d (this build reads %d..%d)",
+			path, version, V1, Version)
 	}
 	wantCRC := binary.LittleEndian.Uint32(raw[8:])
 	wantLen := int(binary.LittleEndian.Uint32(raw[12:]))
 	payload := raw[16:]
 	if len(payload) != wantLen {
-		return nil, fmt.Errorf("checkpoint: %s: payload %d bytes, header says %d", path, len(payload), wantLen)
+		return nil, 0, fmt.Errorf("checkpoint: %s: payload %d bytes, header says %d", path, len(payload), wantLen)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return nil, fmt.Errorf("checkpoint: %s: CRC mismatch", path)
+		return nil, 0, fmt.Errorf("checkpoint: %s: CRC mismatch", path)
 	}
-	return enc.NewReader(payload), nil
+	return enc.NewReader(payload), version, nil
 }
 
 // Exists reports whether a readable checkpoint is present at path.

@@ -19,7 +19,10 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := Read(path)
+	r, version, err := Read(path)
+	if version != Version {
+		t.Fatalf("version %d, want %d", version, Version)
+	}
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestOverwriteIsAtomicReplacement(t *testing.T) {
 		if err := Write(path, func(w *enc.Writer) { w.Int(v) }); err != nil {
 			t.Fatal(err)
 		}
-		r, err := Read(path)
+		r, _, err := Read(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,14 +106,68 @@ func TestCorruptionDetected(t *testing.T) {
 		if err := os.WriteFile(bad, corrupt(raw), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Read(bad); err == nil {
+		if _, _, err := Read(bad); err == nil {
 			t.Errorf("%s: corruption not detected", name)
 		}
 	}
 }
 
+// TestReadV1File: files written by pre-quantile builds carry version 1 and
+// must still load, reporting their version so decoders pick the V1 layout.
+func TestReadV1File(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.ckpt")
+	if err := WriteVersioned(path, V1, func(w *enc.Writer) { w.String("old-state") }); err != nil {
+		t.Fatal(err)
+	}
+	r, version, err := Read(path)
+	if err != nil {
+		t.Fatalf("v1 read: %v", err)
+	}
+	if version != V1 {
+		t.Fatalf("version %d, want %d", version, V1)
+	}
+	if r.String() != "old-state" || r.Err() != nil {
+		t.Fatal("v1 payload lost")
+	}
+}
+
+// TestReadFutureVersionRejected: a file from a newer build fails with a
+// clean, explanatory error instead of being misdecoded.
+func TestReadFutureVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	if err := Write(path, func(w *enc.Writer) { w.U8(1) }); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[4] = Version + 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Read(path)
+	if err == nil {
+		t.Fatal("future version accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestWriteVersionedRejectsUnknown: the writer refuses versions this build
+// does not define, on both sides of the valid range.
+func TestWriteVersionedRejectsUnknown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.ckpt")
+	for _, v := range []int{0, -1, Version + 1} {
+		if err := WriteVersioned(path, v, func(w *enc.Writer) {}); err == nil {
+			t.Errorf("WriteVersioned accepted version %d", v)
+		}
+	}
+}
+
 func TestReadMissingFile(t *testing.T) {
-	if _, err := Read(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+	if _, _, err := Read(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
 		t.Fatal("missing file read succeeded")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"melissa/internal/enc"
+	"melissa/internal/quantiles"
 	"melissa/internal/sobol"
 	"melissa/internal/stats"
 )
@@ -22,7 +23,23 @@ type Options struct {
 	// A and B samples (Pébay formulas; suggested in Sec. 4.1 for
 	// uncertainty-propagation studies).
 	HigherMoments bool
+	// Quantiles, when non-empty, maintains a bounded-memory quantile sketch
+	// per cell per timestep over the pooled A and B samples (Ribés et al.,
+	// "Large scale in transit computation of quantiles for ensemble runs").
+	// The listed probabilities are the probes surfaced by results and CLIs;
+	// QuantileField can query any q from the same sketch. Each probe must
+	// lie in (0, 1). This is the first statistic whose per-cell state is a
+	// data structure rather than a few floats; its state rides the same
+	// shard/merge/checkpoint machinery as the float trackers.
+	Quantiles []float64
+	// QuantileEps is the sketch rank-error ε: a quantile query returns a
+	// sample whose rank is within ±εn of the target, with O(1/ε) memory per
+	// cell instead of O(n). 0 selects quantiles.DefaultEpsilon.
+	QuantileEps float64
 }
+
+// quantilesEnabled reports whether per-cell quantile sketches are tracked.
+func (o Options) quantilesEnabled() bool { return len(o.Quantiles) > 0 }
 
 // Accumulator holds the ubiquitous Sobol' state for one spatial partition
 // across all timesteps. It is not safe for concurrent use; each server
@@ -47,6 +64,7 @@ type stepAccum struct {
 	minmax     *stats.FieldMinMax
 	exceed     *stats.FieldExceedance
 	higher     *stats.FieldMoments
+	quant      *quantiles.Field
 }
 
 // NewAccumulator returns an accumulator for a partition of `cells` cells,
@@ -54,6 +72,11 @@ type stepAccum struct {
 func NewAccumulator(cells, timesteps, p int, opts Options) *Accumulator {
 	if cells < 0 || timesteps < 1 || p < 1 {
 		panic(fmt.Sprintf("core: invalid accumulator shape cells=%d timesteps=%d p=%d", cells, timesteps, p))
+	}
+	for _, q := range opts.Quantiles {
+		if !(q > 0 && q < 1) {
+			panic(fmt.Sprintf("core: quantile probe %v out of (0,1)", q))
+		}
 	}
 	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, opts: opts}
 	a.steps = make([]stepAccum, timesteps)
@@ -82,6 +105,9 @@ func newStepAccum(cells, p int, opts Options) stepAccum {
 	}
 	if opts.HigherMoments {
 		s.higher = stats.NewFieldMoments(cells)
+	}
+	if opts.quantilesEnabled() {
+		s.quant = quantiles.NewField(cells, opts.QuantileEps)
 	}
 	return s
 }
@@ -158,6 +184,10 @@ func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
 	if s.higher != nil {
 		s.higher.Update(yA)
 		s.higher.Update(yB)
+	}
+	if s.quant != nil {
+		s.quant.Update(yA)
+		s.quant.Update(yB)
 	}
 }
 
@@ -256,6 +286,30 @@ func (a *Accumulator) Exceedance(t int) *stats.FieldExceedance { return a.steps[
 // HigherMoments returns the optional pooled-moments tracker for step t.
 func (a *Accumulator) HigherMoments(t int) *stats.FieldMoments { return a.steps[t].higher }
 
+// Quantiles returns the optional per-cell quantile sketches for step t (nil
+// when not enabled).
+func (a *Accumulator) Quantiles(t int) *quantiles.Field { return a.steps[t].quant }
+
+// QuantileProbes returns the configured quantile probe list (nil when
+// quantile tracking is disabled).
+func (a *Accumulator) QuantileProbes() []float64 { return a.opts.Quantiles }
+
+// QuantileField writes the per-cell q-quantile estimate of the pooled A/B
+// sample at step t into dst. Any q in [0, 1] may be queried, not only the
+// configured probes; without quantile tracking the field is all zeros
+// (matching the other statistics before data arrives).
+func (a *Accumulator) QuantileField(t int, q float64, dst []float64) []float64 {
+	s := &a.steps[t]
+	if s.quant == nil {
+		dst = ensureLen(dst, a.cells)
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	return s.quant.QueryField(q, dst)
+}
+
 // FirstCI returns the Eq. 8 confidence interval for S_k at (t, cell i).
 func (a *Accumulator) FirstCI(t, k, i int, level float64) sobol.Interval {
 	return sobol.FirstOrderCI(a.FirstAt(t, k, i), a.steps[t].n, level)
@@ -346,6 +400,9 @@ func (a *Accumulator) Merge(other *Accumulator) {
 		if sa.higher != nil && sb.higher != nil {
 			sa.higher.Merge(sb.higher)
 		}
+		if sa.quant != nil && sb.quant != nil {
+			sa.quant.Merge(sb.quant)
+		}
 		sa.n += sb.n
 	}
 }
@@ -371,10 +428,15 @@ func copyStep(dst, src *stepAccum) {
 	if dst.higher != nil && src.higher != nil {
 		dst.higher.Merge(src.higher)
 	}
+	if dst.quant != nil && src.quant != nil {
+		dst.quant.Merge(src.quant)
+	}
 }
 
 // MemoryBytes returns the size of the float64 state, the quantity of the
-// Sec. 4.1.1 memory model (timesteps × cells × statistics × 8 bytes).
+// Sec. 4.1.1 memory model (timesteps × cells × statistics × 8 bytes), plus
+// the dynamic quantile-sketch state when enabled — O(cells/ε), bounded
+// regardless of the number of groups folded.
 func (a *Accumulator) MemoryBytes() int64 {
 	perCellFloats := int64(4 + 4*a.p)
 	if a.opts.MinMax {
@@ -386,11 +448,38 @@ func (a *Accumulator) MemoryBytes() int64 {
 	if a.opts.HigherMoments {
 		perCellFloats += 4
 	}
-	return 8 * perCellFloats * int64(a.cells) * int64(a.timesteps)
+	total := 8 * perCellFloats * int64(a.cells) * int64(a.timesteps)
+	if a.opts.quantilesEnabled() {
+		for t := range a.steps {
+			total += a.steps[t].quant.MemoryBytes()
+		}
+	}
+	return total
 }
 
-// Encode appends the full accumulator state to w (checkpoint format).
-func (a *Accumulator) Encode(w *enc.Writer) {
+// Accumulator serialization layouts, corresponding one-to-one to the
+// checkpoint file versions of internal/checkpoint: LayoutV1 is the original
+// format (Sobol' co-moments plus the optional min/max, exceedance and
+// higher-moment trackers); LayoutV2 appends the quantile probe list, the
+// sketch ε and one per-cell quantile sketch field per timestep.
+const (
+	LayoutV1      = 1
+	LayoutV2      = 2
+	LayoutCurrent = LayoutV2
+)
+
+// Encode appends the full accumulator state to w in the current checkpoint
+// layout.
+func (a *Accumulator) Encode(w *enc.Writer) { a.EncodeVersion(w, LayoutCurrent) }
+
+// EncodeVersion appends the accumulator state in the given layout version —
+// the compatibility surface for writing files older readers understand.
+// Encoding a quantile-enabled accumulator as LayoutV1 drops the quantile
+// state (V1 cannot represent it); everything else round-trips bit-exactly.
+func (a *Accumulator) EncodeVersion(w *enc.Writer, version int) {
+	if version < LayoutV1 || version > LayoutCurrent {
+		panic(fmt.Sprintf("core: unknown accumulator layout version %d", version))
+	}
 	w.Int(a.cells)
 	w.Int(a.timesteps)
 	w.Int(a.p)
@@ -400,6 +489,10 @@ func (a *Accumulator) Encode(w *enc.Writer) {
 		w.F64(*a.opts.Threshold)
 	}
 	w.Bool(a.opts.HigherMoments)
+	if version >= LayoutV2 {
+		w.F64Slice(a.opts.Quantiles)
+		w.F64(a.opts.QuantileEps)
+	}
 	for t := range a.steps {
 		s := &a.steps[t]
 		w.I64(s.n)
@@ -422,11 +515,26 @@ func (a *Accumulator) Encode(w *enc.Writer) {
 		if s.higher != nil {
 			s.higher.Encode(w)
 		}
+		if version >= LayoutV2 && s.quant != nil {
+			s.quant.Encode(w)
+		}
 	}
 }
 
-// DecodeAccumulator reconstructs an accumulator from r.
+// DecodeAccumulator reconstructs an accumulator from r (current layout).
 func DecodeAccumulator(r *enc.Reader) (*Accumulator, error) {
+	return DecodeAccumulatorVersion(r, LayoutCurrent)
+}
+
+// DecodeAccumulatorVersion reconstructs an accumulator encoded in the given
+// layout version (taken from the checkpoint file header). A V1 stream
+// restores cleanly into this reader with quantile tracking disabled — the
+// state simply predates the statistic.
+func DecodeAccumulatorVersion(r *enc.Reader, version int) (*Accumulator, error) {
+	if version < LayoutV1 || version > LayoutCurrent {
+		return nil, fmt.Errorf("core: unsupported accumulator layout version %d (this build reads %d..%d)",
+			version, LayoutV1, LayoutCurrent)
+	}
 	cells := r.Int()
 	timesteps := r.Int()
 	p := r.Int()
@@ -443,6 +551,21 @@ func DecodeAccumulator(r *enc.Reader) (*Accumulator, error) {
 		opts.Threshold = &th
 	}
 	opts.HigherMoments = r.Bool()
+	if version >= LayoutV2 {
+		opts.Quantiles = r.F64Slice()
+		opts.QuantileEps = r.F64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		for _, q := range opts.Quantiles {
+			if !(q > 0 && q < 1) {
+				return nil, fmt.Errorf("core: corrupt quantile probe %v", q)
+			}
+		}
+		if !(opts.QuantileEps >= 0 && opts.QuantileEps < 1) {
+			return nil, fmt.Errorf("core: corrupt quantile eps %v", opts.QuantileEps)
+		}
+	}
 	a := NewAccumulator(cells, timesteps, p, opts)
 	for t := range a.steps {
 		s := &a.steps[t]
@@ -465,6 +588,12 @@ func DecodeAccumulator(r *enc.Reader) (*Accumulator, error) {
 		}
 		if s.higher != nil {
 			s.higher.Decode(r)
+		}
+		if version >= LayoutV2 && s.quant != nil {
+			s.quant.Decode(r)
+			if s.quant.Cells() != a.cells && r.Err() == nil {
+				return nil, fmt.Errorf("core: quantile field has %d cells, want %d", s.quant.Cells(), a.cells)
+			}
 		}
 	}
 	if err := r.Err(); err != nil {

@@ -300,7 +300,10 @@ func TestAccumulatorEncodeDecodeRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(48))
 	th := 1.25
 	const cells, p, steps = 5, 3, 2
-	a := NewAccumulator(cells, steps, p, Options{MinMax: true, Threshold: &th, HigherMoments: true})
+	a := NewAccumulator(cells, steps, p, Options{
+		MinMax: true, Threshold: &th, HigherMoments: true,
+		Quantiles: []float64{0.1, 0.5, 0.9}, QuantileEps: 0.02,
+	})
 	for s := 0; s < steps; s++ {
 		feedAll(a, s, randomGroups(rng, 9, cells, p))
 	}
@@ -324,6 +327,15 @@ func TestAccumulatorEncodeDecodeRoundTrip(t *testing.T) {
 		}
 		if b.MinMax(s).Min(0) != a.MinMax(s).Min(0) || b.Exceedance(s).Probability(1) != a.Exceedance(s).Probability(1) {
 			t.Fatal("optional stats not restored")
+		}
+		for _, q := range a.QuantileProbes() {
+			bq := b.QuantileField(s, q, nil)
+			aq := a.QuantileField(s, q, nil)
+			for i := range aq {
+				if bq[i] != aq[i] {
+					t.Fatalf("quantile %v not bit-identical at (%d,%d)", q, s, i)
+				}
+			}
 		}
 	}
 	// The restored accumulator keeps accepting updates (server restart).

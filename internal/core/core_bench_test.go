@@ -73,6 +73,41 @@ func BenchmarkUpdateGroupSharded10kCellsP6(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateGroupQuantiles10kCellsP6 is the same hot path with
+// per-cell quantile sketches enabled — the cost of the first
+// data-structure-valued ubiquitous statistic. Compare against
+// BenchmarkUpdateGroup10kCellsP6 for the sketch overhead per fold.
+func BenchmarkUpdateGroupQuantiles10kCellsP6(b *testing.B) {
+	const cells, p = 10000, 6
+	rng := rand.New(rand.NewSource(1))
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		return f
+	}
+	a := NewAccumulator(cells, 1, p, Options{
+		Quantiles: []float64{0.05, 0.5, 0.95},
+	})
+	yA, yB := field(), field()
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = field()
+	}
+	b.SetBytes(8 * cells * (p + 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Perturb deterministically so the sketches keep absorbing fresh
+		// values instead of replaying one sample.
+		for c := 0; c < cells; c++ {
+			yA[c] += 1e-6
+			yB[c] -= 1e-6
+		}
+		a.UpdateGroup(0, yA, yB, yC)
+	}
+}
+
 // BenchmarkMemoryModel reports the Sec. 4.1.1 server memory at the paper's
 // full scale (9.6M cells, 100 timesteps, p = 6) without allocating it.
 func BenchmarkMemoryModel(b *testing.B) {

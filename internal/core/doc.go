@@ -39,4 +39,16 @@
 // the stitched dense view and must only run while no worker is folding.
 // Checkpoints use the dense format (Encode/DecodeSharded), making them
 // interchangeable across shard counts.
+//
+// # Quantile statistics
+//
+// Options.Quantiles adds per-cell per-timestep quantile sketches
+// (internal/quantiles, after Ribés et al.) over the pooled A/B samples —
+// the first ubiquitous statistic whose per-cell state is a data structure
+// (a Greenwald-Khanna summary) rather than a handful of floats. The sketch
+// is a deterministic function of its update sequence, so it inherits the
+// bitwise FoldWorkers-invariance above unchanged; Extract/Inject/Merge and
+// the checkpoint codec treat it like any other field tracker. Checkpoints
+// carrying quantile state use layout version LayoutV2; LayoutV1 files from
+// older builds restore with quantiles disabled (DecodeAccumulatorVersion).
 package core

@@ -134,6 +134,9 @@ func (a *Accumulator) extractRange(lo, hi int) *Accumulator {
 		if src.higher != nil {
 			dst.higher = src.higher.Extract(lo, hi)
 		}
+		if src.quant != nil {
+			dst.quant = src.quant.Extract(lo, hi)
+		}
 	}
 	return out
 }
@@ -162,6 +165,9 @@ func (a *Accumulator) injectRange(src *Accumulator, lo int) {
 		}
 		if to.higher != nil && from.higher != nil {
 			to.higher.Inject(from.higher, lo)
+		}
+		if to.quant != nil && from.quant != nil {
+			to.quant.Inject(from.quant, lo)
 		}
 	}
 }
@@ -270,6 +276,16 @@ func (s *ShardedAccumulator) InteractionField(t int, dst []float64) []float64 {
 	return s.stitch(dst, func(sh *Accumulator, sub []float64) { sh.InteractionField(t, sub) })
 }
 
+// QuantileField writes the per-cell q-quantile estimate at step t into dst
+// (zeros when quantile tracking is disabled).
+func (s *ShardedAccumulator) QuantileField(t int, q float64, dst []float64) []float64 {
+	return s.stitch(dst, func(sh *Accumulator, sub []float64) { sh.QuantileField(t, q, sub) })
+}
+
+// QuantileProbes returns the configured quantile probe list (nil when
+// quantile tracking is disabled).
+func (s *ShardedAccumulator) QuantileProbes() []float64 { return s.opts.Quantiles }
+
 // MaxCIWidth returns the widest confidence interval over all shards — the
 // same scan as Accumulator.MaxCIWidth on the dense state.
 func (s *ShardedAccumulator) MaxCIWidth(level float64) float64 {
@@ -314,9 +330,15 @@ func (s *ShardedAccumulator) Encode(w *enc.Writer) {
 }
 
 // DecodeSharded reconstructs a sharded accumulator from a dense-format
-// checkpoint stream, splitting it into `shards` ranges.
+// checkpoint stream (current layout), splitting it into `shards` ranges.
 func DecodeSharded(r *enc.Reader, shards int) (*ShardedAccumulator, error) {
-	dense, err := DecodeAccumulator(r)
+	return DecodeShardedVersion(r, LayoutCurrent, shards)
+}
+
+// DecodeShardedVersion is DecodeSharded for a stream encoded in the given
+// layout version (see DecodeAccumulatorVersion).
+func DecodeShardedVersion(r *enc.Reader, version, shards int) (*ShardedAccumulator, error) {
+	dense, err := DecodeAccumulatorVersion(r, version)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,7 +12,13 @@ import (
 
 func shardedOpts() Options {
 	th := 0.5
-	return Options{MinMax: true, Threshold: &th, HigherMoments: true}
+	return Options{
+		MinMax:        true,
+		Threshold:     &th,
+		HigherMoments: true,
+		Quantiles:     []float64{0.05, 0.5, 0.95},
+		QuantileEps:   0.02,
+	}
 }
 
 // feedSharded folds the same stream into every shard sequentially (the
@@ -89,11 +96,16 @@ func compareShardedToDense(t *testing.T, s *ShardedAccumulator, dense *Accumulat
 				}
 			}
 		}
-		for name, pair := range map[string][2][]float64{
+		fields := map[string][2][]float64{
 			"mean":        {s.MeanField(ts, nil), dense.MeanField(ts, nil)},
 			"variance":    {s.VarianceField(ts, nil), dense.VarianceField(ts, nil)},
 			"interaction": {s.InteractionField(ts, nil), dense.InteractionField(ts, nil)},
-		} {
+		}
+		for _, q := range dense.QuantileProbes() {
+			fields[fmt.Sprintf("quantile-%v", q)] =
+				[2][]float64{s.QuantileField(ts, q, nil), dense.QuantileField(ts, q, nil)}
+		}
+		for name, pair := range fields {
 			for c := range pair[0] {
 				if pair[0][c] != pair[1][c] {
 					t.Fatalf("%d shards: %s(step %d, cell %d) = %v, dense %v",

@@ -150,6 +150,16 @@ func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
 
+// Fail records err as the reader's error unless one is already set,
+// poisoning all subsequent reads. Decoders use it to reject byte streams
+// that parse but are semantically invalid (e.g. inconsistent counts), so
+// corruption surfaces as a decode error instead of a later panic.
+func (r *Reader) Fail(err error) {
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+}
+
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 

@@ -1,0 +1,145 @@
+package quantiles
+
+import (
+	"fmt"
+
+	"melissa/internal/enc"
+)
+
+// Field holds one quantile sketch per mesh cell, sharing the ubiquitous-
+// statistics layout of internal/stats: one sample is a whole spatial field
+// produced by one simulation at one timestep, and each cell's sketch sees
+// that cell's value. Memory is O(cells/ε), independent of the number of
+// sample fields folded in.
+//
+// Like the other field trackers it supports Extract/Inject for spatial
+// domain decomposition (the sharded fold engine) and Encode/Decode for the
+// checkpoint format.
+type Field struct {
+	n        int64
+	sketches []Sketch
+}
+
+// NewField returns a per-cell sketch array with rank error eps
+// (non-positive eps selects DefaultEpsilon).
+func NewField(cells int, eps float64) *Field {
+	f := &Field{sketches: make([]Sketch, cells)}
+	for i := range f.sketches {
+		f.sketches[i].init(eps)
+	}
+	return f
+}
+
+// Cells returns the number of cells per sample field.
+func (f *Field) Cells() int { return len(f.sketches) }
+
+// Epsilon returns the per-cell rank-error bound ε.
+func (f *Field) Epsilon() float64 {
+	if len(f.sketches) == 0 {
+		return DefaultEpsilon
+	}
+	return f.sketches[0].eps
+}
+
+// N returns the number of sample fields folded in.
+func (f *Field) N() int64 { return f.n }
+
+// Update folds one sample field. len(values) must equal Cells().
+func (f *Field) Update(values []float64) {
+	if len(values) != len(f.sketches) {
+		panic(fmt.Sprintf("quantiles: field of %d cells updated with %d values", len(f.sketches), len(values)))
+	}
+	f.n++
+	for i, x := range values {
+		f.sketches[i].Update(x)
+	}
+}
+
+// Merge folds other into f cell by cell. Cell counts and ε must match.
+func (f *Field) Merge(other *Field) {
+	if len(other.sketches) != len(f.sketches) {
+		panic("quantiles: merging Fields with different cell counts")
+	}
+	for i := range f.sketches {
+		f.sketches[i].Merge(&other.sketches[i])
+	}
+	f.n += other.n
+}
+
+// Query returns the q-quantile estimate for cell i (0 before any data).
+func (f *Field) Query(i int, q float64) float64 {
+	return f.sketches[i].Query(q)
+}
+
+// QueryField writes the per-cell q-quantile estimates into dst (allocating
+// when nil or too small) and returns it.
+func (f *Field) QueryField(q float64, dst []float64) []float64 {
+	dst = ensureLen(dst, len(f.sketches))
+	for i := range f.sketches {
+		dst[i] = f.sketches[i].Query(q)
+	}
+	return dst
+}
+
+// MemoryBytes returns the dynamic sketch state across cells.
+func (f *Field) MemoryBytes() int64 {
+	var total int64
+	for i := range f.sketches {
+		total += f.sketches[i].MemoryBytes()
+	}
+	return total
+}
+
+// Extract returns a new field over cells [lo, hi) with deep-copied sketch
+// state and the same sample count.
+func (f *Field) Extract(lo, hi int) *Field {
+	out := &Field{n: f.n, sketches: make([]Sketch, hi-lo)}
+	for i := lo; i < hi; i++ {
+		out.sketches[i-lo] = f.sketches[i].clone()
+	}
+	return out
+}
+
+// Inject copies src into cells [lo, lo+src.Cells()) of f and adopts src's
+// sample count (identical across shards of one partition).
+func (f *Field) Inject(src *Field, lo int) {
+	f.n = src.n
+	for i := range src.sketches {
+		f.sketches[lo+i] = src.sketches[i].clone()
+	}
+}
+
+// Encode appends the field state to w (checkpoint format).
+func (f *Field) Encode(w *enc.Writer) {
+	w.I64(f.n)
+	w.Int(len(f.sketches))
+	for i := range f.sketches {
+		f.sketches[i].Encode(w)
+	}
+}
+
+// Decode restores the field state from r, adopting the encoded cell count.
+// Errors are reported through r.Err().
+func (f *Field) Decode(r *enc.Reader) {
+	f.n = r.I64()
+	cells := r.Int()
+	if r.Err() == nil && (f.n < 0 || cells < 0) {
+		r.Fail(fmt.Errorf("quantiles: corrupt field header (n=%d, cells=%d)", f.n, cells))
+	}
+	if r.Err() != nil {
+		return
+	}
+	f.sketches = f.sketches[:0]
+	for i := 0; i < cells && r.Err() == nil; i++ {
+		var s Sketch
+		s.Decode(r)
+		f.sketches = append(f.sketches, s)
+	}
+}
+
+func ensureLen(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}

@@ -1,0 +1,57 @@
+package quantiles
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSketchUpdate measures the amortized per-value insert cost at the
+// default ε — the inner loop the server pays per cell per sample when
+// quantile tracking is enabled.
+func BenchmarkSketchUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	s := New(DefaultEpsilon)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(vals[i&(len(vals)-1)])
+	}
+}
+
+// BenchmarkSketchQuery measures a single quantile read from a mature sketch.
+func BenchmarkSketchQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := New(DefaultEpsilon)
+	for i := 0; i < 100000; i++ {
+		s.Update(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Query(0.95)
+	}
+}
+
+// BenchmarkFieldUpdate10kCells measures one whole-field fold — the
+// per-(group, timestep) cost added to the server when quantiles are on,
+// directly comparable to core's BenchmarkUpdateGroup10kCellsP6.
+func BenchmarkFieldUpdate10kCells(b *testing.B) {
+	const cells = 10000
+	rng := rand.New(rand.NewSource(3))
+	sample := make([]float64, cells)
+	for i := range sample {
+		sample[i] = rng.NormFloat64()
+	}
+	f := NewField(cells, DefaultEpsilon)
+	b.SetBytes(8 * cells)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Perturb deterministically so sketches keep absorbing new values.
+		for c := range sample {
+			sample[c] += 1e-6
+		}
+		f.Update(sample)
+	}
+}

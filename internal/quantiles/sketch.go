@@ -1,0 +1,328 @@
+// Package quantiles implements bounded-memory streaming quantile sketches
+// for in-transit order statistics — the extension of Melissa's ubiquitous
+// statistics described by Ribés et al., "Large scale in transit computation
+// of quantiles for ensemble runs": iterative per-cell quantiles computed
+// while the ensemble streams through the server, without ever retaining the
+// sample.
+//
+// The sketch is a Greenwald-Khanna (GK) summary: a sorted list of tuples
+// (v, g, Δ) where v is a retained sample, the prefix sum of g lower-bounds
+// v's rank and Δ bounds the rank uncertainty. The summary maintains the
+// invariant g + Δ ≤ 2εn, which guarantees that Query(q) returns a retained
+// sample whose rank among the n inserted values is within ±εn of ⌈q·n⌉ —
+// the ε rank-error contract. Memory is O(1/ε) tuples in practice,
+// independent of n (the formal GK bound is O((1/ε)·log(εn)); tests pin the
+// practical constant), which is what makes per-cell per-timestep sketches
+// affordable at Melissa scale where the raw sample would be O(n) per cell.
+//
+// Updates are buffered (up to 1/(2ε) values) and folded in sorted batches,
+// so the amortized update cost is O(log(1/ε)) comparisons plus an O(1/ε)
+// merge every buffer flush. All operations — Update, Merge, Query, Encode —
+// are deterministic functions of the operation sequence, which is what lets
+// the sharded fold engine reproduce bitwise-identical sketches for any
+// worker count.
+package quantiles
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"melissa/internal/enc"
+)
+
+// DefaultEpsilon is the rank-error ε used when a sketch is created with a
+// non-positive ε: quantile estimates are within ±1% of the true rank.
+const DefaultEpsilon = 0.01
+
+// tuple is one GK summary entry: a retained sample v whose rank r satisfies
+// rmin ≤ r ≤ rmin + delta, where rmin is the prefix sum of g up to and
+// including this tuple.
+type tuple struct {
+	v     float64
+	g     int64
+	delta int64
+}
+
+// Sketch is a single-variable GK quantile summary. The zero value is not
+// usable; construct with New. Not safe for concurrent use.
+type Sketch struct {
+	eps     float64
+	n       int64
+	tuples  []tuple
+	pending []float64 // buffered inserts, folded in sorted batches
+	scratch []tuple   // reusable merge/compress target
+}
+
+// New returns an empty sketch with rank error eps. Non-positive eps selects
+// DefaultEpsilon; eps above 0.5 is clamped to 0.5.
+func New(eps float64) *Sketch {
+	s := &Sketch{}
+	s.init(eps)
+	return s
+}
+
+func (s *Sketch) init(eps float64) {
+	if eps <= 0 || math.IsNaN(eps) {
+		eps = DefaultEpsilon
+	}
+	if eps > 0.5 {
+		eps = 0.5
+	}
+	s.eps = eps
+}
+
+// bufCap is the insertion-buffer size: flushing every 1/(2ε) inserts keeps
+// the summary invariant current without per-insert merge cost.
+func (s *Sketch) bufCap() int {
+	c := int(1 / (2 * s.eps))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Epsilon returns the sketch's rank-error bound ε.
+func (s *Sketch) Epsilon() float64 { return s.eps }
+
+// N returns the number of values folded in.
+func (s *Sketch) N() int64 { return s.n + int64(len(s.pending)) }
+
+// TupleCount returns the number of retained summary tuples (buffered values
+// are folded first). This is the O(1/ε) memory quantity.
+func (s *Sketch) TupleCount() int {
+	s.flushPending()
+	return len(s.tuples)
+}
+
+// MemoryBytes returns the size of the sketch's dynamic state. It depends
+// only on the insertion sequence, never on how the sketch was sharded or
+// serialized, so sharded and dense accumulators report identical totals.
+func (s *Sketch) MemoryBytes() int64 {
+	return int64(len(s.tuples))*24 + int64(len(s.pending))*8
+}
+
+// Update folds one value. NaN values are ignored (they have no rank).
+func (s *Sketch) Update(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.pending = append(s.pending, v)
+	if len(s.pending) >= s.bufCap() {
+		s.flushPending()
+	}
+}
+
+// flushPending folds the buffered values into the summary: sort the batch,
+// merge it into the tuple list in one pass (new interior tuples get
+// g = 1, Δ = ⌊2εn⌋−1; a new global min or max gets Δ = 0 so extremes stay
+// exact), then compress.
+func (s *Sketch) flushPending() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Float64s(s.pending)
+	out := s.scratch[:0]
+	ti := 0
+	for pi, v := range s.pending {
+		// Existing tuples with value ≤ v keep their position (ties resolve
+		// existing-first, deterministically).
+		for ti < len(s.tuples) && s.tuples[ti].v <= v {
+			out = append(out, s.tuples[ti])
+			ti++
+		}
+		s.n++
+		var delta int64
+		interior := len(out) > 0 && !(ti == len(s.tuples) && pi == len(s.pending)-1)
+		if interior {
+			delta = int64(2*s.eps*float64(s.n)) - 1
+			if delta < 0 {
+				delta = 0
+			}
+		}
+		out = append(out, tuple{v: v, g: 1, delta: delta})
+	}
+	out = append(out, s.tuples[ti:]...)
+	s.scratch = s.tuples[:0]
+	s.tuples = out
+	s.pending = s.pending[:0]
+	s.compress()
+}
+
+// compress merges adjacent tuples while g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋,
+// preserving the rank-error invariant while bounding the summary size. The
+// first and last tuples (exact min and max) are never removed.
+func (s *Sketch) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	threshold := int64(2 * s.eps * float64(s.n))
+	out := s.scratch[:0]
+	out = append(out, s.tuples[len(s.tuples)-1])
+	for i := len(s.tuples) - 2; i >= 1; i-- {
+		t := s.tuples[i]
+		last := &out[len(out)-1]
+		if t.g+last.g+last.delta <= threshold {
+			last.g += t.g // fold t into its right neighbor
+		} else {
+			out = append(out, t)
+		}
+	}
+	out = append(out, s.tuples[0])
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	s.scratch = s.tuples[:0]
+	s.tuples = out
+}
+
+// Merge folds other into s. Both sketches must share the same ε (their
+// error contracts compose rank-wise: ε·n_a + ε·n_b = ε·(n_a+n_b)). The
+// other sketch's logical state is unchanged, though its internal buffer is
+// canonicalized. Merging is deterministic but not bitwise associative; the
+// ε contract holds for any merge tree.
+func (s *Sketch) Merge(other *Sketch) {
+	if other.eps != s.eps {
+		panic(fmt.Sprintf("quantiles: merging sketches with different eps (%v vs %v)", s.eps, other.eps))
+	}
+	s.flushPending()
+	other.flushPending()
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		s.n = other.n
+		s.tuples = append(s.tuples[:0], other.tuples...)
+		return
+	}
+	merged := make([]tuple, 0, len(s.tuples)+len(other.tuples))
+	i, j := 0, 0
+	for i < len(s.tuples) || j < len(other.tuples) {
+		var t tuple
+		if j >= len(other.tuples) || (i < len(s.tuples) && s.tuples[i].v <= other.tuples[j].v) {
+			// Taking from s: the other summary contributes between
+			// rmin_other(prev) and rmax_other(next)−1 elements below v, an
+			// extra uncertainty of g_next + Δ_next − 1 — zero when v lies
+			// below the other summary's minimum or above its maximum.
+			t = s.tuples[i]
+			i++
+			if j > 0 && j < len(other.tuples) {
+				t.delta += other.tuples[j].g + other.tuples[j].delta - 1
+			}
+		} else {
+			t = other.tuples[j]
+			j++
+			if i > 0 && i < len(s.tuples) {
+				t.delta += s.tuples[i].g + s.tuples[i].delta - 1
+			}
+		}
+		merged = append(merged, t)
+	}
+	s.scratch = s.tuples[:0] // the old array becomes compress's target
+	s.tuples = merged
+	s.n += other.n
+	s.compress()
+}
+
+// Query returns a retained sample whose rank is within ±εN of ⌈q·N⌉. q is
+// clamped to [0, 1]; q = 0 and q = 1 return the exact minimum and maximum.
+// An empty sketch returns 0 (matching the other field statistics, which
+// report zeros before data arrives).
+func (s *Sketch) Query(q float64) float64 {
+	s.flushPending()
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.n)))
+	// The extremes are retained exactly (first/last tuples have Δ = 0 and
+	// are never compressed away); answer them directly rather than letting
+	// the tolerance scan settle for a merely ε-close neighbor.
+	if rank <= 1 {
+		return s.tuples[0].v
+	}
+	if rank >= s.n {
+		return s.tuples[len(s.tuples)-1].v
+	}
+	tolerance := int64(math.Ceil(s.eps * float64(s.n)))
+	var rmin int64
+	for i := range s.tuples {
+		t := &s.tuples[i]
+		rmin += t.g
+		if rmin+t.delta-tolerance <= rank && rank <= rmin+tolerance {
+			return t.v
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Encode appends the sketch state to w (checkpoint format). The buffered
+// values are folded first, so encoding is canonical: equal operation
+// sequences produce equal bytes.
+func (s *Sketch) Encode(w *enc.Writer) {
+	s.flushPending()
+	w.F64(s.eps)
+	w.I64(s.n)
+	w.Int(len(s.tuples))
+	for _, t := range s.tuples {
+		w.F64(t.v)
+		w.I64(t.g)
+		w.I64(t.delta)
+	}
+}
+
+// Decode restores the sketch state from r. Errors are reported through
+// r.Err(); a corrupt tuple count exhausts the reader rather than
+// allocating, and semantically inconsistent state (a positive sample count
+// with no tuples) is rejected so it can never panic a later Query.
+func (s *Sketch) Decode(r *enc.Reader) {
+	s.init(r.F64())
+	s.n = r.I64()
+	m := r.Int()
+	if r.Err() == nil && (s.n < 0 || m < 0 || (s.n > 0 && m == 0) || (s.n == 0 && m > 0)) {
+		r.Fail(fmt.Errorf("quantiles: corrupt sketch state (n=%d, %d tuples)", s.n, m))
+	}
+	s.tuples = s.tuples[:0]
+	s.pending = s.pending[:0]
+	for i := 0; i < m && r.Err() == nil; i++ {
+		s.tuples = append(s.tuples, tuple{v: r.F64(), g: r.I64(), delta: r.I64()})
+	}
+}
+
+// clone returns an independent deep copy of s with canonicalized state.
+func (s *Sketch) clone() Sketch {
+	s.flushPending()
+	return Sketch{
+		eps:    s.eps,
+		n:      s.n,
+		tuples: append([]tuple(nil), s.tuples...),
+	}
+}
+
+// ParseList parses a comma-separated quantile probe list such as
+// "0.05,0.5,0.95" (the CLI flag format). Every probe must lie in (0, 1).
+func ParseList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		q, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("quantiles: bad probe %q in %q", part, s)
+		}
+		if !(q > 0 && q < 1) {
+			return nil, fmt.Errorf("quantiles: probe %v out of (0,1)", q)
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

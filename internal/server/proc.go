@@ -554,7 +554,7 @@ func (p *Proc) restore() error {
 		return nil // cold start
 	}
 	start := time.Now()
-	r, err := checkpoint.Read(path)
+	r, version, err := checkpoint.Read(path)
 	if err != nil {
 		return err
 	}
@@ -565,9 +565,15 @@ func (p *Proc) restore() error {
 			lo, hi, p.cfg.Rank, p.cfg.Partition.Lo, p.cfg.Partition.Hi)
 	}
 	p.messages = r.I64()
-	acc, err := core.DecodeSharded(r, p.workers)
+	acc, err := core.DecodeShardedVersion(r, version, p.workers)
 	if err != nil {
 		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
+	}
+	if version < checkpoint.Version && len(p.cfg.Stats.Quantiles) > 0 {
+		// The restored accumulator adopts the checkpoint's statistics set;
+		// a pre-quantile file cannot resurrect sketch state mid-study.
+		log.Printf("melissa server %d: v%d checkpoint carries no quantile state; quantiles disabled after restore",
+			p.cfg.Rank, version)
 	}
 	tracker, err := core.DecodeGroupTracker(r)
 	if err != nil {

@@ -95,6 +95,28 @@ func (r *Result) InteractionField(t int) []float64 {
 	})
 }
 
+// QuantileField returns the global per-cell q-quantile estimate of the
+// pooled A/B sample at timestep t. Any q in [0, 1] can be queried from the
+// per-cell sketches, not only the configured probes; without quantile
+// tracking the field is all zeros.
+func (r *Result) QuantileField(t int, q float64) []float64 {
+	return r.assemble(func(p *Proc, dst []float64) []float64 {
+		return p.acc.QuantileField(t, q, dst)
+	})
+}
+
+// QuantileProbes returns the quantile probe list the accumulators actually
+// track — nil when quantiles were not enabled, and also nil after a restore
+// from a pre-quantile (v1) checkpoint, which disables the statistic even if
+// the configuration requested it. Probes and QuantileField are therefore
+// always consistent: non-nil probes imply real sketch state behind them.
+func (r *Result) QuantileProbes() []float64 {
+	if len(r.procs) == 0 {
+		return nil
+	}
+	return r.procs[0].acc.QuantileProbes()
+}
+
 // MaxCIWidth returns the widest confidence interval over every process.
 func (r *Result) MaxCIWidth(level float64) float64 {
 	var worst float64

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"melissa/internal/client"
+	"melissa/internal/core"
 	"melissa/internal/transport"
 )
 
@@ -25,12 +26,33 @@ func BenchmarkServerIngest(b *testing.B) {
 		{"fold4-batch8", 4, 8},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
-			benchServerIngest(b, bc.foldWorkers, bc.batchSteps)
+			benchServerIngest(b, bc.foldWorkers, bc.batchSteps, core.Options{})
 		})
 	}
 }
 
-func benchServerIngest(b *testing.B, foldWorkers, batchSteps int) {
+// BenchmarkServerIngestQuantiles is the same end-to-end path with per-cell
+// quantile sketches enabled — compare against BenchmarkServerIngest for the
+// cost of the first data-structure-valued ubiquitous statistic, and across
+// fold widths for how the sketch work shards.
+func BenchmarkServerIngestQuantiles(b *testing.B) {
+	stats := core.Options{Quantiles: []float64{0.05, 0.5, 0.95}}
+	for _, bc := range []struct {
+		name        string
+		foldWorkers int
+		batchSteps  int
+	}{
+		{"fold1-batch1", 1, 1},
+		{"fold4-batch1", 4, 1},
+		{"fold4-batch8", 4, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			benchServerIngest(b, bc.foldWorkers, bc.batchSteps, stats)
+		})
+	}
+}
+
+func benchServerIngest(b *testing.B, foldWorkers, batchSteps int, stats core.Options) {
 	const cells, timesteps, p = 4096, 8, 6
 	net := transport.NewMemNetwork(transport.Options{})
 	design := testDesign(p, 1<<20)
@@ -38,7 +60,7 @@ func benchServerIngest(b *testing.B, foldWorkers, batchSteps int) {
 
 	cfg := Config{
 		Procs: 2, FoldWorkers: foldWorkers, Cells: cells, Timesteps: timesteps, P: p,
-		Network: net, ReportInterval: time.Hour,
+		Network: net, ReportInterval: time.Hour, Stats: stats,
 	}
 	s, err := New(cfg)
 	if err != nil {

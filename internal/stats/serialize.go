@@ -7,6 +7,11 @@ import "melissa/internal/enc"
 // (Sec. 4.2.1: "these data together with the current statistics values are
 // periodically checkpointed to file"). Round-tripping is bit-exact so that a
 // restarted server resumes with identical statistics.
+//
+// These trackers serialize identically in every checkpoint format version;
+// the quantile sketches added by format v2 carry their own codec in
+// internal/quantiles, and internal/core sequences all of them per layout
+// version (core.LayoutV1/LayoutV2).
 
 // Encode appends the accumulator state to w.
 func (m *Moments) Encode(w *enc.Writer) {

@@ -38,12 +38,24 @@ func (n *TCPNetwork) Listen(hint string) (Receiver, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", hint, err)
 	}
 	r := &tcpReceiver{
-		ln:    ln,
-		inbox: make(chan Message, n.opts.RecvBuffer),
-		done:  make(chan struct{}),
+		ln:      ln,
+		noDelay: n.opts.TCPNoDelay,
+		inbox:   make(chan Message, n.opts.RecvBuffer),
+		done:    make(chan struct{}),
 	}
 	go r.acceptLoop()
 	return r, nil
+}
+
+// applyNoDelay applies the configured TCP_NODELAY override (nil keeps Go's
+// default of NODELAY enabled; see Options.TCPNoDelay).
+func applyNoDelay(conn net.Conn, noDelay *bool) {
+	if noDelay == nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(*noDelay)
+	}
 }
 
 // Dial implements Network.
@@ -52,6 +64,7 @@ func (n *TCPNetwork) Dial(addr string) (Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	applyNoDelay(conn, n.opts.TCPNoDelay)
 	s := &tcpSender{
 		conn:     conn,
 		queue:    make(chan []byte, n.opts.SendBuffer),
@@ -64,10 +77,11 @@ func (n *TCPNetwork) Dial(addr string) (Sender, error) {
 }
 
 type tcpReceiver struct {
-	ln    net.Listener
-	inbox chan Message
-	done  chan struct{}
-	once  sync.Once
+	ln      net.Listener
+	noDelay *bool
+	inbox   chan Message
+	done    chan struct{}
+	once    sync.Once
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -81,6 +95,7 @@ func (r *tcpReceiver) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		applyNoDelay(conn, r.noDelay)
 		r.mu.Lock()
 		r.conns = append(r.conns, conn)
 		r.mu.Unlock()

@@ -15,6 +15,14 @@
 // Two implementations share the Network interface: an in-memory network for
 // tests, benchmarks and single-process studies, and a TCP network (package
 // net) for real distributed deployments with dynamic connection.
+//
+// TCP tuning: Options.TCPNoDelay controls the TCP_NODELAY socket option on
+// every TCP connection. The default (nil) keeps Go's default of NODELAY
+// enabled — each flushed frame goes out immediately, minimizing per-message
+// latency. Setting it to false re-enables Nagle coalescing, which can
+// reduce packet overhead for floods of small frames at the cost of
+// latency; the sender's write pump already batches queued frames per
+// flush, so most deployments should keep the default.
 package transport
 
 import (
@@ -104,12 +112,17 @@ type Network interface {
 }
 
 // Options sizes the bounded buffers ("buffer sizes can be user controlled",
-// Sec. 4.1.3).
+// Sec. 4.1.3) and carries socket-level tuning.
 type Options struct {
 	// SendBuffer is the per-sender queue capacity in messages.
 	SendBuffer int
 	// RecvBuffer is the per-receiver inbox capacity in messages.
 	RecvBuffer int
+	// TCPNoDelay overrides the TCP_NODELAY socket option on TCP connections
+	// (dialed and accepted). nil keeps Go's default (NODELAY on: frames are
+	// sent immediately); &false enables Nagle coalescing for many small
+	// frames. Ignored by the in-memory network. See the package comment.
+	TCPNoDelay *bool
 }
 
 // DefaultOptions returns the buffer sizes used when an Options field is 0.

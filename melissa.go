@@ -101,6 +101,16 @@ type StudyConfig struct {
 	Threshold     *float64
 	HigherMoments bool
 
+	// Quantiles, when non-empty, adds per-cell per-timestep quantile
+	// sketches over the pooled A and B samples (Ribés et al., "Large scale
+	// in transit computation of quantiles for ensemble runs"): each listed
+	// probability becomes a queryable ubiquitous order statistic with
+	// bounded memory per cell. QuantileEps is the sketch rank-error ε
+	// (0 = the package default, 1%): estimates are within ±εn of the exact
+	// rank at O(1/ε) memory per cell.
+	Quantiles   []float64
+	QuantileEps float64
+
 	// ClusterNodes bounds the virtual cluster (0 = effectively unbounded);
 	// GroupNodes/ServerNodes are the per-job footprints (default 1).
 	ClusterNodes, GroupNodes, ServerNodes int
@@ -168,6 +178,16 @@ func (r *FieldResult) Variance(t int) []float64 { return r.res.VarianceField(t) 
 // interaction-share diagnostic of Sec. 5.5.
 func (r *FieldResult) Interaction(t int) []float64 { return r.res.InteractionField(t) }
 
+// Quantile returns the per-cell q-quantile estimate of the pooled A/B
+// sample at timestep t (all zeros unless StudyConfig.Quantiles enabled the
+// sketches). Any q in [0, 1] may be queried, not only the configured
+// probes.
+func (r *FieldResult) Quantile(t int, q float64) []float64 { return r.res.QuantileField(t, q) }
+
+// QuantileProbes returns the quantile probe list the study was configured
+// with (nil when quantile tracking was off).
+func (r *FieldResult) QuantileProbes() []float64 { return r.res.QuantileProbes() }
+
 // MaxCIWidth returns the widest 95% confidence interval over all indices.
 func (r *FieldResult) MaxCIWidth() float64 { return r.res.MaxCIWidth(0.95) }
 
@@ -201,12 +221,18 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		cluster = scheduler.New(cfg.ClusterNodes)
 	}
 	lcfg := launcher.Config{
-		Design:             design,
-		Sim:                cfg.Simulation,
-		Cells:              cfg.Cells,
-		Timesteps:          cfg.Timesteps,
-		SimRanks:           cfg.SimRanks,
-		Stats:              core.Options{MinMax: cfg.MinMax, Threshold: cfg.Threshold, HigherMoments: cfg.HigherMoments},
+		Design:    design,
+		Sim:       cfg.Simulation,
+		Cells:     cfg.Cells,
+		Timesteps: cfg.Timesteps,
+		SimRanks:  cfg.SimRanks,
+		Stats: core.Options{
+			MinMax:        cfg.MinMax,
+			Threshold:     cfg.Threshold,
+			HigherMoments: cfg.HigherMoments,
+			Quantiles:     cfg.Quantiles,
+			QuantileEps:   cfg.QuantileEps,
+		},
 		Network:            transport.NewMemNetwork(transport.Options{}),
 		Cluster:            cluster,
 		ServerProcs:        cfg.ServerProcs,

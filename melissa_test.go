@@ -192,6 +192,71 @@ func TestRunStudyMultiProcMultiRank(t *testing.T) {
 	}
 }
 
+func TestRunStudyQuantiles(t *testing.T) {
+	// Per-cell output is w·x1 + (1−w)·x2 with x1, x2 ~ N(0,1): every cell's
+	// distribution is a centered Gaussian, so the ubiquitous median must be
+	// near 0 and the quantile probes must be ordered.
+	const cells, timesteps, groups = 12, 2, 400
+	cfg := StudyConfig{
+		Parameters: []Distribution{Normal{Mean: 0, Std: 1}, Normal{Mean: 0, Std: 1}},
+		Groups:     groups,
+		Seed:       9,
+		Cells:      cells,
+		Timesteps:  timesteps,
+		Simulation: SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			f := make([]float64, cells)
+			for s := 0; s < timesteps; s++ {
+				for c := range f {
+					w := float64(c) / float64(cells-1)
+					f[c] = w*row[0] + (1-w)*row[1]
+				}
+				if !emit(s, f) {
+					return
+				}
+			}
+		}),
+		ServerProcs: 2,
+		FoldWorkers: 3,
+		Quantiles:   []float64{0.05, 0.5, 0.95},
+	}
+	res, _, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes := res.QuantileProbes(); len(probes) != 3 || probes[1] != 0.5 {
+		t.Fatalf("probes not surfaced: %v", probes)
+	}
+	lo, med, hi := res.Quantile(0, 0.05), res.Quantile(0, 0.5), res.Quantile(0, 0.95)
+	for c := 0; c < cells; c++ {
+		if !(lo[c] < med[c] && med[c] < hi[c]) {
+			t.Fatalf("cell %d: quantiles not ordered: %v %v %v", c, lo[c], med[c], hi[c])
+		}
+		// 800 pooled N(0,σ≤1) samples: the 1%-rank-error median stays well
+		// inside ±0.2, and the 5%/95% tails land around ±1.6σ.
+		if math.Abs(med[c]) > 0.2 {
+			t.Fatalf("cell %d: median %v too far from 0", c, med[c])
+		}
+		if lo[c] > -0.5 || hi[c] < 0.5 {
+			t.Fatalf("cell %d: tails too tight: %v %v", c, lo[c], hi[c])
+		}
+	}
+	// Quantiles off: the field reads as zeros.
+	cfg.Quantiles = nil
+	cfg.Groups = 20
+	plain, _, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.QuantileProbes() != nil {
+		t.Fatal("probes present without the option")
+	}
+	for _, v := range plain.Quantile(0, 0.5) {
+		if v != 0 {
+			t.Fatal("disabled quantile field not zero")
+		}
+	}
+}
+
 func TestRunStudyConvergenceStop(t *testing.T) {
 	cfg := StudyConfig{
 		Parameters: ishigamiParams(),
