@@ -52,7 +52,10 @@ func main() {
 	}
 
 	start := time.Now()
-	err = client.RunGroup(transport.NewTCPNetwork(transport.Options{}), *serverAddr, client.RunConfig{
+	// Size the per-connection transport buffers from the study shape so a
+	// whole batched data frame fits the kernel and user-space buffers.
+	net := transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), *batchSteps))
+	err = client.RunGroup(net, *serverAddr, client.RunConfig{
 		GroupID:        *group,
 		SimRanks:       *simRanks,
 		Rows:           design.GroupRows(*group),

@@ -61,7 +61,7 @@ func main() {
 		Timesteps:         st.Timesteps,
 		SimRanks:          *simRanks,
 		Stats:             core.Options{MinMax: true},
-		Network:           transport.NewTCPNetwork(transport.Options{}),
+		Network:           transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), *batchSteps)),
 		Cluster:           cluster,
 		ServerProcs:       *serverProcs,
 		FoldWorkers:       *foldWorkers,

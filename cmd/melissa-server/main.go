@@ -41,6 +41,7 @@ func main() {
 	restore := flag.Bool("restore", false, "restore from the last checkpoint before serving")
 	launcherAddr := flag.String("launcher", "", "launcher address for heartbeats/reports")
 	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
+	batchSteps := flag.Int("batch-steps", 4, "largest client -batch-steps expected (sizes the receive buffers)")
 	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
 	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
 	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
@@ -73,7 +74,7 @@ func main() {
 		Timesteps:    *timesteps,
 		P:            *p,
 		Stats:        stats,
-		Network:      transport.NewTCPNetwork(transport.Options{}),
+		Network:      transport.NewTCPNetwork(transport.ForStudy(*cells, *p, *batchSteps)),
 		GroupTimeout: *groupTimeout,
 		LauncherAddr: *launcherAddr,
 	}

@@ -269,6 +269,12 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int, opts statO
 
 	// Ubiquitous quantile maps (the in-transit order statistics of Ribés
 	// et al.), one per configured probe, at the same timestep as Fig. 7/8.
+	if probes := res.QuantileProbes(); len(probes) > 0 {
+		tuples := res.QuantileTupleCount()
+		perCellStep := float64(tuples) / float64(res.Cells()*res.Timesteps())
+		fmt.Printf("Quantile sketches: %d retained tuples (%.1f per cell·step, ≈%.1f KiB/cell·step at ε tuning)\n",
+			tuples, perCellStep, perCellStep*24/1024)
+	}
 	for _, q := range res.QuantileProbes() {
 		field := res.Quantile(step, q)
 		name := fmt.Sprintf("quantile_q%g", q)

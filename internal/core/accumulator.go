@@ -41,6 +41,33 @@ type Options struct {
 // quantilesEnabled reports whether per-cell quantile sketches are tracked.
 func (o Options) quantilesEnabled() bool { return len(o.Quantiles) > 0 }
 
+// Interleaved per-cell record layout. Each cell owns one contiguous block of
+// recStride(p) = 4 + 4p float64 slots:
+//
+//	[meanA, m2A, meanB, m2B, {meanC_k, m2C_k, c2BC_k, c2AC_k} for k = 0..p-1]
+//
+// so one group fold streams through the state exactly once, touching every
+// cache line a single time, instead of making p+1 passes over 4+4p parallel
+// arrays (see the package comment for the full rationale).
+const (
+	offMeanA = 0
+	offM2A   = 1
+	offMeanB = 2
+	offM2B   = 3
+	// recHeader is the number of shared A/B slots before the per-parameter
+	// blocks; recPerParam the slots per parameter block.
+	recHeader   = 4
+	recPerParam = 4
+	// Offsets inside one parameter block, relative to recHeader + 4k.
+	blkMeanC = 0
+	blkM2C   = 1
+	blkC2BC  = 2
+	blkC2AC  = 3
+)
+
+// recStride returns the record size in floats for p parameters.
+func recStride(p int) int { return recHeader + recPerParam*p }
+
 // Accumulator holds the ubiquitous Sobol' state for one spatial partition
 // across all timesteps. It is not safe for concurrent use; each server
 // process owns one and updates it from its own message loop ("updating the
@@ -49,22 +76,34 @@ type Accumulator struct {
 	cells     int
 	timesteps int
 	p         int
+	stride    int
 	opts      Options
-	steps     []stepAccum
+	// buf is the single flat allocation backing every timestep's interleaved
+	// records; steps[t].rec is its t-th window.
+	buf   []float64
+	steps []stepAccum
+	// ciLevel is the confidence level the per-step ciWidth caches were
+	// computed at (0 = never computed).
+	ciLevel float64
+	// encScratch is the reusable transpose buffer for Encode/Decode, which
+	// keep the dense per-statistic-array checkpoint format.
+	encScratch []float64
 }
 
-// stepAccum is the per-timestep one-pass state (see package comment for the
-// memory layout rationale).
+// stepAccum is the per-timestep one-pass state: n, the interleaved Sobol'
+// record block, the optional trackers, and the incremental convergence
+// cache.
 type stepAccum struct {
-	n          int64
-	meanA, m2A []float64
-	meanB, m2B []float64
-	meanC, m2C [][]float64 // [k][cell]
-	c2BC, c2AC [][]float64 // [k][cell]
-	minmax     *stats.FieldMinMax
-	exceed     *stats.FieldExceedance
-	higher     *stats.FieldMoments
-	quant      *quantiles.Field
+	n   int64
+	rec []float64 // cells × recStride(p) interleaved records
+	// ciDirty marks that the Sobol' state changed since ciWidth was cached;
+	// MaxCIWidth rescans only dirty steps.
+	ciDirty bool
+	ciWidth float64
+	minmax  *stats.FieldMinMax
+	exceed  *stats.FieldExceedance
+	higher  *stats.FieldMoments
+	quant   *quantiles.Field
 }
 
 // NewAccumulator returns an accumulator for a partition of `cells` cells,
@@ -78,25 +117,20 @@ func NewAccumulator(cells, timesteps, p int, opts Options) *Accumulator {
 			panic(fmt.Sprintf("core: quantile probe %v out of (0,1)", q))
 		}
 	}
-	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, opts: opts}
+	stride := recStride(p)
+	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, stride: stride, opts: opts}
+	a.buf = make([]float64, timesteps*cells*stride)
 	a.steps = make([]stepAccum, timesteps)
+	window := cells * stride
 	for t := range a.steps {
-		a.steps[t] = newStepAccum(cells, p, opts)
+		a.steps[t] = newStepAccum(cells, opts)
+		a.steps[t].rec = a.buf[t*window : (t+1)*window : (t+1)*window]
 	}
 	return a
 }
 
-func newStepAccum(cells, p int, opts Options) stepAccum {
-	s := stepAccum{
-		meanA: make([]float64, cells),
-		m2A:   make([]float64, cells),
-		meanB: make([]float64, cells),
-		m2B:   make([]float64, cells),
-		meanC: make2D(p, cells),
-		m2C:   make2D(p, cells),
-		c2BC:  make2D(p, cells),
-		c2AC:  make2D(p, cells),
-	}
+func newStepAccum(cells int, opts Options) stepAccum {
+	s := stepAccum{ciDirty: true}
 	if opts.MinMax {
 		s.minmax = stats.NewFieldMinMax(cells)
 	}
@@ -110,14 +144,6 @@ func newStepAccum(cells, p int, opts Options) stepAccum {
 		s.quant = quantiles.NewField(cells, opts.QuantileEps)
 	}
 	return s
-}
-
-func make2D(p, cells int) [][]float64 {
-	out := make([][]float64, p)
-	for k := range out {
-		out[k] = make([]float64, cells)
-	}
-	return out
 }
 
 // Cells returns the partition size.
@@ -135,7 +161,11 @@ func (a *Accumulator) N(t int) int64 { return a.steps[t].n }
 // UpdateGroup folds the results of one simulation group at output step t:
 // yA and yB are the fields of f(A_i) and f(B_i) restricted to this
 // partition, yC[k] the field of f(C^k_i). All slices must have length
-// Cells(). This is the O(cells·p) inner loop of Melissa Server.
+// Cells(). This is the O(cells·p) inner loop of Melissa Server, fused into a
+// single sweep over the interleaved records: each cell's 4+4p floats are
+// loaded and stored exactly once per group. The per-cell arithmetic order is
+// the one of the original multi-pass kernel (all C blocks read the pre-update
+// A/B means), so results are bitwise identical to it.
 func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
 	if t < 0 || t >= a.timesteps {
 		panic(fmt.Sprintf("core: timestep %d out of range [0,%d)", t, a.timesteps))
@@ -144,76 +174,81 @@ func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
 		panic(fmt.Sprintf("core: update shape mismatch: |yA|=%d |yB|=%d |yC|=%d, want cells=%d p=%d",
 			len(yA), len(yB), len(yC), a.cells, a.p))
 	}
+	for k := range yC {
+		if len(yC[k]) != a.cells {
+			panic(fmt.Sprintf("core: yC[%d] has %d cells, want %d", k, len(yC[k]), a.cells))
+		}
+	}
 	s := &a.steps[t]
 	s.n++
+	s.ciDirty = true
 	n := float64(s.n)
-	for k := 0; k < a.p; k++ {
-		yCk := yC[k]
-		if len(yCk) != a.cells {
-			panic(fmt.Sprintf("core: yC[%d] has %d cells, want %d", k, len(yCk), a.cells))
+	stride := a.stride
+	rec := s.rec
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+stride {
+		r := rec[ri : ri+stride : ri+stride]
+		dA := yA[i] - r[offMeanA] // deviations from the *old* A/B means
+		dB := yB[i] - r[offMeanB]
+		for k, off := 0, recHeader; k < len(yC); k, off = k+1, off+recPerParam {
+			y := yC[k][i]
+			dC := y - r[off+blkMeanC]
+			r[off+blkMeanC] += dC / n
+			e := y - r[off+blkMeanC] // deviation from the *new* C mean
+			r[off+blkM2C] += dC * e
+			r[off+blkC2BC] += dB * e
+			r[off+blkC2AC] += dA * e
 		}
-		meanC, m2C := s.meanC[k], s.m2C[k]
-		c2BC, c2AC := s.c2BC[k], s.c2AC[k]
-		for i := 0; i < a.cells; i++ {
-			dA := yA[i] - s.meanA[i] // deviations from the *old* A/B means
-			dB := yB[i] - s.meanB[i]
-			dC := yCk[i] - meanC[i]
-			meanC[i] += dC / n
-			e := yCk[i] - meanC[i] // deviation from the *new* C mean
-			m2C[i] += dC * e
-			c2BC[i] += dB * e
-			c2AC[i] += dA * e
-		}
-	}
-	for i := 0; i < a.cells; i++ {
-		dA := yA[i] - s.meanA[i]
-		s.meanA[i] += dA / n
-		s.m2A[i] += dA * (yA[i] - s.meanA[i])
-		dB := yB[i] - s.meanB[i]
-		s.meanB[i] += dB / n
-		s.m2B[i] += dB * (yB[i] - s.meanB[i])
+		r[offMeanA] += dA / n
+		r[offM2A] += dA * (yA[i] - r[offMeanA])
+		r[offMeanB] += dB / n
+		r[offM2B] += dB * (yB[i] - r[offMeanB])
 	}
 	if s.minmax != nil {
-		s.minmax.Update(yA)
-		s.minmax.Update(yB)
+		s.minmax.UpdatePair(yA, yB)
 	}
 	if s.exceed != nil {
-		s.exceed.Update(yA)
-		s.exceed.Update(yB)
+		s.exceed.UpdatePair(yA, yB)
 	}
 	if s.higher != nil {
-		s.higher.Update(yA)
-		s.higher.Update(yB)
+		s.higher.UpdatePair(yA, yB)
 	}
 	if s.quant != nil {
-		s.quant.Update(yA)
-		s.quant.Update(yB)
+		s.quant.UpdatePair(yA, yB)
 	}
+}
+
+// rec returns cell i's interleaved record at step t.
+func (a *Accumulator) rec(t, i int) []float64 {
+	ri := i * a.stride
+	return a.steps[t].rec[ri : ri+a.stride : ri+a.stride]
 }
 
 // FirstAt returns the Martinez first-order index S_k(x, t) for local cell i.
 func (a *Accumulator) FirstAt(t, k, i int) float64 {
-	s := &a.steps[t]
-	return correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+	r := a.rec(t, i)
+	off := recHeader + recPerParam*k
+	return correlation(r[off+blkC2BC], r[offM2B], r[off+blkM2C])
 }
 
 // TotalAt returns the total index ST_k(x, t) for local cell i. It reports 0
 // before two groups have arrived.
 func (a *Accumulator) TotalAt(t, k, i int) float64 {
-	s := &a.steps[t]
-	if s.n < 2 {
+	if a.steps[t].n < 2 {
 		return 0
 	}
-	return 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
+	r := a.rec(t, i)
+	off := recHeader + recPerParam*k
+	return 1 - correlation(r[off+blkC2AC], r[offM2A], r[off+blkM2C])
 }
 
 // FirstField writes the per-cell first-order index field S_k(·, t) into dst
 // (allocating when nil or too small) and returns it.
 func (a *Accumulator) FirstField(t, k int, dst []float64) []float64 {
 	dst = ensureLen(dst, a.cells)
-	s := &a.steps[t]
-	for i := range dst {
-		dst[i] = correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+	rec := a.steps[t].rec
+	off := recHeader + recPerParam*k
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
+		dst[i] = correlation(rec[ri+off+blkC2BC], rec[ri+offM2B], rec[ri+off+blkM2C])
 	}
 	return dst
 }
@@ -221,15 +256,16 @@ func (a *Accumulator) FirstField(t, k int, dst []float64) []float64 {
 // TotalField writes the per-cell total index field ST_k(·, t) into dst.
 func (a *Accumulator) TotalField(t, k int, dst []float64) []float64 {
 	dst = ensureLen(dst, a.cells)
-	s := &a.steps[t]
-	if s.n < 2 {
+	if a.steps[t].n < 2 {
 		for i := range dst {
 			dst[i] = 0
 		}
 		return dst
 	}
-	for i := range dst {
-		dst[i] = 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
+	rec := a.steps[t].rec
+	off := recHeader + recPerParam*k
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
+		dst[i] = 1 - correlation(rec[ri+off+blkC2AC], rec[ri+offM2A], rec[ri+off+blkM2C])
 	}
 	return dst
 }
@@ -237,7 +273,10 @@ func (a *Accumulator) TotalField(t, k int, dst []float64) []float64 {
 // MeanField writes the per-cell mean of the B sample at step t into dst.
 func (a *Accumulator) MeanField(t int, dst []float64) []float64 {
 	dst = ensureLen(dst, a.cells)
-	copy(dst, a.steps[t].meanB)
+	rec := a.steps[t].rec
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
+		dst[i] = rec[ri+offMeanB]
+	}
 	return dst
 }
 
@@ -254,22 +293,24 @@ func (a *Accumulator) VarianceField(t int, dst []float64) []float64 {
 		return dst
 	}
 	div := float64(s.n - 1)
-	for i := range dst {
-		dst[i] = s.m2B[i] / div
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
+		dst[i] = s.rec[ri+offM2B] / div
 	}
 	return dst
 }
 
 // InteractionField writes 1 − ΣS_k(·, t) into dst: the share of variance
 // attributable to parameter interactions (Sec. 5.5 uses it to decide the
-// total indices are redundant for this use case).
+// total indices are redundant for this use case). With the interleaved
+// layout the per-cell sum over k reads one contiguous record.
 func (a *Accumulator) InteractionField(t int, dst []float64) []float64 {
 	dst = ensureLen(dst, a.cells)
-	s := &a.steps[t]
-	for i := range dst {
+	rec := a.steps[t].rec
+	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
+		r := rec[ri : ri+a.stride]
 		sum := 0.0
-		for k := 0; k < a.p; k++ {
-			sum += correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
+		for off := recHeader; off < a.stride; off += recPerParam {
+			sum += correlation(r[off+blkC2BC], r[offM2B], r[off+blkM2C])
 		}
 		dst[i] = 1 - sum
 	}
@@ -310,6 +351,32 @@ func (a *Accumulator) QuantileField(t int, q float64, dst []float64) []float64 {
 	return s.quant.QueryField(q, dst)
 }
 
+// QuantileTupleCount returns the total number of retained sketch tuples
+// across all cells and timesteps — the O(cells/ε) memory quantity of the
+// quantile statistic (0 when disabled). Together with MemoryBytes this is
+// the sketch-tuning telemetry surfaced by server results.
+func (a *Accumulator) QuantileTupleCount() int64 {
+	var total int64
+	for t := range a.steps {
+		if q := a.steps[t].quant; q != nil {
+			total += q.TupleCount()
+		}
+	}
+	return total
+}
+
+// CompactQuantiles runs the sketch compaction pass on every timestep's
+// quantile field (no-op when quantiles are disabled). Called before
+// checkpoint writes to shrink the encoded sketch state; see
+// quantiles.Field.Compact.
+func (a *Accumulator) CompactQuantiles() {
+	for t := range a.steps {
+		if q := a.steps[t].quant; q != nil {
+			q.Compact()
+		}
+	}
+}
+
 // FirstCI returns the Eq. 8 confidence interval for S_k at (t, cell i).
 func (a *Accumulator) FirstCI(t, k, i int, level float64) sobol.Interval {
 	return sobol.FirstOrderCI(a.FirstAt(t, k, i), a.steps[t].n, level)
@@ -320,34 +387,64 @@ func (a *Accumulator) TotalCI(t, k, i int, level float64) sobol.Interval {
 	return sobol.TotalOrderCI(a.TotalAt(t, k, i), a.steps[t].n, level)
 }
 
-// MaxCIWidth scans all timesteps, cells and parameters and returns the
-// widest confidence interval — the single convergence scalar of Sec. 4.1.5
-// ("only keep the largest value over all the mesh and all the timesteps").
-// Cells whose output variance vanishes are skipped: their indices are
-// meaningless (Sec. 5.5) and would otherwise pin the width at its maximum.
+// MaxCIWidth returns the widest confidence interval over all timesteps,
+// cells and parameters — the single convergence scalar of Sec. 4.1.5 ("only
+// keep the largest value over all the mesh and all the timesteps"). Cells
+// whose output variance vanishes are skipped: their indices are meaningless
+// (Sec. 5.5) and would otherwise pin the width at its maximum.
+//
+// The scan is incremental: each timestep caches its worst width and is only
+// rescanned when a fold, merge or restore touched it since the last call at
+// the same level, so repeated convergence reports cost O(dirty state), not
+// O(total state). The cache makes this a mutating call: like UpdateGroup it
+// must not race with other accessors.
 func (a *Accumulator) MaxCIWidth(level float64) float64 {
+	if level != a.ciLevel {
+		for t := range a.steps {
+			a.steps[t].ciDirty = true
+		}
+		a.ciLevel = level
+	}
 	var worst float64
 	for t := range a.steps {
 		s := &a.steps[t]
 		if s.n < 4 {
 			return math.Inf(1)
 		}
-		for k := 0; k < a.p; k++ {
-			for i := 0; i < a.cells; i++ {
-				if s.m2B[i] == 0 || s.m2C[k][i] == 0 {
-					continue
-				}
-				first := correlation(s.c2BC[k][i], s.m2B[i], s.m2C[k][i])
-				if w := sobol.FirstOrderCI(first, s.n, level).Width(); w > worst {
-					worst = w
-				}
-				if s.m2A[i] == 0 {
-					continue
-				}
-				total := 1 - correlation(s.c2AC[k][i], s.m2A[i], s.m2C[k][i])
-				if w := sobol.TotalOrderCI(total, s.n, level).Width(); w > worst {
-					worst = w
-				}
+		if s.ciDirty {
+			s.ciWidth = a.scanStepCIWidth(s, level)
+			s.ciDirty = false
+		}
+		if s.ciWidth > worst {
+			worst = s.ciWidth
+		}
+	}
+	return worst
+}
+
+// scanStepCIWidth is the full scan of one timestep's state: the widest first
+// and total-order interval over all cells and parameters. One contiguous
+// pass over the interleaved records.
+func (a *Accumulator) scanStepCIWidth(s *stepAccum, level float64) float64 {
+	var worst float64
+	for ri := 0; ri < len(s.rec); ri += a.stride {
+		r := s.rec[ri : ri+a.stride]
+		m2A, m2B := r[offM2A], r[offM2B]
+		for off := recHeader; off < a.stride; off += recPerParam {
+			m2C := r[off+blkM2C]
+			if m2B == 0 || m2C == 0 {
+				continue
+			}
+			first := correlation(r[off+blkC2BC], m2B, m2C)
+			if w := sobol.FirstOrderCI(first, s.n, level).Width(); w > worst {
+				worst = w
+			}
+			if m2A == 0 {
+				continue
+			}
+			total := 1 - correlation(r[off+blkC2AC], m2A, m2C)
+			if w := sobol.TotalOrderCI(total, s.n, level).Width(); w > worst {
+				worst = w
 			}
 		}
 	}
@@ -355,16 +452,19 @@ func (a *Accumulator) MaxCIWidth(level float64) float64 {
 }
 
 // Merge folds another accumulator (same shape) into a, cell by cell and
-// timestep by timestep, using the pairwise co-moment merge formulas.
+// timestep by timestep, using the pairwise co-moment merge formulas — one
+// fused sweep over both interleaved buffers per timestep.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other.cells != a.cells || other.timesteps != a.timesteps || other.p != a.p {
 		panic("core: merging accumulators of different shapes")
 	}
+	stride := a.stride
 	for t := range a.steps {
 		sa, sb := &a.steps[t], &other.steps[t]
 		if sb.n == 0 {
 			continue
 		}
+		sa.ciDirty = true
 		if sa.n == 0 {
 			copyStep(sa, sb)
 			continue
@@ -372,24 +472,22 @@ func (a *Accumulator) Merge(other *Accumulator) {
 		na, nb := float64(sa.n), float64(sb.n)
 		nx := na + nb
 		w := na * nb / nx
-		for k := 0; k < a.p; k++ {
-			for i := 0; i < a.cells; i++ {
-				dA := sb.meanA[i] - sa.meanA[i]
-				dB := sb.meanB[i] - sa.meanB[i]
-				dC := sb.meanC[k][i] - sa.meanC[k][i]
-				sa.c2BC[k][i] += sb.c2BC[k][i] + dB*dC*w
-				sa.c2AC[k][i] += sb.c2AC[k][i] + dA*dC*w
-				sa.m2C[k][i] += sb.m2C[k][i] + dC*dC*w
-				sa.meanC[k][i] += dC * nb / nx
+		for ri := 0; ri < len(sa.rec); ri += stride {
+			r := sa.rec[ri : ri+stride : ri+stride]
+			q := sb.rec[ri : ri+stride : ri+stride]
+			dA := q[offMeanA] - r[offMeanA]
+			dB := q[offMeanB] - r[offMeanB]
+			for off := recHeader; off < stride; off += recPerParam {
+				dC := q[off+blkMeanC] - r[off+blkMeanC]
+				r[off+blkC2BC] += q[off+blkC2BC] + dB*dC*w
+				r[off+blkC2AC] += q[off+blkC2AC] + dA*dC*w
+				r[off+blkM2C] += q[off+blkM2C] + dC*dC*w
+				r[off+blkMeanC] += dC * nb / nx
 			}
-		}
-		for i := 0; i < a.cells; i++ {
-			dA := sb.meanA[i] - sa.meanA[i]
-			dB := sb.meanB[i] - sa.meanB[i]
-			sa.m2A[i] += sb.m2A[i] + dA*dA*w
-			sa.m2B[i] += sb.m2B[i] + dB*dB*w
-			sa.meanA[i] += dA * nb / nx
-			sa.meanB[i] += dB * nb / nx
+			r[offM2A] += q[offM2A] + dA*dA*w
+			r[offM2B] += q[offM2B] + dB*dB*w
+			r[offMeanA] += dA * nb / nx
+			r[offMeanB] += dB * nb / nx
 		}
 		if sa.minmax != nil && sb.minmax != nil {
 			sa.minmax.Merge(sb.minmax)
@@ -409,16 +507,8 @@ func (a *Accumulator) Merge(other *Accumulator) {
 
 func copyStep(dst, src *stepAccum) {
 	dst.n = src.n
-	copy(dst.meanA, src.meanA)
-	copy(dst.m2A, src.m2A)
-	copy(dst.meanB, src.meanB)
-	copy(dst.m2B, src.m2B)
-	for k := range dst.meanC {
-		copy(dst.meanC[k], src.meanC[k])
-		copy(dst.m2C[k], src.m2C[k])
-		copy(dst.c2BC[k], src.c2BC[k])
-		copy(dst.c2AC[k], src.c2AC[k])
-	}
+	dst.ciDirty = true
+	copy(dst.rec, src.rec)
 	if dst.minmax != nil && src.minmax != nil {
 		dst.minmax.Merge(src.minmax)
 	}
@@ -461,12 +551,39 @@ func (a *Accumulator) MemoryBytes() int64 {
 // checkpoint file versions of internal/checkpoint: LayoutV1 is the original
 // format (Sobol' co-moments plus the optional min/max, exceedance and
 // higher-moment trackers); LayoutV2 appends the quantile probe list, the
-// sketch ε and one per-cell quantile sketch field per timestep.
+// sketch ε and one per-cell quantile sketch field per timestep. Both layouts
+// store the Sobol' state as dense per-statistic arrays (meanA, m2A, ... then
+// per k: meanC, m2C, c2BC, c2AC); Encode/Decode transpose between that wire
+// form and the in-memory interleaved records, so files are byte-identical to
+// the ones written before the interleave and interchange freely with older
+// builds.
 const (
 	LayoutV1      = 1
 	LayoutV2      = 2
 	LayoutCurrent = LayoutV2
 )
+
+// gatherColumn copies the strided per-cell statistic at record offset `off`
+// of step s into a.encScratch and returns it — the transpose step of the
+// dense checkpoint layout.
+func (a *Accumulator) gatherColumn(s *stepAccum, off int) []float64 {
+	if cap(a.encScratch) < a.cells {
+		a.encScratch = make([]float64, a.cells)
+	}
+	col := a.encScratch[:a.cells]
+	for i, ri := 0, off; i < a.cells; i, ri = i+1, ri+a.stride {
+		col[i] = s.rec[ri]
+	}
+	return col
+}
+
+// scatterColumn spreads a dense per-cell array back into record offset `off`
+// of step s (the decode-side transpose).
+func (a *Accumulator) scatterColumn(s *stepAccum, off int, col []float64) {
+	for i, ri := 0, off; i < a.cells; i, ri = i+1, ri+a.stride {
+		s.rec[ri] = col[i]
+	}
+}
 
 // Encode appends the full accumulator state to w in the current checkpoint
 // layout.
@@ -496,15 +613,15 @@ func (a *Accumulator) EncodeVersion(w *enc.Writer, version int) {
 	for t := range a.steps {
 		s := &a.steps[t]
 		w.I64(s.n)
-		w.F64Slice(s.meanA)
-		w.F64Slice(s.m2A)
-		w.F64Slice(s.meanB)
-		w.F64Slice(s.m2B)
-		for k := 0; k < a.p; k++ {
-			w.F64Slice(s.meanC[k])
-			w.F64Slice(s.m2C[k])
-			w.F64Slice(s.c2BC[k])
-			w.F64Slice(s.c2AC[k])
+		w.F64Slice(a.gatherColumn(s, offMeanA))
+		w.F64Slice(a.gatherColumn(s, offM2A))
+		w.F64Slice(a.gatherColumn(s, offMeanB))
+		w.F64Slice(a.gatherColumn(s, offM2B))
+		for off := recHeader; off < a.stride; off += recPerParam {
+			w.F64Slice(a.gatherColumn(s, off+blkMeanC))
+			w.F64Slice(a.gatherColumn(s, off+blkM2C))
+			w.F64Slice(a.gatherColumn(s, off+blkC2BC))
+			w.F64Slice(a.gatherColumn(s, off+blkC2AC))
 		}
 		if s.minmax != nil {
 			s.minmax.Encode(w)
@@ -567,18 +684,25 @@ func DecodeAccumulatorVersion(r *enc.Reader, version int) (*Accumulator, error) 
 		}
 	}
 	a := NewAccumulator(cells, timesteps, p, opts)
+	col := make([]float64, cells)
 	for t := range a.steps {
 		s := &a.steps[t]
 		s.n = r.I64()
-		r.F64SliceInto(s.meanA)
-		r.F64SliceInto(s.m2A)
-		r.F64SliceInto(s.meanB)
-		r.F64SliceInto(s.m2B)
-		for k := 0; k < p; k++ {
-			r.F64SliceInto(s.meanC[k])
-			r.F64SliceInto(s.m2C[k])
-			r.F64SliceInto(s.c2BC[k])
-			r.F64SliceInto(s.c2AC[k])
+		readCol := func(off int) {
+			r.F64SliceInto(col)
+			if r.Err() == nil {
+				a.scatterColumn(s, off, col)
+			}
+		}
+		readCol(offMeanA)
+		readCol(offM2A)
+		readCol(offMeanB)
+		readCol(offM2B)
+		for off := recHeader; off < a.stride; off += recPerParam {
+			readCol(off + blkMeanC)
+			readCol(off + blkM2C)
+			readCol(off + blkC2BC)
+			readCol(off + blkC2AC)
 		}
 		if s.minmax != nil {
 			s.minmax.Decode(r)

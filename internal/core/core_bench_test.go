@@ -73,6 +73,75 @@ func BenchmarkUpdateGroupSharded10kCellsP6(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateGroup10kCellsP16 is the hot loop at a wider parameter
+// count, where the layout matters most: the seed kernel made p+1 = 17
+// passes over 68 parallel arrays per fold, the interleaved kernel one pass
+// over one contiguous buffer.
+func BenchmarkUpdateGroup10kCellsP16(b *testing.B) {
+	const cells, p = 10000, 16
+	rng := rand.New(rand.NewSource(1))
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		return f
+	}
+	a := NewAccumulator(cells, 1, p, Options{})
+	yA, yB := field(), field()
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = field()
+	}
+	b.SetBytes(8 * cells * (p + 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UpdateGroup(0, yA, yB, yC)
+	}
+}
+
+// BenchmarkMaxCIWidthRepeatedFewDirty measures the incremental convergence
+// scan in the server's reporting pattern: between two reports only one
+// timestep's worth of state folded new groups, so the scan must rescan that
+// timestep only and answer the other 19 from cache — cost proportional to
+// the dirty state, not the 20× larger total state.
+func BenchmarkMaxCIWidthRepeatedFewDirty(b *testing.B) {
+	const cells, p, steps, shards = 20000, 6, 20, 16
+	rng := rand.New(rand.NewSource(3))
+	sacc := NewSharded(cells, steps, p, Options{}, shards)
+	groups := randomGroups(rng, 8, cells, p)
+	for t := 0; t < steps; t++ {
+		for _, g := range groups {
+			sacc.UpdateGroup(t, g.yA, g.yB, g.yC)
+		}
+	}
+	g := groups[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sacc.UpdateGroup(i%steps, g.yA, g.yB, g.yC)
+		_ = sacc.MaxCIWidth(0.95)
+	}
+}
+
+// BenchmarkMaxCIWidthAllClean is the degenerate report: nothing folded since
+// the last scan, every step answers from cache — O(shards × timesteps)
+// regardless of cells and p.
+func BenchmarkMaxCIWidthAllClean(b *testing.B) {
+	const cells, p, steps, shards = 20000, 6, 20, 16
+	rng := rand.New(rand.NewSource(3))
+	sacc := NewSharded(cells, steps, p, Options{}, shards)
+	for _, g := range randomGroups(rng, 8, cells, p) {
+		for t := 0; t < steps; t++ {
+			sacc.UpdateGroup(t, g.yA, g.yB, g.yC)
+		}
+	}
+	sacc.MaxCIWidth(0.95) // prime the caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sacc.MaxCIWidth(0.95)
+	}
+}
+
 // BenchmarkUpdateGroupQuantiles10kCellsP6 is the same hot path with
 // per-cell quantile sketches enabled — the cost of the first
 // data-structure-valued ubiquitous statistic. Compare against

@@ -5,17 +5,46 @@
 //
 // An Accumulator owns one spatial partition of the mesh (one Melissa Server
 // process holds exactly one) and, per timestep, the one-pass moments needed
-// by the Martinez estimator:
+// by the Martinez estimator.
 //
-//	per (timestep, cell):        meanA, M2A, meanB, M2B
-//	per (timestep, cell, k):     meanCk, M2Ck, C2(B,Ck), C2(A,Ck)
+// # Memory layout: interleaved per-cell records
 //
-// which is 8·(4 + 4p) bytes per cell per timestep — the "order of the size
-// of the results of one simulation for each computed statistic" memory model
-// of Sec. 4.1.1, independent of the number of simulation groups. The layout
-// shares the A/B means across all p parameters instead of composing p
-// independent covariance accumulators, halving memory; tests verify cell-by-
-// cell equality with the scalar accumulators of internal/stats.
+// The fold is memory-bandwidth bound, not FLOP bound: the arithmetic per
+// state float is a handful of multiply-adds, so what dominates is how many
+// times the state streams through the cache hierarchy. The accumulator
+// therefore stores the Sobol' state as one contiguous record per cell,
+//
+//	[meanA, m2A, meanB, m2B, {meanC_k, m2C_k, c2BC_k, c2AC_k} k=0..p-1]
+//
+// i.e. 4+4p float64 per (cell, timestep), all timesteps backed by a single
+// flat allocation. UpdateGroup is a single fused sweep: cell i's record is
+// loaded once, all p parameter blocks and the shared A/B moments are updated
+// while it sits in cache, and it is never touched again that fold. The
+// historical layout — 4+4p parallel per-statistic arrays updated in p+1
+// separate passes — moved the same bytes through DRAM p+1 times per group;
+// the record layout moves them once, which is where the UpdateGroup
+// speedup in BENCH_PR3.json comes from. (Ribés et al. make the same
+// observation for in-transit quantiles: per-cell state layout, not
+// arithmetic, sets the throughput ceiling at scale.)
+//
+// The memory total is unchanged: 8·(4+4p) bytes per cell per timestep — the
+// "order of the size of the results of one simulation for each computed
+// statistic" model of Sec. 4.1.1, independent of the number of simulation
+// groups. Sharing the A/B means across all p parameters (instead of
+// composing p independent covariance accumulators) still halves memory, and
+// tests verify cell-by-cell equality with the scalar accumulators of
+// internal/stats.
+//
+// Per-cell arithmetic order in the fused sweep is exactly the order of the
+// historical multi-pass kernel (every parameter block reads the pre-update
+// A/B means; the A/B moments update last), so results are **bitwise
+// identical** to it — internal/core's equivalence tests drive both kernels
+// with the same streams and compare every statistic bit for bit.
+//
+// Checkpoints and the wire format keep the historical dense per-statistic-
+// array layout: Encode gathers each statistic column out of the records and
+// Decode scatters it back, so files interchange byte-for-byte with builds
+// that predate the interleave (golden v1/v2 fixtures pin this).
 //
 // The package also provides the GroupTracker implementing the
 // discard-on-replay bookkeeping of Sec. 4.2.1: per-group last-folded
@@ -35,10 +64,25 @@
 //
 // Under that contract the per-cell floating-point operation sequence is
 // identical to the single-threaded Accumulator, so sharded results are
-// bitwise equal to dense results for any shard count. Read methods present
-// the stitched dense view and must only run while no worker is folding.
-// Checkpoints use the dense format (Encode/DecodeSharded), making them
-// interchangeable across shard counts.
+// bitwise equal to dense results for any shard count. A cell range of the
+// interleaved layout is one contiguous block per timestep, so shard
+// extraction, injection and the dense stitch are plain memmoves. Read
+// methods present the stitched dense view and must only run while no worker
+// is folding. Checkpoints use the dense format (Encode/DecodeSharded),
+// making them interchangeable across shard counts.
+//
+// # Incremental convergence tracking
+//
+// MaxCIWidth — the Sec. 4.1.5 convergence scalar, the widest confidence
+// interval over all timesteps, cells and parameters — used to rescan the
+// entire state on every call. Each timestep now carries a dirty flag and a
+// cached worst width: folds, merges and restores mark their timestep dirty,
+// and the scan recomputes only dirty steps (at the requested level),
+// answering the rest from cache. Repeated convergence reports therefore
+// cost O(state folded since the last report), and a quiescent accumulator
+// answers in O(timesteps). The cache makes MaxCIWidth a mutating call with
+// the same ownership rules as UpdateGroup; the server runs it per shard
+// *inside* the fold workers, so reports never stall the pipeline.
 //
 // # Quantile statistics
 //
@@ -48,7 +92,8 @@
 // (a Greenwald-Khanna summary) rather than a handful of floats. The sketch
 // is a deterministic function of its update sequence, so it inherits the
 // bitwise FoldWorkers-invariance above unchanged; Extract/Inject/Merge and
-// the checkpoint codec treat it like any other field tracker. Checkpoints
+// the checkpoint codec treat it like any other field tracker, and
+// CompactQuantiles runs the pre-checkpoint compaction pass. Checkpoints
 // carrying quantile state use layout version LayoutV2; LayoutV1 files from
 // older builds restore with quantiles disabled (DecodeAccumulatorVersion).
 package core

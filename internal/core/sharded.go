@@ -109,22 +109,15 @@ func (a *Accumulator) Shard(i, n int) *Accumulator {
 	return a.extractRange(bounds[i], bounds[i+1])
 }
 
-// extractRange copies cells [lo, hi) of a into a fresh accumulator.
+// extractRange copies cells [lo, hi) of a into a fresh accumulator. A cell
+// range of the interleaved layout is one contiguous block per timestep, so
+// the Sobol' state moves with a single copy per step.
 func (a *Accumulator) extractRange(lo, hi int) *Accumulator {
 	out := NewAccumulator(hi-lo, a.timesteps, a.p, a.opts)
 	for t := range a.steps {
 		src, dst := &a.steps[t], &out.steps[t]
 		dst.n = src.n
-		copy(dst.meanA, src.meanA[lo:hi])
-		copy(dst.m2A, src.m2A[lo:hi])
-		copy(dst.meanB, src.meanB[lo:hi])
-		copy(dst.m2B, src.m2B[lo:hi])
-		for k := 0; k < a.p; k++ {
-			copy(dst.meanC[k], src.meanC[k][lo:hi])
-			copy(dst.m2C[k], src.m2C[k][lo:hi])
-			copy(dst.c2BC[k], src.c2BC[k][lo:hi])
-			copy(dst.c2AC[k], src.c2AC[k][lo:hi])
-		}
+		copy(dst.rec, src.rec[lo*a.stride:hi*a.stride])
 		if src.minmax != nil {
 			dst.minmax = src.minmax.Extract(lo, hi)
 		}
@@ -142,21 +135,14 @@ func (a *Accumulator) extractRange(lo, hi int) *Accumulator {
 }
 
 // injectRange copies src (an accumulator over hi-lo cells) into cells
-// [lo, lo+src.cells) of a, adopting src's per-step counts.
+// [lo, lo+src.cells) of a, adopting src's per-step counts — the contiguous
+// inverse of extractRange.
 func (a *Accumulator) injectRange(src *Accumulator, lo int) {
 	for t := range a.steps {
 		from, to := &src.steps[t], &a.steps[t]
 		to.n = from.n
-		copy(to.meanA[lo:lo+src.cells], from.meanA)
-		copy(to.m2A[lo:lo+src.cells], from.m2A)
-		copy(to.meanB[lo:lo+src.cells], from.meanB)
-		copy(to.m2B[lo:lo+src.cells], from.m2B)
-		for k := 0; k < a.p; k++ {
-			copy(to.meanC[k][lo:lo+src.cells], from.meanC[k])
-			copy(to.m2C[k][lo:lo+src.cells], from.m2C[k])
-			copy(to.c2BC[k][lo:lo+src.cells], from.c2BC[k])
-			copy(to.c2AC[k][lo:lo+src.cells], from.c2AC[k])
-		}
+		to.ciDirty = true
+		copy(to.rec[lo*a.stride:(lo+src.cells)*a.stride], from.rec)
 		if to.minmax != nil && from.minmax != nil {
 			to.minmax.Inject(from.minmax, lo)
 		}
@@ -287,7 +273,11 @@ func (s *ShardedAccumulator) QuantileField(t int, q float64, dst []float64) []fl
 func (s *ShardedAccumulator) QuantileProbes() []float64 { return s.opts.Quantiles }
 
 // MaxCIWidth returns the widest confidence interval over all shards — the
-// same scan as Accumulator.MaxCIWidth on the dense state.
+// same value as Accumulator.MaxCIWidth on the dense state. Each shard's scan
+// is incremental (per-timestep dirty flags and cached widths), so a report
+// only pays for the (shard, timestep) ranges that folded new groups since
+// the previous call; quiescent shards answer from cache. Like the dense
+// scan, this mutates cache state and must not race with shard updates.
 func (s *ShardedAccumulator) MaxCIWidth(level float64) float64 {
 	var worst float64
 	for _, sh := range s.shards {
@@ -306,6 +296,25 @@ func (s *ShardedAccumulator) MemoryBytes() int64 {
 		total += sh.MemoryBytes()
 	}
 	return total
+}
+
+// QuantileTupleCount totals the retained quantile-sketch tuples across
+// shards (0 when quantiles are disabled) — the sketch-memory telemetry.
+func (s *ShardedAccumulator) QuantileTupleCount() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.QuantileTupleCount()
+	}
+	return total
+}
+
+// CompactQuantiles runs the sketch compaction pass on every shard (no-op
+// when quantiles are disabled). Like the other read/maintenance methods it
+// must only run while no worker is folding.
+func (s *ShardedAccumulator) CompactQuantiles() {
+	for _, sh := range s.shards {
+		sh.CompactQuantiles()
+	}
 }
 
 // Dense assembles the shards back into one dense Accumulator (a copy; the

@@ -55,6 +55,22 @@ func (f *Field) Update(values []float64) {
 	}
 }
 
+// UpdatePair folds two sample fields (the A and B members of one group) in
+// one sweep over the per-cell sketches. Each cell's sketch sees a[i] then
+// b[i], exactly the sequence of Update(a) followed by Update(b), so the
+// resulting summaries are bitwise identical to two separate passes.
+func (f *Field) UpdatePair(a, b []float64) {
+	if len(a) != len(f.sketches) || len(b) != len(f.sketches) {
+		panic(fmt.Sprintf("quantiles: field of %d cells updated with %d/%d values", len(f.sketches), len(a), len(b)))
+	}
+	f.n += 2
+	for i := range a {
+		s := &f.sketches[i]
+		s.Update(a[i])
+		s.Update(b[i])
+	}
+}
+
 // Merge folds other into f cell by cell. Cell counts and ε must match.
 func (f *Field) Merge(other *Field) {
 	if len(other.sketches) != len(f.sketches) {
@@ -88,6 +104,29 @@ func (f *Field) MemoryBytes() int64 {
 		total += f.sketches[i].MemoryBytes()
 	}
 	return total
+}
+
+// TupleCount returns the total number of retained summary tuples across
+// cells — the O(cells/ε) memory quantity, the telemetry for tuning ε
+// against a memory budget. Buffered inserts are folded first, so the count
+// reflects the canonical summaries.
+func (f *Field) TupleCount() int64 {
+	var total int64
+	for i := range f.sketches {
+		total += int64(f.sketches[i].TupleCount())
+	}
+	return total
+}
+
+// Compact runs the sketch compaction pass on every cell (see
+// Sketch.Compact): buffered inserts are folded, the summaries are compressed
+// to a fixpoint of the GK invariant, and working buffers are released.
+// Called before checkpoint writes to shrink the encoded state; folding may
+// continue afterwards.
+func (f *Field) Compact() {
+	for i := range f.sketches {
+		f.sketches[i].Compact()
+	}
 }
 
 // Extract returns a new field over cells [lo, hi) with deep-copied sketch

@@ -178,6 +178,28 @@ func (s *Sketch) compress() {
 	s.tuples = out
 }
 
+// Compact shrinks the sketch to its smallest invariant-preserving form:
+// buffered inserts are folded, compress is iterated to a fixpoint (one
+// normal pass folds chains right-to-left but can leave newly-adjacent
+// mergeable pairs at chain boundaries), and the insertion buffer and merge
+// scratch are released. The ε rank-error contract is untouched — compress
+// only merges tuples while g_i + g_{i+1} + Δ_{i+1} ≤ ⌊2εn⌋ — and the sketch
+// remains fully usable; the next Update simply reallocates its buffer. Run
+// before checkpoint writes, this minimizes both the encoded tuple count and
+// the retained heap state.
+func (s *Sketch) Compact() {
+	s.flushPending()
+	for {
+		before := len(s.tuples)
+		s.compress()
+		if len(s.tuples) >= before {
+			break
+		}
+	}
+	s.pending = nil
+	s.scratch = nil
+}
+
 // Merge folds other into s. Both sketches must share the same ε (their
 // error contracts compose rank-wise: ε·n_a + ε·n_b = ε·(n_a+n_b)). The
 // other sketch's logical state is unchanged, though its internal buffer is

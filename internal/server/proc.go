@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"log"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,25 @@ type assembly struct {
 	remaining atomic.Int32
 }
 
+// ciScan asks every fold worker to refresh its shard's cached worst-CI-width
+// and publish it. Scans ride the same ordered work channels as assemblies,
+// so a worker scans exactly the folds enqueued before the request — no
+// quiescing, no stalled pool; each shard's scan is itself incremental
+// (core caches per-timestep widths), so a quiet shard answers in O(steps).
+type ciScan struct {
+	level float64
+	// remaining counts the workers that have not yet run this scan; the
+	// worker that decrements it to zero completes the scan (foldWG).
+	remaining atomic.Int32
+}
+
+// foldTask is one unit on a worker channel: a completed assembly to fold or
+// a convergence-scan request.
+type foldTask struct {
+	asm  *assembly
+	scan *ciScan
+}
+
 // CheckpointStats aggregates checkpoint timing, the quantity reported in
 // Sec. 5.4 (2.75 s mean write, 7.24 s mean read in the paper's setup).
 type CheckpointStats struct {
@@ -62,7 +82,9 @@ type CheckpointStats struct {
 // the inbox goroutine (run) receives, decodes and assembles messages, and a
 // pool of fold workers applies completed (group, timestep) assemblies to
 // the cell-range shards of the accumulator — all cores of the node fold,
-// not just one per process.
+// not just one per process. Convergence scans are ordinary pipeline tasks:
+// each worker incrementally rescans its own shard and publishes the width,
+// so periodic reports read atomics instead of quiescing the pool.
 type Proc struct {
 	cfg  procConfig
 	recv transport.Receiver
@@ -79,13 +101,24 @@ type Proc struct {
 	// assembly is enqueued on every channel in arrival order, which makes
 	// the per-cell update sequence — and therefore the statistics —
 	// bitwise identical to the single-threaded fold. foldWG tracks
-	// in-flight assemblies so the inbox can quiesce the pool before any
-	// read of the accumulator (reports, checkpoints, shutdown).
+	// in-flight assemblies *and* convergence scans so the inbox can quiesce
+	// the pool before any direct read of the accumulator (checkpoints,
+	// shutdown, final report).
 	workers  int
-	workCh   []chan *assembly
+	workCh   []chan foldTask
 	workerWG sync.WaitGroup
 	foldWG   sync.WaitGroup
 	asmPool  sync.Pool
+
+	// Convergence telemetry published by the fold workers: ciWidths[i] is
+	// shard i's last scanned worst CI width (as Float64bits), ciScansDone
+	// the number of completed whole-pool scans, ciScansStarted (inbox-owned)
+	// the number enqueued. Periodic reports read the published values and
+	// start a new scan only when none is in flight, so convergence
+	// reporting never stalls the fold pipeline.
+	ciWidths       []atomic.Uint64
+	ciScansDone    atomic.Int64
+	ciScansStarted int64
 
 	// dataScratch/batchScratch are the inbox's reusable decode targets for
 	// the bulk message types.
@@ -200,7 +233,7 @@ func (p *Proc) run() {
 			if p.stopCkpt.Load() && p.cfg.CheckpointDir != "" {
 				p.writeCheckpoint()
 			}
-			p.sendReport() // final status to the launcher
+			p.sendReport(true) // final status to the launcher
 			return
 		}
 		msg, err := p.recv.Recv(pollEvery)
@@ -216,7 +249,7 @@ func (p *Proc) run() {
 		if now.Sub(p.lastReport) >= p.cfg.ReportInterval {
 			p.lastReport = now
 			p.sendHeartbeat(now)
-			p.sendReport()
+			p.sendReport(false)
 		}
 		if p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval {
 			p.lastCkpt = now
@@ -230,9 +263,10 @@ func (p *Proc) run() {
 // behind, the inbox blocks on enqueue and backpressure propagates through
 // the transport to the simulations, exactly as in the unsharded design.
 func (p *Proc) startWorkers() {
-	p.workCh = make([]chan *assembly, p.workers)
+	p.workCh = make([]chan foldTask, p.workers)
+	p.ciWidths = make([]atomic.Uint64, p.workers)
 	for i := range p.workCh {
-		p.workCh[i] = make(chan *assembly, 64)
+		p.workCh[i] = make(chan foldTask, 64)
 		p.workerWG.Add(1)
 		go p.foldWorker(i, p.workCh[i])
 	}
@@ -248,12 +282,24 @@ func (p *Proc) stopWorkers() {
 }
 
 // foldWorker is the second pipeline stage: it owns shard i and applies
-// every assembly, in enqueue order, to its cell range. The worker that
-// retires an assembly (last shard folded) publishes the fold and recycles
-// the assembly's buffers.
-func (p *Proc) foldWorker(i int, ch chan *assembly) {
+// every task, in enqueue order, to its cell range — assemblies are folded,
+// convergence scans refresh the shard's cached CI width and publish it. The
+// worker that retires an assembly (last shard folded) publishes the fold and
+// recycles the assembly's buffers; the worker that finishes a scan last
+// completes it.
+func (p *Proc) foldWorker(i int, ch chan foldTask) {
 	defer p.workerWG.Done()
-	for asm := range ch {
+	for task := range ch {
+		if task.scan != nil {
+			w := p.acc.ShardAccum(i).MaxCIWidth(task.scan.level)
+			p.ciWidths[i].Store(math.Float64bits(w))
+			if task.scan.remaining.Add(-1) == 0 {
+				p.ciScansDone.Add(1)
+				p.foldWG.Done()
+			}
+			continue
+		}
+		asm := task.asm
 		p.acc.UpdateGroupShard(i, asm.step, asm.fields[0], asm.fields[1], asm.fields[2:])
 		if asm.remaining.Add(-1) == 0 {
 			atomic.AddInt64(&p.folds, 1)
@@ -268,13 +314,46 @@ func (p *Proc) enqueueFold(asm *assembly) {
 	asm.remaining.Store(int32(len(p.workCh)))
 	p.foldWG.Add(1)
 	for _, ch := range p.workCh {
-		ch <- asm
+		ch <- foldTask{asm: asm}
 	}
 }
 
-// quiesce blocks until every enqueued assembly has been folded into every
-// shard. Only the inbox goroutine may call it (it is the only enqueuer),
-// after which the accumulator may be read safely until the next enqueue.
+// enqueueScanIfIdle starts a new whole-pool convergence scan unless one is
+// still in flight. Scans queue behind the folds already enqueued, so the
+// published widths always reflect a prefix of the committed update stream.
+func (p *Proc) enqueueScanIfIdle(level float64) {
+	if p.ciScansStarted != p.ciScansDone.Load() {
+		return // previous scan still riding the queues
+	}
+	p.ciScansStarted++
+	scan := &ciScan{level: level}
+	scan.remaining.Store(int32(len(p.workCh)))
+	p.foldWG.Add(1)
+	for _, ch := range p.workCh {
+		ch <- foldTask{scan: scan}
+	}
+}
+
+// publishedCIWidth aggregates the per-shard widths of the last completed
+// scan (+Inf until one has finished — the convergence loop treats the study
+// as unconverged until real data arrives).
+func (p *Proc) publishedCIWidth() float64 {
+	if p.ciScansDone.Load() == 0 {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i := range p.ciWidths {
+		if w := math.Float64frombits(p.ciWidths[i].Load()); w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// quiesce blocks until every enqueued assembly and scan has been processed
+// by every shard worker. Only the inbox goroutine may call it (it is the
+// only enqueuer), after which the accumulator may be read — and its caches
+// mutated — safely until the next enqueue.
 func (p *Proc) quiesce() { p.foldWG.Wait() }
 
 // getAssembly returns a reset assembly sized for this partition, reusing a
@@ -491,8 +570,11 @@ func (p *Proc) sendHeartbeat(now time.Time) {
 
 // sendReport ships the bookkeeping lists of Sec. 4.2.2 to the launcher:
 // running and finished groups, plus any group whose message gap exceeded
-// the timeout.
-func (p *Proc) sendReport() {
+// the timeout. final marks the stop-path report, which runs after quiesce()
+// and may therefore read the accumulator directly; periodic reports must
+// not (the flag is a parameter, not a stopFlag read, because stopFlag can
+// flip mid-iteration while workers are still folding).
+func (p *Proc) sendReport(final bool) {
 	s := p.ensureLauncher()
 	if s == nil {
 		return
@@ -512,8 +594,19 @@ func (p *Proc) sendReport() {
 		}
 	}
 	if p.cfg.ConvergenceReports {
-		p.quiesce() // the scan reads every shard
-		rep.MaxCIWidth = p.acc.MaxCIWidth(p.cfg.CILevel)
+		if final {
+			// Final report: the stop path has already quiesced the pool, so
+			// an exact inbox-side scan is safe — and cheap, since only the
+			// timesteps dirtied after the last worker scan are rescanned.
+			rep.MaxCIWidth = p.acc.MaxCIWidth(p.cfg.CILevel)
+		} else {
+			// Periodic report: publish the last completed worker scan and
+			// start the next one; the fold pool never stalls. The value
+			// lags the stream by at most one report interval plus queue
+			// depth, which only makes the convergence stop conservative.
+			rep.MaxCIWidth = p.publishedCIWidth()
+			p.enqueueScanIfIdle(p.cfg.CILevel)
+		}
 	}
 	if err := s.Send(wire.Encode(rep)); err != nil {
 		p.launcher = nil
@@ -524,9 +617,12 @@ func (p *Proc) sendReport() {
 // writing — incoming messages wait in the transport buffers, exactly the
 // behavior measured in Sec. 5.4. The fold pipeline is quiesced first so the
 // checkpoint captures a consistent accumulator; the format is the dense
-// single-accumulator layout regardless of FoldWorkers.
+// single-accumulator layout regardless of FoldWorkers. Quantile sketches,
+// when enabled, are compacted first (quantiles.Field.Compact) so the file
+// carries the smallest invariant-preserving summaries.
 func (p *Proc) writeCheckpoint() {
 	p.quiesce()
+	p.acc.CompactQuantiles()
 	start := time.Now()
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	err := checkpoint.Write(path, func(w *enc.Writer) {

@@ -117,6 +117,18 @@ func (r *Result) QuantileProbes() []float64 {
 	return r.procs[0].acc.QuantileProbes()
 }
 
+// QuantileTupleCount totals the retained quantile-sketch tuples across all
+// processes — the sketch-memory telemetry of the ROADMAP ε-tuning item
+// (each tuple is ~24 bytes; divide by Cells×Timesteps for the per-cell
+// average the ε guidance works in). Zero when quantiles are disabled.
+func (r *Result) QuantileTupleCount() int64 {
+	var total int64
+	for _, p := range r.procs {
+		total += p.acc.QuantileTupleCount()
+	}
+	return total
+}
+
 // MaxCIWidth returns the widest confidence interval over every process.
 func (r *Result) MaxCIWidth(level float64) float64 {
 	var worst float64

@@ -26,6 +26,13 @@
 // end-to-end backpressure of Sec. 4.1.3: if folding falls behind, the inbox
 // blocks, transport buffers fill, and the simulations suspend.
 //
+// Convergence reports (Config.ConvergenceReports) are folded into the same
+// pipeline: a scan request is enqueued on every worker channel behind the
+// pending assemblies, each worker rescans only the dirty timesteps of its
+// own shard (core caches per-timestep widths) and publishes the result
+// atomically, and the next report reads the published values. The fold pool
+// therefore never stops for convergence telemetry.
+//
 // Fault tolerance follows Sec. 4.2: discard-on-replay filtering of restarted
 // groups, per-group message timeouts reported to the launcher, periodic
 // atomic checkpoints (one file per process, dense format regardless of
@@ -74,8 +81,12 @@ type Config struct {
 	ReportInterval time.Duration
 	// CILevel is the confidence level for convergence reports (default .95).
 	CILevel float64
-	// ConvergenceReports enables MaxCIWidth computation in reports. It
-	// scans the whole accumulator, so it is off by default.
+	// ConvergenceReports enables MaxCIWidth telemetry in reports. The scan
+	// rides the fold pipeline as a per-shard task — each shard incrementally
+	// rescans only the timesteps that folded new groups since its last scan
+	// and publishes the width — so enabling it no longer quiesces the pool;
+	// reported values lag the stream by at most one report interval. Off by
+	// default.
 	ConvergenceReports bool
 }
 

@@ -58,6 +58,43 @@ func (f *FieldMoments) Update(values []float64) {
 	}
 }
 
+// UpdatePair folds two sample fields (the A and B members of one group) in
+// one fused sweep: each cell's four moments are loaded and stored once for
+// both samples instead of once per sample. The per-cell arithmetic order is
+// exactly Update(a) followed by Update(b), so results are bitwise identical
+// to two separate passes.
+func (f *FieldMoments) UpdatePair(a, b []float64) {
+	if len(a) != len(f.means) || len(b) != len(f.means) {
+		panic(fmt.Sprintf("stats: field of %d cells updated with %d/%d values", len(f.means), len(a), len(b)))
+	}
+	nA1 := float64(f.n)
+	nA := nA1 + 1
+	nB := nA + 1
+	nnA := nA*nA - 3*nA + 3
+	nnB := nB*nB - 3*nB + 3
+	f.n += 2
+	for i := range a {
+		mean, m2, m3, m4 := f.means[i], f.m2[i], f.m3[i], f.m4[i]
+		delta := a[i] - mean
+		deltaN := delta / nA
+		deltaN2 := deltaN * deltaN
+		term1 := delta * deltaN * nA1
+		mean += deltaN
+		m4 += term1*deltaN2*nnA + 6*deltaN2*m2 - 4*deltaN*m3
+		m3 += term1*deltaN*(nA-2) - 3*deltaN*m2
+		m2 += term1
+		delta = b[i] - mean
+		deltaN = delta / nB
+		deltaN2 = deltaN * deltaN
+		term1 = delta * deltaN * nA
+		mean += deltaN
+		m4 += term1*deltaN2*nnB + 6*deltaN2*m2 - 4*deltaN*m3
+		m3 += term1*deltaN*(nB-2) - 3*deltaN*m2
+		m2 += term1
+		f.means[i], f.m2[i], f.m3[i], f.m4[i] = mean, m2, m3, m4
+	}
+}
+
 // Merge folds other into f cell by cell. The cell counts must match.
 func (f *FieldMoments) Merge(other *FieldMoments) {
 	if len(other.means) != len(f.means) {
@@ -307,6 +344,31 @@ func (f *FieldMinMax) Update(values []float64) {
 	}
 }
 
+// UpdatePair folds two sample fields in one fused sweep (bitwise identical
+// to Update(a) followed by Update(b)).
+func (f *FieldMinMax) UpdatePair(a, b []float64) {
+	if len(a) != len(f.min) || len(b) != len(f.min) {
+		panic("stats: FieldMinMax dimension mismatch")
+	}
+	f.n += 2
+	for i := range a {
+		lo, hi := f.min[i], f.max[i]
+		if a[i] < lo {
+			lo = a[i]
+		}
+		if a[i] > hi {
+			hi = a[i]
+		}
+		if b[i] < lo {
+			lo = b[i]
+		}
+		if b[i] > hi {
+			hi = b[i]
+		}
+		f.min[i], f.max[i] = lo, hi
+	}
+}
+
 // Merge folds other into f.
 func (f *FieldMinMax) Merge(other *FieldMinMax) {
 	if len(other.min) != len(f.min) {
@@ -356,6 +418,23 @@ func (f *FieldExceedance) Update(values []float64) {
 	f.n++
 	for i, x := range values {
 		if x > f.Threshold {
+			f.counts[i]++
+		}
+	}
+}
+
+// UpdatePair folds two sample fields in one fused sweep (bitwise identical
+// to Update(a) followed by Update(b)).
+func (f *FieldExceedance) UpdatePair(a, b []float64) {
+	if len(a) != len(f.counts) || len(b) != len(f.counts) {
+		panic("stats: FieldExceedance dimension mismatch")
+	}
+	f.n += 2
+	for i := range a {
+		if a[i] > f.Threshold {
+			f.counts[i]++
+		}
+		if b[i] > f.Threshold {
 			f.counts[i]++
 		}
 	}

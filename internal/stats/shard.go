@@ -7,6 +7,12 @@ package stats
 // tracker; Inject copies a sub-range tracker back into cells
 // [lo, lo+src.Cells()) and adopts its sample count (the count is identical
 // across shards of one partition, since every sample field covers them all).
+//
+// Unlike core's Sobol' state — interleaved per-cell records precisely so a
+// cell range is one contiguous block — these trackers keep small parallel
+// arrays (1–4 per statistic), so Extract/Inject stay per-array copies and
+// the hot-path fusion happens at the UpdatePair level instead (one sweep
+// for the A and B samples of a group, bitwise identical to two Updates).
 
 // Extract returns a new tracker over cells [lo, hi) with the same sample
 // count.

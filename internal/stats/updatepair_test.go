@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fused A/B sweeps must be bitwise identical to two sequential Updates —
+// they are what the core fold kernel calls once per group.
+func TestUpdatePairMatchesTwoUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const cells, rounds = 23, 40
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64() * 5
+		}
+		return f
+	}
+
+	mm1, mm2 := NewFieldMinMax(cells), NewFieldMinMax(cells)
+	ex1, ex2 := NewFieldExceedance(cells, 0.3), NewFieldExceedance(cells, 0.3)
+	hm1, hm2 := NewFieldMoments(cells), NewFieldMoments(cells)
+	for r := 0; r < rounds; r++ {
+		a, b := field(), field()
+		mm1.Update(a)
+		mm1.Update(b)
+		mm2.UpdatePair(a, b)
+		ex1.Update(a)
+		ex1.Update(b)
+		ex2.UpdatePair(a, b)
+		hm1.Update(a)
+		hm1.Update(b)
+		hm2.UpdatePair(a, b)
+	}
+	if mm1.N() != mm2.N() || ex1.N() != ex2.N() || hm1.N() != hm2.N() {
+		t.Fatalf("sample counts diverged: %d/%d %d/%d %d/%d",
+			mm1.N(), mm2.N(), ex1.N(), ex2.N(), hm1.N(), hm2.N())
+	}
+	for i := 0; i < cells; i++ {
+		if mm1.Min(i) != mm2.Min(i) || mm1.Max(i) != mm2.Max(i) {
+			t.Fatalf("minmax cell %d: %v/%v vs %v/%v", i, mm1.Min(i), mm1.Max(i), mm2.Min(i), mm2.Max(i))
+		}
+		if ex1.Probability(i) != ex2.Probability(i) {
+			t.Fatalf("exceedance cell %d differs", i)
+		}
+		if hm1.Mean(i) != hm2.Mean(i) || hm1.Variance(i) != hm2.Variance(i) ||
+			hm1.Skewness(i) != hm2.Skewness(i) || hm1.Kurtosis(i) != hm2.Kurtosis(i) {
+			t.Fatalf("moments cell %d: not bitwise identical", i)
+		}
+	}
+}
+
+func TestUpdatePairDimensionMismatchPanics(t *testing.T) {
+	for _, bad := range []func(){
+		func() { NewFieldMinMax(3).UpdatePair(make([]float64, 3), make([]float64, 2)) },
+		func() { NewFieldExceedance(3, 0).UpdatePair(make([]float64, 2), make([]float64, 3)) },
+		func() { NewFieldMoments(3).UpdatePair(make([]float64, 4), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on dimension mismatch")
+				}
+			}()
+			bad()
+		}()
+	}
+}

@@ -38,23 +38,33 @@ func (n *TCPNetwork) Listen(hint string) (Receiver, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", hint, err)
 	}
 	r := &tcpReceiver{
-		ln:      ln,
-		noDelay: n.opts.TCPNoDelay,
-		inbox:   make(chan Message, n.opts.RecvBuffer),
-		done:    make(chan struct{}),
+		ln:    ln,
+		opts:  n.opts,
+		inbox: make(chan Message, n.opts.RecvBuffer),
+		done:  make(chan struct{}),
 	}
 	go r.acceptLoop()
 	return r, nil
 }
 
-// applyNoDelay applies the configured TCP_NODELAY override (nil keeps Go's
-// default of NODELAY enabled; see Options.TCPNoDelay).
-func applyNoDelay(conn net.Conn, noDelay *bool) {
-	if noDelay == nil {
+// applySockOpts applies the configured socket tuning: the TCP_NODELAY
+// override (nil keeps Go's default of NODELAY enabled) and the
+// study-shape-derived kernel buffer sizes (0 keeps the OS defaults). Sizing
+// errors are ignored — the kernel clamps to its own limits anyway and an
+// undersized buffer only costs throughput, never correctness.
+func applySockOpts(conn net.Conn, opts Options) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
 		return
 	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(*noDelay)
+	if opts.TCPNoDelay != nil {
+		tc.SetNoDelay(*opts.TCPNoDelay)
+	}
+	if opts.SendSockBytes > 0 {
+		tc.SetWriteBuffer(opts.SendSockBytes)
+	}
+	if opts.RecvSockBytes > 0 {
+		tc.SetReadBuffer(opts.RecvSockBytes)
 	}
 }
 
@@ -64,9 +74,10 @@ func (n *TCPNetwork) Dial(addr string) (Sender, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	applyNoDelay(conn, n.opts.TCPNoDelay)
+	applySockOpts(conn, n.opts)
 	s := &tcpSender{
 		conn:     conn,
+		frameBuf: n.opts.FrameBufBytes,
 		queue:    make(chan []byte, n.opts.SendBuffer),
 		done:     make(chan struct{}),
 		pumpDone: make(chan struct{}),
@@ -77,11 +88,11 @@ func (n *TCPNetwork) Dial(addr string) (Sender, error) {
 }
 
 type tcpReceiver struct {
-	ln      net.Listener
-	noDelay *bool
-	inbox   chan Message
-	done    chan struct{}
-	once    sync.Once
+	ln    net.Listener
+	opts  Options
+	inbox chan Message
+	done  chan struct{}
+	once  sync.Once
 
 	mu    sync.Mutex
 	conns []net.Conn
@@ -95,7 +106,7 @@ func (r *tcpReceiver) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		applyNoDelay(conn, r.noDelay)
+		applySockOpts(conn, r.opts)
 		r.mu.Lock()
 		r.conns = append(r.conns, conn)
 		r.mu.Unlock()
@@ -109,7 +120,7 @@ func (r *tcpReceiver) acceptLoop() {
 // ZeroMQ's high-water marks.
 func (r *tcpReceiver) readLoop(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReaderSize(conn, 1<<16)
+	br := bufio.NewReaderSize(conn, r.opts.FrameBufBytes)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -176,6 +187,7 @@ func (r *tcpReceiver) Close() error {
 
 type tcpSender struct {
 	conn     net.Conn
+	frameBuf int
 	queue    chan []byte
 	done     chan struct{}
 	pumpDone chan struct{}
@@ -189,7 +201,7 @@ type tcpSender struct {
 // pump is the writer goroutine: it frames and writes queued payloads.
 func (s *tcpSender) pump() {
 	defer close(s.pumpDone)
-	bw := bufio.NewWriterSize(s.conn, 1<<16)
+	bw := bufio.NewWriterSize(s.conn, s.frameBuf)
 	var lenBuf [4]byte
 	write := func(payload []byte) error {
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))

@@ -123,11 +123,73 @@ type Options struct {
 	// sent immediately); &false enables Nagle coalescing for many small
 	// frames. Ignored by the in-memory network. See the package comment.
 	TCPNoDelay *bool
+	// SendSockBytes/RecvSockBytes set the kernel socket buffers
+	// (SO_SNDBUF/SO_RCVBUF) on every TCP connection, dialed and accepted.
+	// 0 keeps the OS default. Sizing them to hold at least one full data
+	// frame keeps a simulation's write from stalling mid-frame and lets the
+	// kernel absorb a frame ahead of the fold pipeline; ForStudy derives
+	// both from the study shape. Ignored by the in-memory network.
+	SendSockBytes int
+	RecvSockBytes int
+	// FrameBufBytes sizes the user-space bufio reader/writer wrapping each
+	// TCP connection (0 = 64 KiB). ForStudy sets it so a whole batched data
+	// frame is framed with one syscall when it fits the cap.
+	FrameBufBytes int
 }
 
 // DefaultOptions returns the buffer sizes used when an Options field is 0.
 func DefaultOptions() Options {
-	return Options{SendBuffer: 64, RecvBuffer: 1024}
+	return Options{SendBuffer: 64, RecvBuffer: 1024, FrameBufBytes: 1 << 16}
+}
+
+// Socket and frame-buffer sizing bounds for ForStudy: at least the Go/bufio
+// conventional 64 KiB, at most 8 MiB (4 MiB for user-space frame buffers) so
+// a huge partition cannot pin unbounded per-connection memory.
+const (
+	minSockBytes    = 1 << 16
+	maxSockBytes    = 8 << 20
+	maxFrameBufSize = 4 << 20
+)
+
+// ForStudy returns Options with the per-connection buffers derived from the
+// study shape instead of the Go/OS defaults: one data frame carries
+// cells × (p+2) float64 fields per timestep and clients batch batchSteps
+// timesteps per frame (wire.DataBatch), so the socket buffers are sized to
+// hold a full frame (clamped to [64 KiB, 8 MiB]) and the user-space frame
+// buffers to one frame up to 4 MiB. cells should be the largest per-server-
+// process partition a connection will carry; non-positive inputs fall back
+// to 1 (p, batchSteps) or the defaults (cells).
+func ForStudy(cells, p, batchSteps int) Options {
+	opts := DefaultOptions()
+	if cells <= 0 {
+		return opts
+	}
+	if p < 1 {
+		p = 1
+	}
+	if batchSteps < 1 {
+		batchSteps = 1
+	}
+	// 8 bytes per float plus a small allowance for headers/cell ranges.
+	frame := 8*cells*(p+2)*batchSteps + 4096
+	sock := frame
+	if sock < minSockBytes {
+		sock = minSockBytes
+	}
+	if sock > maxSockBytes {
+		sock = maxSockBytes
+	}
+	opts.SendSockBytes = sock
+	opts.RecvSockBytes = sock
+	fb := frame
+	if fb < 1<<16 {
+		fb = 1 << 16
+	}
+	if fb > maxFrameBufSize {
+		fb = maxFrameBufSize
+	}
+	opts.FrameBufBytes = fb
+	return opts
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +199,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RecvBuffer <= 0 {
 		o.RecvBuffer = d.RecvBuffer
+	}
+	if o.FrameBufBytes <= 0 {
+		o.FrameBufBytes = d.FrameBufBytes
 	}
 	return o
 }

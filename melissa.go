@@ -188,6 +188,11 @@ func (r *FieldResult) Quantile(t int, q float64) []float64 { return r.res.Quanti
 // with (nil when quantile tracking was off).
 func (r *FieldResult) QuantileProbes() []float64 { return r.res.QuantileProbes() }
 
+// QuantileTupleCount returns the total number of retained quantile-sketch
+// tuples across the whole study (~24 bytes each) — the telemetry for tuning
+// the sketch ε against a memory budget. Zero when quantiles were off.
+func (r *FieldResult) QuantileTupleCount() int64 { return r.res.QuantileTupleCount() }
+
 // MaxCIWidth returns the widest 95% confidence interval over all indices.
 func (r *FieldResult) MaxCIWidth() float64 { return r.res.MaxCIWidth(0.95) }
 
@@ -233,7 +238,7 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 			Quantiles:     cfg.Quantiles,
 			QuantileEps:   cfg.QuantileEps,
 		},
-		Network:            transport.NewMemNetwork(transport.Options{}),
+		Network:            transport.NewMemNetwork(transport.ForStudy(cfg.Cells, len(cfg.Parameters), cfg.BatchSteps)),
 		Cluster:            cluster,
 		ServerProcs:        cfg.ServerProcs,
 		FoldWorkers:        cfg.FoldWorkers,

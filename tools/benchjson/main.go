@@ -1,0 +1,150 @@
+// benchjson converts `go test -bench` text output into machine-readable
+// JSON, so the repo's performance trajectory can be recorded per PR (see
+// BENCH_PR3.json) and diffed mechanically instead of eyeballed.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . ./... | go run ./tools/benchjson
+//	go run ./tools/benchjson before=/tmp/before.txt after=/tmp/after.txt
+//
+// With no arguments it reads one benchmark run from stdin and emits a JSON
+// object {context, benchmarks}. With label=path arguments it reads each file
+// and emits {label: {context, benchmarks}, ...}, which is the layout of the
+// BENCH_PRn.json files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Repeated -count runs of the same
+// benchmark appear as separate entries, preserving the spread.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom ReportMetric values, e.g. "fullscale-GB".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Run is the output of one benchmark invocation: the goos/goarch/pkg/cpu
+// context lines plus every result line, in order.
+type Run struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func parse(r io.Reader) (Run, error) {
+	run := Run{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if rest, ok := strings.CutPrefix(line, key+": "); ok {
+				// Keep the first value per key: one aggregated file may
+				// concatenate several packages.
+				if _, seen := run.Context[key]; !seen {
+					run.Context[key] = rest
+				}
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "Benchmark... \t--- FAIL"
+		}
+		b := Benchmark{Name: fields[0], Runs: runs}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+				ok = true
+			case "MB/s":
+				b.MBPerSec = val
+			case "B/op":
+				b.BytesPerOp = int64(val)
+			case "allocs/op":
+				b.AllocsPerOp = int64(val)
+			default:
+				if b.Extra == nil {
+					b.Extra = map[string]float64{}
+				}
+				b.Extra[unit] = val
+			}
+		}
+		if ok {
+			run.Benchmarks = append(run.Benchmarks, b)
+		}
+	}
+	return run, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if len(os.Args) == 1 {
+		run, err := parse(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		if len(run.Benchmarks) == 0 {
+			fail(fmt.Errorf("no benchmark lines found on stdin"))
+		}
+		if err := out.Encode(run); err != nil {
+			fail(err)
+		}
+		return
+	}
+	labeled := make(map[string]Run, len(os.Args)-1)
+	order := make([]string, 0, len(os.Args)-1)
+	for _, arg := range os.Args[1:] {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			fail(fmt.Errorf("argument %q is not label=path", arg))
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		run, err := parse(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if len(run.Benchmarks) == 0 {
+			fail(fmt.Errorf("%s: no benchmark lines found", path))
+		}
+		labeled[label] = run
+		order = append(order, label)
+	}
+	_ = order // JSON objects are key-sorted by encoding/json; labels stay self-describing
+	if err := out.Encode(labeled); err != nil {
+		fail(err)
+	}
+}

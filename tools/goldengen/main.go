@@ -1,0 +1,73 @@
+// goldengen writes the golden v1/v2 checkpoint fixtures for
+// internal/core/golden_test.go. The committed fixtures in
+// internal/core/testdata/ were generated against the seed (pre-interleave)
+// parallel-array kernel, so they pin the historical byte stream; because
+// the interleaved kernel is bitwise identical and its Encode transposes to
+// the same dense layout, re-running this tool reproduces the same bytes
+// (TestGoldenFixtureFreshEncode asserts exactly that). Regenerate only if
+// the fixture shape itself needs to change, and never to "fix" a byte
+// mismatch — a mismatch means the kernel broke compatibility.
+package main
+
+import (
+	"log"
+
+	"melissa/internal/checkpoint"
+	"melissa/internal/core"
+	"melissa/internal/enc"
+)
+
+// lcg is a tiny deterministic generator so fixture bytes never depend on
+// math/rand's algorithm (which may change across Go versions).
+type lcg struct{ s uint64 }
+
+func (l *lcg) next() float64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return float64(int64(l.s>>11)) / float64(1<<52)
+}
+
+func main() {
+	const cells, steps, p, groups = 13, 3, 4, 9
+	th := 0.25
+	build := func(opts core.Options) *core.Accumulator {
+		a := core.NewAccumulator(cells, steps, p, opts)
+		g := &lcg{s: 2017}
+		yA := make([]float64, cells)
+		yB := make([]float64, cells)
+		yC := make([][]float64, p)
+		for k := range yC {
+			yC[k] = make([]float64, cells)
+		}
+		for t := 0; t < steps; t++ {
+			for n := 0; n < groups; n++ {
+				for i := 0; i < cells; i++ {
+					yA[i] = g.next()
+					yB[i] = g.next()
+					for k := 0; k < p; k++ {
+						yC[k][i] = g.next()
+					}
+				}
+				a.UpdateGroup(t, yA, yB, yC)
+			}
+		}
+		return a
+	}
+
+	v1opts := core.Options{MinMax: true, Threshold: &th, HigherMoments: true}
+	v2opts := v1opts
+	v2opts.Quantiles = []float64{0.1, 0.5, 0.9}
+	v2opts.QuantileEps = 0.05
+
+	a1 := build(v1opts)
+	if err := checkpoint.WriteVersioned("internal/core/testdata/accumulator_v1.ckpt", checkpoint.V1,
+		func(w *enc.Writer) { a1.EncodeVersion(w, core.LayoutV1) }); err != nil {
+		log.Fatal(err)
+	}
+	a2 := build(v2opts)
+	if err := checkpoint.WriteVersioned("internal/core/testdata/accumulator_v2.ckpt", checkpoint.Version,
+		func(w *enc.Writer) { a2.EncodeVersion(w, core.LayoutV2) }); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fixtures written: S0(0,0,0)=%v total=%v q50=%v",
+		a2.FirstAt(0, 0, 0), a2.TotalAt(0, 0, 0), a2.QuantileField(0, 0.5, nil)[0])
+}
