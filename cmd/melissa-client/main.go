@@ -36,6 +36,8 @@ func main() {
 	group := flag.Int("group", 0, "this group's row index i")
 	simRanks := flag.Int("sim-ranks", 1, "parallel ranks per simulation")
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
+	maxBatchSteps := flag.Int("max-batch-steps", 0,
+		"adaptive batching cap: batch up to this many timesteps when the send path backs up (overrides -batch-steps)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "handshake timeout")
 	flag.Parse()
 
@@ -54,7 +56,10 @@ func main() {
 	start := time.Now()
 	// Size the per-connection transport buffers from the study shape so a
 	// whole batched data frame fits the kernel and user-space buffers.
-	net := transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), *batchSteps))
+	net := transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), max(*batchSteps, *maxBatchSteps)))
+	// A standalone client has no launcher feeding it server congestion
+	// hints; MaxBatchSteps without a controller falls back to the local
+	// send-queue signal, which backs up exactly when the server stalls.
 	err = client.RunGroup(net, *serverAddr, client.RunConfig{
 		GroupID:        *group,
 		SimRanks:       *simRanks,
@@ -62,6 +67,7 @@ func main() {
 		Sim:            st.Sim,
 		ConnectTimeout: *connectTimeout,
 		BatchSteps:     *batchSteps,
+		MaxBatchSteps:  *maxBatchSteps,
 	})
 	if err != nil {
 		log.Fatalf("melissa-client: group %d failed: %v", *group, err)

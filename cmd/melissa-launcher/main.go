@@ -36,6 +36,8 @@ func main() {
 	serverProcs := flag.Int("server-procs", 2, "parallel server processes")
 	foldWorkers := flag.Int("fold-workers", 0, "fold workers per server process (0 = GOMAXPROCS-aware)")
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
+	maxBatchSteps := flag.Int("max-batch-steps", 0,
+		"adaptive batching cap: grow batches towards this when the server reports backpressure (overrides -batch-steps)")
 	simRanks := flag.Int("sim-ranks", 2, "parallel ranks per simulation")
 	clusterNodes := flag.Int("cluster-nodes", 0, "virtual cluster size (0 = unbounded)")
 	groupNodes := flag.Int("group-nodes", 1, "nodes per group job")
@@ -61,11 +63,12 @@ func main() {
 		Timesteps:         st.Timesteps,
 		SimRanks:          *simRanks,
 		Stats:             core.Options{MinMax: true},
-		Network:           transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), *batchSteps)),
+		Network:           transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), max(*batchSteps, *maxBatchSteps))),
 		Cluster:           cluster,
 		ServerProcs:       *serverProcs,
 		FoldWorkers:       *foldWorkers,
 		BatchSteps:        *batchSteps,
+		MaxBatchSteps:     *maxBatchSteps,
 		GroupNodes:        *groupNodes,
 		GroupTimeout:      *groupTimeout,
 		ConvergenceTarget: *convergence,

@@ -42,17 +42,26 @@ func main() {
 	launcherAddr := flag.String("launcher", "", "launcher address for heartbeats/reports")
 	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
 	batchSteps := flag.Int("batch-steps", 4, "largest client -batch-steps expected (sizes the receive buffers)")
+	maxBatchSteps := flag.Int("max-batch-steps", 0, "largest client -max-batch-steps expected (adaptive batching; sizes the receive buffers)")
 	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
 	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
 	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
 	quantileList := flag.String("quantiles", "", "comma-separated quantile probes, e.g. 0.05,0.5,0.95 (empty = off)")
 	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
+	quantileBudget := flag.Float64("quantile-memory-budget", 0,
+		"per-cell-per-timestep sketch memory budget in bytes; derives ε (overrides -quantile-eps)")
 	flag.Parse()
 
+	eps := *quantileEps
+	if *quantileBudget > 0 {
+		eps = quantiles.EpsForBudget(*quantileBudget)
+		log.Printf("melissa-server: quantile budget %.0f B/cell/step -> eps %.4g (~%.0f tuples/cell/step)",
+			*quantileBudget, eps, quantiles.TuplesPerCell(eps))
+	}
 	stats := core.Options{
 		MinMax:        *minMax,
 		HigherMoments: *higherMoments,
-		QuantileEps:   *quantileEps,
+		QuantileEps:   eps,
 	}
 	if *threshold != "" {
 		th, err := strconv.ParseFloat(*threshold, 64)
@@ -74,7 +83,7 @@ func main() {
 		Timesteps:    *timesteps,
 		P:            *p,
 		Stats:        stats,
-		Network:      transport.NewTCPNetwork(transport.ForStudy(*cells, *p, *batchSteps)),
+		Network:      transport.NewTCPNetwork(transport.ForStudy(*cells, *p, max(*batchSteps, *maxBatchSteps))),
 		GroupTimeout: *groupTimeout,
 		LauncherAddr: *launcherAddr,
 	}

@@ -56,17 +56,27 @@ func main() {
 	groups := flag.Int("groups", 128, "tube-bundle groups")
 	foldWorkers := flag.Int("fold-workers", 0, "fold workers per server process (0 = GOMAXPROCS-aware)")
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
+	maxBatchSteps := flag.Int("max-batch-steps", 0,
+		"adaptive batching cap: grow batches towards this when the server reports backpressure (overrides -batch-steps)")
 	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
 	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
 	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
 	quantileList := flag.String("quantiles", "", "comma-separated quantile probes, e.g. 0.05,0.5,0.95 (empty = off)")
 	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
+	quantileBudget := flag.Float64("quantile-memory-budget", 0,
+		"per-cell-per-timestep sketch memory budget in bytes; derives ε (overrides -quantile-eps)")
 	flag.Parse()
 
+	eps := *quantileEps
+	if *quantileBudget > 0 {
+		eps = quantiles.EpsForBudget(*quantileBudget)
+		fmt.Printf("quantile budget %.0f B/cell/step -> eps %.4g (~%.0f tuples/cell/step)\n",
+			*quantileBudget, eps, quantiles.TuplesPerCell(eps))
+	}
 	stats := statOptions{
 		minMax:        *minMax,
 		higherMoments: *higherMoments,
-		quantileEps:   *quantileEps,
+		quantileEps:   eps,
 	}
 	if *threshold != "" {
 		th, err := strconv.ParseFloat(*threshold, 64)
@@ -88,7 +98,7 @@ func main() {
 		runSec54(*out)
 	}
 	if *fig7 {
-		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps, stats)
+		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps, *maxBatchSteps, stats)
 	}
 	if *conv {
 		runConvergence(*out)
@@ -222,7 +232,7 @@ func runSec54(out string) {
 	_ = out
 }
 
-func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int, opts statOptions) {
+func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps int, opts statOptions) {
 	fmt.Println("================ Fig. 7/8: tube-bundle Sobol' maps (live) ================")
 	study, grid, err := melissa.TubeBundleStudy(nx, ny, groups, 2017)
 	if err != nil {
@@ -232,6 +242,7 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps int, opts statO
 	study.SimRanks = 4
 	study.FoldWorkers = foldWorkers
 	study.BatchSteps = batchSteps
+	study.MaxBatchSteps = maxBatchSteps
 	study.MinMax = opts.minMax
 	study.Threshold = opts.threshold
 	study.HigherMoments = opts.higherMoments

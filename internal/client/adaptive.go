@@ -1,0 +1,67 @@
+package client
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// BatchController turns server congestion hints into an effective timestep
+// batch size. The server piggybacks its fold-pipeline queue occupancy on the
+// reports it already sends the launcher (wire.Report.Backpressure); the
+// launcher feeds every hint to one shared controller; and every group
+// connection polls the controller at its flush decisions. While the server
+// keeps up, batches stay small and data reaches the statistics with minimal
+// latency; when the fold pipeline backs up, batches grow towards
+// MaxBatchSteps, amortizing framing and syscall overhead exactly when the
+// extra throughput is needed, then decay as the backlog clears.
+//
+// The controller smooths hints with an exponential moving average so one
+// spiky report neither doubles every client's batch nor collapses it. It is
+// safe for concurrent use: one writer (Observe) and any number of readers.
+type BatchController struct {
+	level atomic.Uint64 // Float64bits of the smoothed congestion in [0, 1]
+}
+
+// observeGain is the EWMA weight of a fresh hint: heavy enough that a few
+// congested reports saturate the batch size, light enough that one outlier
+// moves it only halfway.
+const observeGain = 0.5
+
+// Observe folds one congestion hint (a [0, 1] occupancy fraction; values
+// outside are clamped) into the smoothed level.
+func (c *BatchController) Observe(hint float64) {
+	if math.IsNaN(hint) {
+		return
+	}
+	hint = math.Min(math.Max(hint, 0), 1)
+	for {
+		old := c.level.Load()
+		level := math.Float64frombits(old)
+		next := level + observeGain*(hint-level)
+		if c.level.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Level returns the smoothed congestion in [0, 1].
+func (c *BatchController) Level() float64 {
+	return math.Float64frombits(c.level.Load())
+}
+
+// Steps maps the smoothed congestion onto an effective batch size in
+// [1, maxSteps]: 1 when the server is idle, maxSteps when saturated,
+// linear in between (rounded to nearest).
+func (c *BatchController) Steps(maxSteps int) int {
+	if maxSteps <= 1 {
+		return 1
+	}
+	s := 1 + int(c.Level()*float64(maxSteps-1)+0.5)
+	if s < 1 {
+		return 1
+	}
+	if s > maxSteps {
+		return maxSteps
+	}
+	return s
+}

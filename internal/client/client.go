@@ -55,10 +55,31 @@ type Connection struct {
 	// its GroupTimeout automatically).
 	BatchSteps int
 
+	// MaxBatchSteps, when > 1, enables adaptive batching: the effective
+	// batch size floats between 1 and MaxBatchSteps, driven by server
+	// congestion — small batches (low latency) while the fold pipeline
+	// keeps up, growing batches (high throughput) when it reports
+	// backpressure. It overrides BatchSteps. Set both knobs before the
+	// first SendTimestep.
+	MaxBatchSteps int
+
+	// Congestion supplies the server congestion signal for adaptive
+	// batching, normally the study-wide controller the launcher feeds from
+	// server reports. When nil (e.g. a standalone melissa-client with no
+	// launcher), the connection falls back to a local signal: the occupancy
+	// of its own transport send queues, which backs up exactly when the
+	// server stops draining.
+	Congestion *BatchController
+
 	net      transport.Network
 	senders  []transport.Sender
 	routes   []mesh.Transfer
 	simParts []mesh.Partition
+
+	// local is the fallback controller fed from send-queue occupancy;
+	// effSteps is the batch size the current timestep was routed with.
+	local    BatchController
+	effSteps int
 
 	// pending[r] buffers the not-yet-sent steps of route r when batching;
 	// step and field storage is reused across flushes. cutScratch holds the
@@ -103,6 +124,7 @@ func Connect(net transport.Network, mainAddr string, groupID, simRanks int, time
 		return nil, fmt.Errorf("client: group %d waiting for welcome: %w", groupID, err)
 	}
 	decoded, err := wire.Decode(msg.Payload)
+	transport.Recycle(msg.Payload) // Decode copied everything out
 	if err != nil {
 		return nil, fmt.Errorf("client: group %d: %w", groupID, err)
 	}
@@ -157,7 +179,10 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 				c.GroupID, i, len(f), c.Layout.Cells)
 		}
 	}
-	if c.BatchSteps > 1 {
+	c.effSteps = c.effectiveBatchSteps()
+	if c.effSteps > 1 || c.MaxBatchSteps > 1 {
+		// Adaptive mode stays on the buffered path even at batch size 1 so
+		// a later growth decision needs no path switch mid-stream.
 		return c.bufferTimestep(step, fields)
 	}
 	if c.cutScratch == nil {
@@ -187,8 +212,36 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 	return nil
 }
 
+// effectiveBatchSteps resolves the batch size for the current timestep:
+// the static BatchSteps knob, unless adaptive batching (MaxBatchSteps > 1)
+// is on — then the congestion controller's current level decides, using the
+// launcher-fed controller when present and the local send-queue occupancy
+// otherwise.
+func (c *Connection) effectiveBatchSteps() int {
+	if c.MaxBatchSteps <= 1 {
+		if c.BatchSteps > 1 {
+			return c.BatchSteps
+		}
+		return 1
+	}
+	ctl := c.Congestion
+	if ctl == nil {
+		worst := 0.0
+		for _, s := range c.senders {
+			if qp, ok := s.(transport.QueueProber); ok {
+				if f := qp.QueueFraction(); f > worst {
+					worst = f
+				}
+			}
+		}
+		c.local.Observe(worst)
+		ctl = &c.local
+	}
+	return ctl.Steps(c.MaxBatchSteps)
+}
+
 // bufferTimestep copies one step's route cuts into the per-route batch
-// buffers and flushes every route that reached BatchSteps.
+// buffers and flushes every route that reached the effective batch size.
 func (c *Connection) bufferTimestep(step int, fields [][]float64) error {
 	if c.pending == nil {
 		c.pending = make([]routeBatch, len(c.routes))
@@ -219,7 +272,7 @@ func (c *Connection) bufferTimestep(step int, fields [][]float64) error {
 			copy(dst, src)
 			st.Fields[fi] = dst
 		}
-		if len(rb.steps) >= c.BatchSteps {
+		if len(rb.steps) >= c.effSteps {
 			if err := c.flushRoute(ri); err != nil {
 				return err
 			}

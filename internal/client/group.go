@@ -24,6 +24,13 @@ type RunConfig struct {
 	// BatchSteps, when > 1, batches that many timesteps per wire message
 	// (see Connection.BatchSteps).
 	BatchSteps int
+	// MaxBatchSteps, when > 1, enables backpressure-adaptive batching up to
+	// that many timesteps per message (see Connection.MaxBatchSteps).
+	MaxBatchSteps int
+	// Congestion is the shared congestion controller for adaptive batching,
+	// fed by the launcher from server reports. nil falls back to the local
+	// send-queue signal (see Connection.Congestion).
+	Congestion *BatchController
 	// BeforeStep, when non-nil, is a fault-injection hook called before
 	// each timestep is sent. Returning an error makes the whole group fail
 	// (the paper treats a group as a single failure unit, Sec. 4.2).
@@ -67,6 +74,8 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 	}
 	defer conn.Close()
 	conn.BatchSteps = rc.BatchSteps
+	conn.MaxBatchSteps = rc.MaxBatchSteps
+	conn.Congestion = rc.Congestion
 
 	if got, want := len(rc.Rows), conn.Layout.P+2; got != want {
 		return fmt.Errorf("client: group %d has %d rows but the server expects p+2 = %d", rc.GroupID, got, want)

@@ -51,6 +51,13 @@ type Config struct {
 	// GroupTimeout is scaled by BatchSteps to match the stretched
 	// inter-message cadence.
 	BatchSteps int
+	// MaxBatchSteps, when > 1, enables backpressure-adaptive batching: the
+	// launcher feeds the congestion hints the server piggybacks on its
+	// reports into one study-wide client.BatchController, and every group's
+	// effective batch size floats between 1 and MaxBatchSteps with the
+	// server's fold-pipeline backlog. Overrides BatchSteps. GroupTimeout is
+	// scaled by MaxBatchSteps (the worst-case message stretch).
+	MaxBatchSteps int
 	// GroupWalltime bounds one group execution in the scheduler (0 = none).
 	GroupWalltime time.Duration
 
@@ -182,8 +189,11 @@ type Launcher struct {
 
 	lastHeartbeat time.Time
 	maxCI         map[int]float64 // per proc rank
-	stats         Stats
-	start         time.Time
+	// batchCtl is the study-wide adaptive-batching controller (nil unless
+	// MaxBatchSteps > 1): reports feed it, group connections poll it.
+	batchCtl *client.BatchController
+	stats    Stats
+	start    time.Time
 }
 
 // New validates the configuration and prepares a launcher.
@@ -211,6 +221,9 @@ func New(cfg Config) (*Launcher, error) {
 		done:      make(chan groupDone, 1024),
 		maxCI:     make(map[int]float64),
 		reporters: reporters,
+	}
+	if cfg.MaxBatchSteps > 1 {
+		l.batchCtl = &client.BatchController{}
 	}
 	for g := 0; g < cfg.Design.N(); g++ {
 		l.groups[g] = &groupState{id: g, finishedBy: make(map[int]bool)}
@@ -278,10 +291,11 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 func (l *Launcher) startServer(restore bool) error {
 	// Batching stretches a healthy group's inter-message gap by the batch
 	// factor; scale the liveness timeout so batched groups are not falsely
-	// declared unresponsive.
+	// declared unresponsive. Adaptive batching scales by its cap — the
+	// worst-case stretch when the server is congested.
 	groupTimeout := l.cfg.GroupTimeout
-	if l.cfg.BatchSteps > 1 {
-		groupTimeout *= time.Duration(l.cfg.BatchSteps)
+	if factor := max(l.cfg.BatchSteps, l.cfg.MaxBatchSteps); factor > 1 {
+		groupTimeout *= time.Duration(factor)
 	}
 	srv, err := server.New(server.Config{
 		Procs:              l.cfg.ServerProcs,
@@ -417,6 +431,8 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 			Sim:            l.cfg.Sim,
 			ConnectTimeout: l.cfg.ConnectTimeout,
 			BatchSteps:     l.cfg.BatchSteps,
+			MaxBatchSteps:  l.cfg.MaxBatchSteps,
+			Congestion:     l.batchCtl,
 			BeforeStep:     hook,
 		})
 		l.done <- groupDone{group: id, attempt: attempt, job: job, err: err}
@@ -490,6 +506,7 @@ func (l *Launcher) drainMessages() {
 			return
 		}
 		decoded, err := wire.Decode(msg.Payload)
+		transport.Recycle(msg.Payload) // Decode copied everything out
 		if err != nil {
 			continue
 		}
@@ -504,6 +521,11 @@ func (l *Launcher) drainMessages() {
 }
 
 func (l *Launcher) applyReport(rep *wire.Report) {
+	if l.batchCtl != nil {
+		// Close the adaptive-batching loop: the server's fold-pipeline
+		// occupancy steers every group's effective batch size.
+		l.batchCtl.Observe(rep.Backpressure)
+	}
 	for _, id := range rep.Running {
 		if g := l.groups[id]; g != nil {
 			g.seen = true

@@ -1,0 +1,53 @@
+package quantiles
+
+// Memory-budget sizing for the GK sketches. The ROADMAP telemetry item
+// established the accounting: a compacted sketch retains O(1/ε) summary
+// tuples per cell per timestep, each tuple costing BytesPerTuple in memory
+// (and on the checkpoint wire). Inverting that model lets a study pick ε
+// from a per-cell memory budget instead of guessing a rank error —
+// `-quantile-memory-budget 2400` means "spend ≈2.4 kB per cell per
+// timestep on order statistics" and derives the ε that fits.
+
+// BytesPerTuple is the approximate cost of one retained summary tuple: the
+// three float64-sized words (v, g, Δ) the telemetry formula charges.
+const BytesPerTuple = 24
+
+// TuplesPerCell is the compaction-fixpoint tuple-count model: after
+// Compact, adjacent tuples cannot merge once their combined weight exceeds
+// the GK invariant band 2εn, so a summary levels off at about 1/ε tuples
+// regardless of how many samples were folded in.
+func TuplesPerCell(eps float64) float64 {
+	return 1 / clampEps(eps)
+}
+
+// BytesPerCell is the per-cell-per-timestep memory model at rank error eps:
+// TuplesPerCell × BytesPerTuple.
+func BytesPerCell(eps float64) float64 {
+	return TuplesPerCell(eps) * BytesPerTuple
+}
+
+// EpsForBudget inverts BytesPerCell: the rank error ε whose steady-state
+// compacted sketch fits budgetBytes per cell per timestep. The result is
+// clamped to the sketch's valid range — a tiny budget degrades to the
+// coarsest sketch (ε = 0.5) rather than failing, and a huge budget is
+// capped at MinEpsilon so ε never underflows into per-sample memory.
+func EpsForBudget(budgetBytes float64) float64 {
+	if budgetBytes <= 0 {
+		return DefaultEpsilon
+	}
+	return clampEps(BytesPerTuple / budgetBytes)
+}
+
+// MinEpsilon bounds how fine a budget-derived sketch can get: 10⁻⁴ rank
+// error already retains ~10⁴ tuples (240 kB) per cell per timestep.
+const MinEpsilon = 1e-4
+
+func clampEps(eps float64) float64 {
+	if eps < MinEpsilon {
+		return MinEpsilon
+	}
+	if eps > 0.5 {
+		return 0.5
+	}
+	return eps
+}

@@ -1,0 +1,55 @@
+package quantiles
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBudgetSizingMath pins the ε-from-memory-budget formula: a compacted
+// sketch holds ~1/ε tuples of BytesPerTuple bytes, so ε = 24/budget.
+func TestBudgetSizingMath(t *testing.T) {
+	cases := []struct {
+		budget float64
+		eps    float64
+	}{
+		{2400, 0.01},   // the ROADMAP's "default ε = 1% ≈ a few kB/cell/step"
+		{24000, 0.001}, // 10× budget → 10× finer
+		{480, 0.05},
+		{48, 0.5},    // exactly the coarsest valid sketch
+		{10, 0.5},    // tiny budget clamps to the coarsest sketch
+		{1e9, 1e-4},  // huge budget clamps at MinEpsilon
+		{0, 0.01},    // unset budget falls back to the default ε
+		{-100, 0.01}, // nonsense budget falls back to the default ε
+	}
+	for _, tc := range cases {
+		if got := EpsForBudget(tc.budget); math.Abs(got-tc.eps) > 1e-12 {
+			t.Fatalf("EpsForBudget(%v) = %v, want %v", tc.budget, got, tc.eps)
+		}
+	}
+
+	// The forward model must invert: BytesPerCell(EpsForBudget(b)) == b for
+	// budgets inside the clamp range.
+	for _, b := range []float64{100, 2400, 24000, 120000} {
+		if got := BytesPerCell(EpsForBudget(b)); math.Abs(got-b) > 1e-9 {
+			t.Fatalf("BytesPerCell(EpsForBudget(%v)) = %v, want %v", b, got, b)
+		}
+	}
+	if got := TuplesPerCell(0.01); got != 100 {
+		t.Fatalf("TuplesPerCell(0.01) = %v, want 100", got)
+	}
+	if got := BytesPerCell(0.01); got != 2400 {
+		t.Fatalf("BytesPerCell(0.01) = %v, want 2400", got)
+	}
+}
+
+// TestBudgetEpsIsValidSketchEps: every budget-derived ε must be accepted
+// verbatim by the sketch constructor (no re-clamping surprises).
+func TestBudgetEpsIsValidSketchEps(t *testing.T) {
+	for _, b := range []float64{1, 48, 100, 2400, 1e6, 1e12} {
+		eps := EpsForBudget(b)
+		s := New(eps)
+		if s.Epsilon() != eps {
+			t.Fatalf("budget %v: sketch adopted eps %v, want %v", b, s.Epsilon(), eps)
+		}
+	}
+}

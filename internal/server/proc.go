@@ -33,10 +33,12 @@ type groupStep struct {
 }
 
 // assembly collects the stage-2 pieces of one (group, timestep) until the
-// process's whole partition is covered, then is handed to the fold worker
-// pool in one shot. Pieces may arrive from several main-simulation ranks in
-// any order. Assemblies are pooled: the last fold worker to finish returns
-// the assembly for reuse, so steady-state folding allocates nothing.
+// process's whole partition is covered. The inbox owns only the coverage
+// bookkeeping (covered/missing, parsed from piece headers); the float
+// content of fields is written by the shard workers, each decoding its own
+// disjoint cell range straight out of the retained payloads. Assemblies are
+// pooled: the last fold worker to finish returns the assembly for reuse, so
+// steady-state folding allocates nothing.
 type assembly struct {
 	step    int
 	fields  [][]float64 // p+2 fields over the local partition
@@ -46,6 +48,75 @@ type assembly struct {
 	// assembly to their shard; the worker that decrements it to zero
 	// retires the assembly.
 	remaining atomic.Int32
+}
+
+// bulkMsg is one retained inbound bulk payload (Data or DataBatch): the
+// transport buffer with its embedded refcount and the parsed lazy header
+// view. The inbox parses and routes it; the shard workers share it
+// read-only, each decoding exactly its shard's cell sub-range out of the
+// payload bytes. The final Release recycles the buffer and retires the
+// message. bulkMsgs are pooled.
+type bulkMsg struct {
+	transport.Ref
+	data    wire.DataView
+	batch   wire.DataBatchView
+	isBatch bool
+
+	// Set by the inbox while it still holds its own reference:
+	tracked bool  // foldWG.Add(1) was charged for this message
+	applied int32 // (group, timestep) updates committed via the direct path
+}
+
+func (m *bulkMsg) groupID() int {
+	if m.isBatch {
+		return m.batch.GroupID
+	}
+	return m.data.GroupID
+}
+
+func (m *bulkMsg) cellLo() int {
+	if m.isBatch {
+		return m.batch.CellLo
+	}
+	return m.data.CellLo
+}
+
+func (m *bulkMsg) cellHi() int {
+	if m.isBatch {
+		return m.batch.CellHi
+	}
+	return m.data.CellHi
+}
+
+func (m *bulkMsg) numSteps() int {
+	if m.isBatch {
+		return m.batch.NumSteps()
+	}
+	return 1
+}
+
+func (m *bulkMsg) numFields() int {
+	if m.isBatch {
+		return m.batch.NumFields()
+	}
+	return m.data.NumFields()
+}
+
+func (m *bulkMsg) stepTimestep(s int) int {
+	if m.isBatch {
+		return m.batch.StepTimestep(s)
+	}
+	return m.data.Timestep
+}
+
+// decodeFieldRange decodes cells [lo, hi) — relative to cellLo() — of field
+// f at batch entry s into dst[:hi-lo].
+func (m *bulkMsg) decodeFieldRange(s, f, lo, hi int, dst []float64) {
+	if m.isBatch {
+		m.batch.DecodeFieldRange(s, f, lo, hi, dst)
+	} else {
+		m.data.DecodeFieldRange(f, lo, hi, dst)
+	}
 }
 
 // ciScan asks every fold worker to refresh its shard's cached worst-CI-width
@@ -60,11 +131,26 @@ type ciScan struct {
 	remaining atomic.Int32
 }
 
-// foldTask is one unit on a worker channel: a completed assembly to fold or
-// a convergence-scan request.
+// foldTask is one unit on a worker channel. Exactly one of scan, bulk or
+// gate is the task's subject:
+//
+//   - scan: a convergence-scan request.
+//   - bulk: decode work on a retained payload — the worker decodes its
+//     shard's overlap of step `step`'s fields into asm (assembled path) or,
+//     when asm is nil, into its own scratch (direct path, the piece covers
+//     the whole partition). fold marks the task that completes the
+//     (group, timestep): the worker folds its shard after decoding.
+//   - gate: a test-only stall; the worker blocks until the channel closes
+//     (lets tests back the pipeline up deterministically).
 type foldTask struct {
-	asm  *assembly
 	scan *ciScan
+
+	bulk *bulkMsg
+	step int
+	asm  *assembly
+	fold bool
+
+	gate chan struct{}
 }
 
 // CheckpointStats aggregates checkpoint timing, the quantity reported in
@@ -78,13 +164,17 @@ type CheckpointStats struct {
 }
 
 // Proc is one Melissa Server process: one partition, one inbox, no shared
-// state with its peers. Internally the process is a two-stage pipeline:
-// the inbox goroutine (run) receives, decodes and assembles messages, and a
-// pool of fold workers applies completed (group, timestep) assemblies to
-// the cell-range shards of the accumulator — all cores of the node fold,
-// not just one per process. Convergence scans are ordinary pipeline tasks:
-// each worker incrementally rescans its own shard and publishes the width,
-// so periodic reports read atomics instead of quiescing the pool.
+// state with its peers. Internally the process is a three-stage pipeline
+// (route → shard-decode → fold): the inbox goroutine (run) only parses
+// bulk-message headers, validates shape once per message and routes retained
+// payloads; the fold workers decode exactly their shard's cell sub-range
+// straight out of the shared payload bytes and apply completed
+// (group, timestep) updates to their accumulator shard — decode work is
+// parallelized across the pool instead of serialized in front of it, and no
+// intermediate full-field copy exists on the single-piece fast path.
+// Convergence scans are ordinary pipeline tasks: each worker incrementally
+// rescans its own shard and publishes the width, so periodic reports read
+// atomics instead of quiescing the pool.
 type Proc struct {
 	cfg  procConfig
 	recv transport.Receiver
@@ -97,18 +187,21 @@ type Proc struct {
 	folds    int64 // completed (group, timestep) updates; read concurrently
 	ckpt     CheckpointStats
 
-	// Fold pipeline. workCh[i] feeds shard i's worker; every completed
-	// assembly is enqueued on every channel in arrival order, which makes
-	// the per-cell update sequence — and therefore the statistics —
-	// bitwise identical to the single-threaded fold. foldWG tracks
-	// in-flight assemblies *and* convergence scans so the inbox can quiesce
+	// Fold pipeline. workCh[i] feeds shard i's worker; every task is
+	// enqueued on every channel in arrival order, which makes the per-cell
+	// update sequence — and therefore the statistics — bitwise identical to
+	// the single-threaded fold. foldWG tracks in-flight retained payloads,
+	// completed assemblies *and* convergence scans so the inbox can quiesce
 	// the pool before any direct read of the accumulator (checkpoints,
-	// shutdown, final report).
+	// shutdown, final report). scratch[i] is worker i's private decode
+	// target for the direct (single-piece) path, sized to its shard.
 	workers  int
 	workCh   []chan foldTask
 	workerWG sync.WaitGroup
 	foldWG   sync.WaitGroup
 	asmPool  sync.Pool
+	bulkPool sync.Pool
+	scratch  [][][]float64
 
 	// Convergence telemetry published by the fold workers: ciWidths[i] is
 	// shard i's last scanned worst CI width (as Float64bits), ciScansDone
@@ -119,11 +212,6 @@ type Proc struct {
 	ciWidths       []atomic.Uint64
 	ciScansDone    atomic.Int64
 	ciScansStarted int64
-
-	// dataScratch/batchScratch are the inbox's reusable decode targets for
-	// the bulk message types.
-	dataScratch  wire.Data
-	batchScratch wire.DataBatch
 
 	launcher     transport.Sender // lazily dialed
 	lastReport   time.Time
@@ -208,15 +296,14 @@ func (p *Proc) requestStop(finalCheckpoint bool) {
 	p.stopFlag.Store(true)
 }
 
-// run is the inbox stage of the pipeline: drain the inbox, decode and
-// assemble data, hand completed assemblies to the fold workers, and perform
-// the periodic duties (reports, heartbeats, timeout detection,
-// checkpoints). All maps and trackers are owned by this goroutine; the
-// accumulator shards are owned by the workers and only read here after
-// quiesce().
+// run is the inbox stage of the pipeline: drain the inbox, parse and
+// validate bulk-message headers, route retained payloads to the fold
+// workers, and perform the periodic duties (reports, heartbeats, timeout
+// detection, checkpoints). All maps and trackers are owned by this
+// goroutine; the accumulator shards are owned by the workers and only read
+// here after quiesce().
 func (p *Proc) run() {
 	defer p.markStopped()
-	p.startWorkers()
 	defer p.stopWorkers()
 	p.startedAt = time.Now()
 	p.lastReport = p.startedAt
@@ -259,17 +346,41 @@ func (p *Proc) run() {
 }
 
 // startWorkers launches one fold worker per accumulator shard. Channel
-// capacity bounds the decoded-but-unfolded backlog; when workers fall
+// capacity bounds the routed-but-unprocessed backlog; when workers fall
 // behind, the inbox blocks on enqueue and backpressure propagates through
-// the transport to the simulations, exactly as in the unsharded design.
+// the transport to the simulations, exactly as in the unsharded design —
+// and the queue occupancy is the congestion hint reported to the launcher
+// for adaptive client batching.
 func (p *Proc) startWorkers() {
 	p.workCh = make([]chan foldTask, p.workers)
 	p.ciWidths = make([]atomic.Uint64, p.workers)
+	p.scratch = make([][][]float64, p.workers)
 	for i := range p.workCh {
+		lo, hi := p.acc.ShardRange(i)
+		fields := make([][]float64, p.cfg.P+2)
+		for f := range fields {
+			fields[f] = make([]float64, hi-lo)
+		}
+		p.scratch[i] = fields
 		p.workCh[i] = make(chan foldTask, 64)
 		p.workerWG.Add(1)
 		go p.foldWorker(i, p.workCh[i])
 	}
+}
+
+// backpressure returns the occupancy fraction [0, 1] of the fold-pipeline
+// work queues — the congestion hint piggybacked on reports. Reading channel
+// lengths from the inbox is a racy snapshot, which is all a hint needs.
+func (p *Proc) backpressure() float64 {
+	queued, capacity := 0, 0
+	for _, ch := range p.workCh {
+		queued += len(ch)
+		capacity += cap(ch)
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(queued) / float64(capacity)
 }
 
 // stopWorkers closes the work channels (workers drain what is queued) and
@@ -281,40 +392,101 @@ func (p *Proc) stopWorkers() {
 	p.workerWG.Wait()
 }
 
-// foldWorker is the second pipeline stage: it owns shard i and applies
-// every task, in enqueue order, to its cell range — assemblies are folded,
-// convergence scans refresh the shard's cached CI width and publish it. The
-// worker that retires an assembly (last shard folded) publishes the fold and
-// recycles the assembly's buffers; the worker that finishes a scan last
+// foldWorker is the decode+fold stage of the pipeline: it owns shard i and
+// applies every task, in enqueue order, to its cell range. Bulk tasks are
+// decoded — each worker converts only its shard's overlap of the payload's
+// cell range, straight out of the shared bytes — and, on the task that
+// completes a (group, timestep), folded into the shard. Convergence scans
+// refresh the shard's cached CI width and publish it. The worker that
+// retires an assembly (last shard folded) publishes the fold and recycles
+// its buffers; the worker that drops the last payload reference recycles
+// the buffer and retires the message; the worker that finishes a scan last
 // completes it.
 func (p *Proc) foldWorker(i int, ch chan foldTask) {
 	defer p.workerWG.Done()
+	shardLo, shardHi := p.acc.ShardRange(i)
 	for task := range ch {
-		if task.scan != nil {
+		switch {
+		case task.gate != nil:
+			<-task.gate
+		case task.scan != nil:
 			w := p.acc.ShardAccum(i).MaxCIWidth(task.scan.level)
 			p.ciWidths[i].Store(math.Float64bits(w))
 			if task.scan.remaining.Add(-1) == 0 {
 				p.ciScansDone.Add(1)
 				p.foldWG.Done()
 			}
-			continue
-		}
-		asm := task.asm
-		p.acc.UpdateGroupShard(i, asm.step, asm.fields[0], asm.fields[1], asm.fields[2:])
-		if asm.remaining.Add(-1) == 0 {
-			atomic.AddInt64(&p.folds, 1)
-			p.asmPool.Put(asm)
-			p.foldWG.Done()
+		case task.bulk != nil:
+			p.runBulkTask(i, shardLo, shardHi, task)
 		}
 	}
 }
 
-// enqueueFold hands one completed assembly to every shard worker.
-func (p *Proc) enqueueFold(asm *assembly) {
-	asm.remaining.Store(int32(len(p.workCh)))
-	p.foldWG.Add(1)
+// runBulkTask executes one bulk task on worker i (owning partition-local
+// cells [shardLo, shardHi)): decode the shard's overlap of the piece, then
+// fold if this task completes the (group, timestep).
+func (p *Proc) runBulkTask(i, shardLo, shardHi int, task foldTask) {
+	m := task.bulk
+	part := p.cfg.Partition
+	plo := m.cellLo() - part.Lo // piece range, partition-local
+	phi := m.cellHi() - part.Lo
+	nf := m.numFields()
+	if asm := task.asm; asm != nil {
+		// Assembled path: decode the (piece ∩ shard) cells into the shared
+		// assembly. Workers write disjoint ranges, so no synchronization
+		// beyond the task channels is needed.
+		olo, ohi := max(plo, shardLo), min(phi, shardHi)
+		if olo < ohi {
+			for f := 0; f < nf; f++ {
+				m.decodeFieldRange(task.step, f, olo-plo, ohi-plo, asm.fields[f][olo:ohi])
+			}
+		}
+		if task.fold {
+			p.acc.UpdateGroupShard(i, asm.step, asm.fields[0], asm.fields[1], asm.fields[2:])
+			if asm.remaining.Add(-1) == 0 {
+				atomic.AddInt64(&p.folds, 1)
+				p.asmPool.Put(asm)
+				p.foldWG.Done()
+			}
+		}
+	} else {
+		// Direct path: the piece covers the whole partition, so the shard's
+		// cells go payload → worker scratch → fold with no assembly copy.
+		sc := p.scratch[i]
+		for f := 0; f < nf; f++ {
+			m.decodeFieldRange(task.step, f, shardLo-plo, shardHi-plo, sc[f])
+		}
+		p.acc.ShardAccum(i).UpdateGroup(m.stepTimestep(task.step), sc[0], sc[1], sc[2:])
+	}
+	if m.Release() {
+		p.retireBulk(m)
+	}
+}
+
+// retireBulk finishes one bulk message after its final payload release:
+// publish the direct-path folds, balance the pipeline-tracking charge and
+// pool the message. Runs on whichever goroutine dropped the last reference.
+func (p *Proc) retireBulk(m *bulkMsg) {
+	if m.applied > 0 {
+		atomic.AddInt64(&p.folds, int64(m.applied))
+	}
+	if m.tracked {
+		p.foldWG.Done()
+	}
+	p.bulkPool.Put(m)
+}
+
+// enqueueBulk routes one bulk task to every shard worker, charging the
+// payload refcount (one reference per worker) and, once per message, the
+// pipeline-tracking WaitGroup.
+func (p *Proc) enqueueBulk(m *bulkMsg, task foldTask) {
+	if !m.tracked {
+		m.tracked = true
+		p.foldWG.Add(1)
+	}
+	m.Retain(int32(len(p.workCh)))
 	for _, ch := range p.workCh {
-		ch <- foldTask{asm: asm}
+		ch <- task
 	}
 }
 
@@ -400,29 +572,15 @@ func (p *Proc) markStopped() {
 	p.recv.Close()
 }
 
-// dispatch routes one inbox payload. The bulk data types decode into the
-// proc's reusable scratch (zero steady-state allocation); everything else
-// takes the generic decode path. Payload buffers are recycled into the
-// transport pool once fully copied out.
+// dispatch routes one inbox payload. The bulk data types take the lazy-view
+// path: the payload is retained, only its header is parsed here, and the
+// float decoding happens on the shard workers (zero steady-state
+// allocation, no inbox-side copy). Everything else takes the generic decode
+// path, with the buffer recycled immediately.
 func (p *Proc) dispatch(payload []byte) {
 	switch wire.PayloadType(payload) {
-	case wire.TypeData:
-		err := wire.DecodeDataInto(payload, &p.dataScratch)
-		transport.Recycle(payload)
-		if err != nil {
-			log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
-			return
-		}
-		p.handleData(&p.dataScratch)
-		return
-	case wire.TypeDataBatch:
-		err := wire.DecodeDataBatchInto(payload, &p.batchScratch)
-		transport.Recycle(payload)
-		if err != nil {
-			log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
-			return
-		}
-		p.handleDataBatch(&p.batchScratch)
+	case wire.TypeData, wire.TypeDataBatch:
+		p.handleBulk(payload)
 		return
 	}
 	msg, err := wire.Decode(payload)
@@ -469,75 +627,108 @@ func (p *Proc) handleHello(m *wire.Hello) {
 	}
 }
 
-// handleData folds one stage-2 piece. The discard-on-replay policy
-// (Sec. 4.2.1) drops whole (group, step) updates whose step was already
-// committed; partial assemblies tolerate replays by overwriting.
-func (p *Proc) handleData(m *wire.Data) {
-	atomic.AddInt64(&p.messages, 1)
-	p.lastMsg[m.GroupID] = time.Now()
-	p.foldPiece(m.GroupID, m.Timestep, m.CellLo, m.CellHi, m.Fields)
+// getBulk returns a pooled bulk-message shell ready for parsing.
+func (p *Proc) getBulk() *bulkMsg {
+	if v := p.bulkPool.Get(); v != nil {
+		return v.(*bulkMsg)
+	}
+	return &bulkMsg{}
 }
 
-// handleDataBatch unpacks a batched message: one wire message, several
-// (timestep, piece) updates.
-func (p *Proc) handleDataBatch(b *wire.DataBatch) {
+// handleBulk is the route stage for one Data/DataBatch payload: parse the
+// header view, validate the message shape once (field count, cell-range
+// bounds — a malformed message is rejected with a single log line, not one
+// per step), then route each applicable step to the shard workers, which do
+// all float decoding. The payload is retained until every routed task has
+// run; the discard-on-replay policy (Sec. 4.2.1) drops steps whose
+// (group, timestep) was already committed, and partial assemblies tolerate
+// replays by overwriting.
+func (p *Proc) handleBulk(payload []byte) {
+	m := p.getBulk()
+	m.isBatch = wire.PayloadType(payload) == wire.TypeDataBatch
+	var err error
+	if m.isBatch {
+		err = m.batch.Parse(payload)
+	} else {
+		err = m.data.Parse(payload)
+	}
+	if err != nil {
+		p.bulkPool.Put(m)
+		transport.Recycle(payload)
+		log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+		return
+	}
+	m.Init(payload, 1) // the inbox's own reference
+	m.tracked, m.applied = false, 0
 	atomic.AddInt64(&p.messages, 1)
-	p.lastMsg[b.GroupID] = time.Now()
-	for i := range b.Steps {
-		st := &b.Steps[i]
-		p.foldPiece(b.GroupID, st.Timestep, b.CellLo, b.CellHi, st.Fields)
+	p.lastMsg[m.groupID()] = time.Now()
+
+	part := p.cfg.Partition
+	switch {
+	case m.numFields() != p.cfg.P+2:
+		log.Printf("melissa server %d: group %d sent %d fields, want %d — dropped",
+			p.cfg.Rank, m.groupID(), m.numFields(), p.cfg.P+2)
+	case m.cellLo() < part.Lo || m.cellHi() > part.Hi:
+		log.Printf("melissa server %d: group %d piece [%d,%d) outside partition [%d,%d) — dropped",
+			p.cfg.Rank, m.groupID(), m.cellLo(), m.cellHi(), part.Lo, part.Hi)
+	default:
+		for s := 0; s < m.numSteps(); s++ {
+			p.routeStep(m, s)
+		}
+	}
+	if m.Release() {
+		p.retireBulk(m)
 	}
 }
 
-// foldPiece validates one (group, timestep, cell-range) piece, copies it
-// into the matching assembly and enqueues the assembly on the fold pipeline
-// once the partition is fully covered.
-func (p *Proc) foldPiece(group, step, lo, hi int, fields [][]float64) {
-	if len(fields) != p.cfg.P+2 {
-		log.Printf("melissa server %d: group %d sent %d fields, want %d — dropped",
-			p.cfg.Rank, group, len(fields), p.cfg.P+2)
+// routeStep routes one (piece, timestep) of a retained bulk message. A
+// piece covering the whole partition with no partial assembly pending takes
+// the direct path (workers decode-and-fold from the payload, no assembly
+// copy); otherwise the inbox tracks coverage from the headers and the
+// workers decode into the shared assembly, folding on the task that
+// completes it.
+func (p *Proc) routeStep(m *bulkMsg, s int) {
+	group, step := m.groupID(), m.stepTimestep(s)
+	if step < 0 || step >= p.cfg.Timesteps {
+		// Out-of-range timesteps would panic the accumulator on a worker
+		// goroutine; reject them here with the rest of the shape checks.
+		log.Printf("melissa server %d: group %d timestep %d outside study [0,%d) — dropped",
+			p.cfg.Rank, group, step, p.cfg.Timesteps)
 		return
 	}
 	if !p.tracker.ShouldApply(group, step) {
 		return // replayed message after a group restart
 	}
 	part := p.cfg.Partition
-	if lo < part.Lo || hi > part.Hi || lo >= hi {
-		log.Printf("melissa server %d: group %d piece [%d,%d) outside partition [%d,%d) — dropped",
-			p.cfg.Rank, group, lo, hi, part.Lo, part.Hi)
+	lo, hi := m.cellLo()-part.Lo, m.cellHi()-part.Lo // partition-local
+	key := groupStep{group, step}
+	asm, pending := p.pending[key]
+	if !pending && lo == 0 && hi == part.Len() {
+		p.tracker.Commit(group, step)
+		m.applied++
+		p.enqueueBulk(m, foldTask{bulk: m, step: s, fold: true})
 		return
 	}
-	for f := range fields {
-		if len(fields[f]) != hi-lo {
-			log.Printf("melissa server %d: group %d field %d has %d cells, want %d — dropped",
-				p.cfg.Rank, group, f, len(fields[f]), hi-lo)
-			return
-		}
-	}
-
-	key := groupStep{group, step}
-	asm, ok := p.pending[key]
-	if !ok {
+	if !pending {
 		asm = p.getAssembly()
 		asm.step = step
 		p.pending[key] = asm
 	}
-	off := lo - part.Lo
-	for f, vals := range fields {
-		copy(asm.fields[f][off:off+hi-lo], vals)
-	}
-	for c := off; c < off+hi-lo; c++ {
+	for c := lo; c < hi; c++ {
 		if !asm.covered[c] {
 			asm.covered[c] = true
 			asm.missing--
 		}
 	}
-	if asm.missing > 0 {
-		return // wait for the remaining pieces of this (group, step)
+	task := foldTask{bulk: m, step: s, asm: asm}
+	if asm.missing == 0 {
+		p.tracker.Commit(group, step)
+		delete(p.pending, key)
+		task.fold = true
+		asm.remaining.Store(int32(len(p.workCh)))
+		p.foldWG.Add(1)
 	}
-	p.tracker.Commit(group, step)
-	delete(p.pending, key)
-	p.enqueueFold(asm)
+	p.enqueueBulk(m, task)
 }
 
 func (p *Proc) ensureLauncher() transport.Sender {
@@ -584,6 +775,9 @@ func (p *Proc) sendReport(final bool) {
 		Running:  p.tracker.Running(),
 		Finished: p.tracker.Finished(),
 		Messages: atomic.LoadInt64(&p.messages),
+		// The congestion hint of the adaptive-batching loop: how full the
+		// fold-pipeline queues are right now (0 after the stop-path quiesce).
+		Backpressure: p.backpressure(),
 	}
 	if p.cfg.GroupTimeout > 0 {
 		cutoff := time.Now().Add(-p.cfg.GroupTimeout)

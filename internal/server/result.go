@@ -5,6 +5,7 @@ import (
 
 	"melissa/internal/core"
 	"melissa/internal/mesh"
+	"melissa/internal/transport"
 )
 
 func statFile(path string) (int64, error) {
@@ -148,6 +149,16 @@ func (r *Result) MemoryBytes() int64 {
 		total += p.acc.MemoryBytes()
 	}
 	return total
+}
+
+// PayloadPool snapshots the transport payload-pool counters (process-wide):
+// buffer get/put traffic and the reference counts of the retained-payload
+// ingest path. After a clean stop with all clients drained,
+// PayloadPool().RefsActive() is zero — every payload the shard workers
+// shared was released — and Outstanding() counts only buffers still parked
+// in transport queues. The audit hook for the zero-copy ingest path.
+func (r *Result) PayloadPool() transport.PoolStats {
+	return transport.ReadPoolStats()
 }
 
 // Messages totals the data messages processed across processes.

@@ -5,31 +5,66 @@
 // ubiquitous Sobol' accumulator with no inter-process communication or
 // synchronization ("updating the statistics is a local operation").
 //
-// # The fold pipeline
+// # The ingest pipeline
 //
-// Each process is internally a two-stage pipeline so the fold path uses all
-// cores of the node, not one per process:
+// Each process is internally a three-stage pipeline so the fold path uses
+// all cores of the node, not one per process — and so no stage ever copies
+// a full field it does not own:
 //
-//	inbox goroutine:  recv → decode (into reusable scratch) → assemble
-//	fold workers:     apply completed assemblies to the owned cell-range
-//	                  shard of the core.ShardedAccumulator
+//	route (inbox goroutine):  recv → parse the bulk header lazily
+//	                          (wire.DataView/DataBatchView: ids, cell range,
+//	                          per-field byte offsets — no float decoding) →
+//	                          validate the shape once per message → retain
+//	                          the payload (refcounted transport buffer) and
+//	                          enqueue one task per (piece, timestep) on
+//	                          every worker channel
+//	shard-decode (workers):   each worker byte-swaps exactly its shard's
+//	                          cell sub-range of each field straight out of
+//	                          the shared payload bytes — decode work is
+//	                          spread across the pool instead of serialized
+//	                          in front of it
+//	fold (workers):           the task completing a (group, timestep)
+//	                          folds the shard into the owned cell range of
+//	                          the core.ShardedAccumulator
+//
+// A piece covering the whole partition (the common single-main-rank case)
+// takes the direct path: payload bytes → per-worker scratch → fold, with no
+// intermediate assembly buffer at all. Multi-piece (group, timestep)s are
+// assembled: the inbox tracks coverage from the piece headers only, the
+// workers decode their disjoint ranges into a shared pooled assembly, and
+// the piece that completes coverage carries the fold. The last consumer of
+// a payload releases its refcount and the buffer returns to the transport
+// pool (counters + a debug double-recycle panic make the path auditable:
+// transport.ReadPoolStats, Result.PayloadPool).
 //
 // Config.FoldWorkers sets the pool width (0 = GOMAXPROCS-aware). The inbox
-// enqueues every completed (group, timestep) assembly on every worker's
-// channel in arrival order; each worker folds its shard in that order, which
-// keeps the statistics bitwise independent of the worker count. All maps
-// (pending assemblies, tracker, lastMsg) stay inbox-owned and lock-free; the
-// accumulator is only read (reports, checkpoints, results) after quiesce(),
-// i.e. once every enqueued assembly has been folded into every shard.
-// Assemblies and decode scratch are pooled, so steady-state folding
-// allocates approximately nothing. Bounded worker queues preserve the
-// end-to-end backpressure of Sec. 4.1.3: if folding falls behind, the inbox
-// blocks, transport buffers fill, and the simulations suspend.
+// enqueues every task on every worker's channel in arrival order; each
+// worker processes its queue in that order, which keeps the statistics
+// bitwise independent of the worker count — and bitwise identical to the
+// pre-pipeline serial decode+copy design. All maps (pending assemblies,
+// tracker, lastMsg) stay inbox-owned and lock-free; the accumulator is only
+// read (reports, checkpoints, results) after quiesce(), i.e. once every
+// enqueued task has been processed by every shard worker. Assemblies,
+// message shells and payload buffers are pooled, so steady-state ingest
+// allocates approximately nothing.
+//
+// # Backpressure and adaptive client batching
+//
+// Bounded worker queues preserve the end-to-end backpressure of Sec. 4.1.3:
+// if folding falls behind, the inbox blocks, transport buffers fill, and
+// the simulations suspend. The queue occupancy is also exported as a
+// congestion hint (wire.Report.Backpressure) on the reports each process
+// already sends the launcher. The launcher feeds every hint into one
+// study-wide client.BatchController, and each group connection maps the
+// smoothed level onto an effective per-message timestep batch between 1 and
+// its MaxBatchSteps: minimal latency while the server keeps up, growing
+// batches — fewer, larger messages — exactly when the fold path is the
+// bottleneck, decaying back as the backlog clears.
 //
 // Convergence reports (Config.ConvergenceReports) are folded into the same
 // pipeline: a scan request is enqueued on every worker channel behind the
-// pending assemblies, each worker rescans only the dirty timesteps of its
-// own shard (core caches per-timestep widths) and publishes the result
+// pending tasks, each worker rescans only the dirty timesteps of its own
+// shard (core caches per-timestep widths) and publishes the result
 // atomically, and the next report reads the published values. The fold pool
 // therefore never stops for convergence telemetry.
 //
@@ -192,12 +227,17 @@ func (s *Server) Restore() error {
 	return nil
 }
 
-// Start launches every server process goroutine.
+// Start launches every server process goroutine. Fold-worker pools are
+// created synchronously (after any Restore resized them) so the pipeline
+// state is fully constructed once Start returns.
 func (s *Server) Start() {
 	if s.started {
 		panic("server: double Start")
 	}
 	s.started = true
+	for _, p := range s.procs {
+		p.startWorkers()
+	}
 	for _, p := range s.procs {
 		s.wg.Add(1)
 		go func(p *Proc) {

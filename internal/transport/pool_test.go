@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"testing"
+)
+
+// TestRefLifecycle: references added by Init and Retain must balance against
+// Release, with the final release recycling the buffer, and the counters
+// must record the traffic.
+func TestRefLifecycle(t *testing.T) {
+	before := ReadPoolStats()
+	payload := getPayload(128)
+
+	var r Ref
+	r.Init(payload, 1)
+	r.Retain(3)
+	for i := 0; i < 3; i++ {
+		if r.Release() {
+			t.Fatalf("release %d of 4 reported final", i+1)
+		}
+	}
+	if !r.Release() {
+		t.Fatal("final release not reported")
+	}
+	after := ReadPoolStats()
+	if d := (after.Retains - before.Retains) - (after.Releases - before.Releases); d != 0 {
+		t.Fatalf("ref counters unbalanced by %d", d)
+	}
+	if d := after.Outstanding() - before.Outstanding(); d != 0 {
+		t.Fatalf("payload outstanding changed by %d", d)
+	}
+}
+
+// TestRefOverReleasePanics: dropping more references than were taken is a
+// double-free and must fail loudly.
+func TestRefOverReleasePanics(t *testing.T) {
+	var r Ref
+	r.Init(getPayload(16), 1)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	r.Release()
+}
+
+// TestRetainAfterFreePanics: retaining a payload whose last reference is
+// gone is a use-after-free and must fail loudly.
+func TestRetainAfterFreePanics(t *testing.T) {
+	var r Ref
+	r.Init(getPayload(16), 1)
+	r.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain-after-free did not panic")
+		}
+	}()
+	r.Retain(1)
+}
+
+// TestPoolDebugDoubleRecyclePanics: with debug tracking on, recycling the
+// same buffer twice must panic at the second Recycle.
+func TestPoolDebugDoubleRecyclePanics(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	payload := getPayload(64)
+	Recycle(payload)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle did not panic")
+		}
+	}()
+	Recycle(payload)
+}
+
+// TestPoolDebugTracksReuse: get → recycle → get of the same buffer must
+// stay legal under debug tracking (the live state flips back on reuse).
+func TestPoolDebugTracksReuse(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+
+	for i := 0; i < 4; i++ {
+		p := getPayload(256)
+		Recycle(p)
+	}
+}
+
+// TestPoolStatsBalanceAfterPipe: a drained mem-network exchange must leave
+// no outstanding payloads once the consumer recycles what it received.
+func TestPoolStatsBalanceAfterPipe(t *testing.T) {
+	before := ReadPoolStats()
+	net := NewMemNetwork(Options{})
+	recv, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd, err := net.Dial(recv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, 512)
+	for i := 0; i < 100; i++ {
+		if err := snd.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := recv.Recv(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Recycle(m.Payload)
+	}
+	snd.Close()
+	recv.Close()
+	after := ReadPoolStats()
+	if d := after.Outstanding() - before.Outstanding(); d != 0 {
+		t.Fatalf("pipe leaked %d payload buffers", d)
+	}
+	if gets := after.Gets - before.Gets; gets < 100 {
+		t.Fatalf("pool recorded %d gets, want >= 100", gets)
+	}
+}

@@ -297,6 +297,14 @@ func (s *tcpSender) Send(payload []byte) error {
 	}
 }
 
+// QueueFraction implements QueueProber: occupancy of the local send queue.
+func (s *tcpSender) QueueFraction() float64 {
+	if cap(s.queue) == 0 {
+		return 0
+	}
+	return float64(len(s.queue)) / float64(cap(s.queue))
+}
+
 // Close flushes the queued messages onto the socket (the interface
 // contract) and releases the connection: it waits for the pump, so a
 // process that exits right after Close has actually handed its frames to

@@ -27,7 +27,6 @@ package transport
 
 import (
 	"errors"
-	"sync"
 	"time"
 )
 
@@ -43,39 +42,9 @@ var (
 type Message struct {
 	// Payload is the message body. The slice is owned by the receiver;
 	// consumers that copy everything out of it (wire.Decode and the
-	// DecodeInto variants do) may hand the buffer back with Recycle.
+	// DecodeInto variants do) may hand the buffer back with Recycle, and
+	// consumers that share it across workers wrap it in a Ref (pool.go).
 	Payload []byte
-}
-
-// payloadPool recycles message buffers across the send and receive paths.
-// Buffers above maxPooledPayload are never pooled so one oversized frame
-// does not pin memory.
-var payloadPool sync.Pool
-
-const maxPooledPayload = 4 << 20
-
-// getPayload returns a buffer of length n, reusing pooled storage when a
-// large-enough buffer is available.
-func getPayload(n int) []byte {
-	if n <= maxPooledPayload {
-		if v := payloadPool.Get(); v != nil {
-			if b := v.([]byte); cap(b) >= n {
-				return b[:n]
-			}
-		}
-	}
-	return make([]byte, n)
-}
-
-// Recycle returns a payload buffer to the transport pool. It is optional:
-// a consumer that holds references into the payload must simply not call
-// it, and unrecycled buffers are reclaimed by the garbage collector. After
-// Recycle the caller must not touch the slice again.
-func Recycle(payload []byte) {
-	if payload == nil || cap(payload) > maxPooledPayload {
-		return
-	}
-	payloadPool.Put(payload[:0])
 }
 
 // Sender is the client end of a one-way channel (ZeroMQ PUSH-like).
@@ -87,6 +56,17 @@ type Sender interface {
 	Send(payload []byte) error
 	// Close flushes queued messages and releases the connection.
 	Close() error
+}
+
+// QueueProber is implemented by senders that can report how full their local
+// send queue is — the client-visible shadow of server-side congestion (a
+// slow receiver backs the queue up before Send starts blocking outright).
+// Adaptive batching uses it as a local fallback signal when no server
+// congestion hints reach the client.
+type QueueProber interface {
+	// QueueFraction returns the approximate occupancy of the send queue in
+	// [0, 1]. It is a racy snapshot: monitoring only.
+	QueueFraction() float64
 }
 
 // Receiver is the server end (ZeroMQ PULL-like): a single inbox fan-in for

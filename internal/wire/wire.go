@@ -116,6 +116,13 @@ type Report struct {
 	MaxCIWidth float64
 	// Messages is the total number of data messages folded so far.
 	Messages int64
+	// Backpressure is the congestion hint of the adaptive-batching loop: the
+	// occupancy fraction [0, 1] of the sender's fold-pipeline work queues at
+	// report time. The launcher feeds it to the clients' batch controllers,
+	// which grow their effective per-message timestep batch towards
+	// MaxBatchSteps while the server is congested and shrink it back as the
+	// backlog clears.
+	Backpressure float64
 }
 
 // Stop asks a server process to shut down cleanly.
@@ -218,6 +225,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		}
 		w.F64(m.MaxCIWidth)
 		w.I64(m.Messages)
+		w.F64(m.Backpressure)
 	case *Stop:
 		w.U8(uint8(TypeStop))
 		w.Bool(m.Checkpoint)
@@ -328,6 +336,7 @@ func Decode(payload []byte) (any, error) {
 		}
 		m.MaxCIWidth = r.F64()
 		m.Messages = r.I64()
+		m.Backpressure = r.F64()
 		msg = m
 	case TypeStop:
 		m := &Stop{}

@@ -50,6 +50,54 @@ func BenchmarkDecodeDataInto10kCells(b *testing.B) {
 	}
 }
 
+// BenchmarkDataViewParse10kCells measures the route-stage cost of the lazy
+// ingest path: header validation and per-field offset recording only, no
+// float decoding. Compare against BenchmarkDecodeDataInto10kCells — the
+// per-message work the old design serialized on the inbox goroutine.
+func BenchmarkDataViewParse10kCells(b *testing.B) {
+	payload := Encode(benchData(10000))
+	var v DataView
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Parse(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataViewDecodeRange10kCells measures one shard worker's slice of
+// the decode: parse once, then convert a quarter of the cells per field —
+// the per-worker cost after the decode work is spread across a 4-wide pool.
+func BenchmarkDataViewDecodeRange10kCells(b *testing.B) {
+	payload := Encode(benchData(10000))
+	var v DataView
+	if err := v.Parse(payload); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, 2500)
+	b.SetBytes(int64(len(payload)) / 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < v.NumFields(); f++ {
+			v.DecodeFieldRange(f, 2500, 5000, dst)
+		}
+	}
+}
+
+// BenchmarkDataBatchViewParse8Steps is the batched route-stage cost.
+func BenchmarkDataBatchViewParse8Steps(b *testing.B) {
+	payload := Encode(benchBatch(8, 8, 1250))
+	var v DataBatchView
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.Parse(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDataBatchEncode8Steps encodes 8 timesteps in one message —
 // compare bytes/op and ns/op against 8× the single-step encode.
 func BenchmarkDataBatchEncode8Steps(b *testing.B) {

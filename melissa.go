@@ -94,6 +94,14 @@ type StudyConfig struct {
 	// process, amortizing per-message overhead. GroupTimeout is scaled by
 	// the same factor to match the stretched message cadence.
 	BatchSteps int
+	// MaxBatchSteps, when > 1, enables backpressure-adaptive batching
+	// instead of the static BatchSteps: the server piggybacks its
+	// fold-pipeline queue occupancy on the reports it already sends the
+	// launcher, and every group's effective batch size floats between 1
+	// (low latency while the server keeps up) and MaxBatchSteps (high
+	// throughput once it reports congestion). Overrides BatchSteps;
+	// GroupTimeout is scaled by the cap.
+	MaxBatchSteps int
 
 	// MinMax, Threshold and HigherMoments enable the optional iterative
 	// statistics computed on the A and B samples (Sec. 4.1).
@@ -238,11 +246,13 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 			Quantiles:     cfg.Quantiles,
 			QuantileEps:   cfg.QuantileEps,
 		},
-		Network:            transport.NewMemNetwork(transport.ForStudy(cfg.Cells, len(cfg.Parameters), cfg.BatchSteps)),
+		Network: transport.NewMemNetwork(transport.ForStudy(
+			cfg.Cells, len(cfg.Parameters), max(cfg.BatchSteps, cfg.MaxBatchSteps))),
 		Cluster:            cluster,
 		ServerProcs:        cfg.ServerProcs,
 		FoldWorkers:        cfg.FoldWorkers,
 		BatchSteps:         cfg.BatchSteps,
+		MaxBatchSteps:      cfg.MaxBatchSteps,
 		ServerNodes:        cfg.ServerNodes,
 		GroupNodes:         cfg.GroupNodes,
 		MaxRetries:         cfg.MaxRetries,
