@@ -43,6 +43,8 @@ func main() {
 	groupNodes := flag.Int("group-nodes", 1, "nodes per group job")
 	ckptDir := flag.String("checkpoint-dir", "", "server checkpoint directory")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "checkpoint period")
+	syncCkpt := flag.Bool("sync-checkpoints", false,
+		"use the legacy quiesced checkpoint path (blocks ingest for the whole write) instead of the two-phase snapshot+background-write pipeline")
 	groupTimeout := flag.Duration("group-timeout", time.Minute, "unresponsive-group timeout")
 	convergence := flag.Float64("converge-at", 0, "stop when every 95% CI is narrower than this (0 = off)")
 	out := flag.String("out", "out/launcher", "output directory for result fields")
@@ -76,6 +78,7 @@ func main() {
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
 		cfg.CheckpointInterval = *ckptEvery
+		cfg.SyncCheckpoints = *syncCkpt
 	}
 
 	log.Printf("melissa-launcher: study %q — %d cells x %d timesteps, %d groups x %d simulations, %d server processes, TCP transport",
@@ -94,6 +97,11 @@ func main() {
 	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  timeout kills: %d  server restarts: %d",
 		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.TimeoutKills, stats.ServerRestarts)
 	log.Printf("  messages folded: %d  server state: %.1f MB", res.Messages(), float64(res.MemoryBytes())/1e6)
+	if ck := res.Checkpoints(); ck.Writes > 0 {
+		log.Printf("  checkpoints: %d written (%d skipped), %.1f MB durable; ingest stalled %v of %v total write time",
+			ck.Writes, ck.Skipped, float64(ck.BytesWritten)/1e6,
+			ck.StallDuration.Round(time.Microsecond), ck.WriteDuration.Round(time.Microsecond))
+	}
 	if stats.Converged {
 		log.Printf("  stopped early on convergence (widest CI %.4f)", res.MaxCIWidth(0.95))
 	}

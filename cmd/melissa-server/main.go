@@ -38,6 +38,8 @@ func main() {
 	addrFile := flag.String("addr-file", "", "write the main process address to this file")
 	ckptDir := flag.String("checkpoint-dir", "", "checkpoint directory (enables checkpointing)")
 	ckptEvery := flag.Duration("checkpoint-interval", 10*time.Minute, "checkpoint period")
+	syncCkpt := flag.Bool("sync-checkpoints", false,
+		"use the legacy quiesced checkpoint path (blocks ingest for the whole write) instead of the two-phase snapshot+background-write pipeline")
 	restore := flag.Bool("restore", false, "restore from the last checkpoint before serving")
 	launcherAddr := flag.String("launcher", "", "launcher address for heartbeats/reports")
 	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
@@ -90,6 +92,7 @@ func main() {
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
 		cfg.CheckpointInterval = *ckptEvery
+		cfg.SyncCheckpoints = *syncCkpt
 	}
 	_ = *bind // the TCP network always binds loopback:auto per process
 
@@ -126,4 +129,9 @@ func main() {
 	tracker := res.Tracker()
 	log.Printf("melissa-server: done — %d messages, %d finished groups, %d running",
 		res.Messages(), len(tracker.Finished()), len(tracker.Running()))
+	if ck := res.Checkpoints(); ck.Writes > 0 {
+		log.Printf("melissa-server: checkpoints — %d written (%d skipped), %.1f MB durable; ingest stalled %v of %v total write time",
+			ck.Writes, ck.Skipped, float64(ck.BytesWritten)/1e6,
+			ck.StallDuration.Round(time.Microsecond), ck.WriteDuration.Round(time.Microsecond))
+	}
 }

@@ -43,6 +43,12 @@ type statOptions struct {
 	higherMoments bool
 	quantiles     []float64
 	quantileEps   float64
+
+	// Checkpointing for the live study (empty dir = off). syncCkpt selects
+	// the legacy quiesced path over the two-phase pipeline.
+	ckptDir   string
+	ckptEvery time.Duration
+	syncCkpt  bool
 }
 
 func main() {
@@ -65,6 +71,10 @@ func main() {
 	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
 	quantileBudget := flag.Float64("quantile-memory-budget", 0,
 		"per-cell-per-timestep sketch memory budget in bytes; derives ε (overrides -quantile-eps)")
+	ckptDir := flag.String("checkpoint-dir", "", "checkpoint the live study's server into this directory (empty = off)")
+	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "live-study checkpoint period")
+	syncCkpt := flag.Bool("sync-checkpoints", false,
+		"use the legacy quiesced checkpoint path (blocks ingest for the whole write) instead of the two-phase snapshot+background-write pipeline")
 	flag.Parse()
 
 	eps := *quantileEps
@@ -77,6 +87,9 @@ func main() {
 		minMax:        *minMax,
 		higherMoments: *higherMoments,
 		quantileEps:   eps,
+		ckptDir:       *ckptDir,
+		ckptEvery:     *ckptEvery,
+		syncCkpt:      *syncCkpt,
 	}
 	if *threshold != "" {
 		th, err := strconv.ParseFloat(*threshold, 64)
@@ -248,6 +261,11 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 	study.HigherMoments = opts.higherMoments
 	study.Quantiles = opts.quantiles
 	study.QuantileEps = opts.quantileEps
+	if opts.ckptDir != "" {
+		study.CheckpointDir = opts.ckptDir
+		study.CheckpointInterval = opts.ckptEvery
+		study.SyncCheckpoints = opts.syncCkpt
+	}
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {
@@ -256,6 +274,15 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 	fmt.Printf("live study: %dx%d cells, %d groups x 8 sims in %v (%d messages, %.1f GB avoided)\n\n",
 		nx, ny, groups, time.Since(start).Round(time.Millisecond),
 		stats.MessagesFolded, float64(stats.DataAvoidedBytes)/1e9)
+	if ck := res.Checkpoints(); ck.Writes > 0 {
+		path := "two-phase pipeline"
+		if opts.syncCkpt {
+			path = "legacy quiesced path"
+		}
+		fmt.Printf("checkpoints (%s): %d written (%d skipped), %.1f MB durable; ingest stalled %v of %v total write time\n\n",
+			path, ck.Writes, ck.Skipped, float64(ck.BytesWritten)/1e6,
+			ck.StallDuration.Round(time.Microsecond), ck.WriteDuration.Round(time.Microsecond))
+	}
 
 	const step = 79
 	for k, name := range melissa.TubeBundleParamNames() {

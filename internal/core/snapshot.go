@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"melissa/internal/enc"
+	"melissa/internal/quantiles"
+	"melissa/internal/stats"
+)
+
+// Snapshot is a deep, reusable copy of a ShardedAccumulator's state, taken
+// one shard at a time: fold worker i calls SnapshotShard(i, snap) — a
+// contiguous memmove of the shard's interleaved Sobol' records plus deep
+// copies of its tracker and (pre-compacted) quantile state — and resumes
+// folding immediately. Once every shard has copied, the snapshot is a frozen,
+// self-consistent image of the accumulator at one fold state, and a
+// background writer can encode it into the unchanged dense checkpoint layout
+// (EncodeHeader/EncodeStep) while the live accumulator keeps folding. This is
+// the phase split that takes checkpoint encode+I/O off the ingest path: the
+// fold pipeline stalls only for the copy, never for the file.
+//
+// Snapshots are pooled: NewSnapshot allocates the buffers once and
+// SnapshotShard refreshes them in place, so steady-state checkpointing
+// allocates approximately nothing.
+type Snapshot struct {
+	cells     int
+	timesteps int
+	p         int
+	opts      Options
+	bounds    []int
+	shards    []*Accumulator
+}
+
+// NewSnapshot returns an empty snapshot shaped like s, ready to be filled by
+// SnapshotShard.
+func (s *ShardedAccumulator) NewSnapshot() *Snapshot {
+	snap := &Snapshot{
+		cells:     s.cells,
+		timesteps: s.timesteps,
+		p:         s.p,
+		opts:      s.opts,
+		bounds:    append([]int(nil), s.bounds...),
+		shards:    make([]*Accumulator, len(s.shards)),
+	}
+	for i := range snap.shards {
+		snap.shards[i] = NewAccumulator(s.bounds[i+1]-s.bounds[i], s.timesteps, s.p, s.opts)
+	}
+	return snap
+}
+
+// SnapshotShard deep-copies shard i into snap, reusing snap's storage. Only
+// the goroutine owning shard i may call it (the same contract as
+// UpdateGroupShard); distinct shards may snapshot concurrently.
+func (s *ShardedAccumulator) SnapshotShard(i int, snap *Snapshot) {
+	if len(snap.shards) != len(s.shards) || snap.cells != s.cells ||
+		snap.timesteps != s.timesteps || snap.p != s.p {
+		panic(fmt.Sprintf("core: snapshot shape (%d shards, %dx%dx%d) does not match accumulator (%d shards, %dx%dx%d)",
+			len(snap.shards), snap.cells, snap.timesteps, snap.p,
+			len(s.shards), s.cells, s.timesteps, s.p))
+	}
+	s.shards[i].copyInto(snap.shards[i])
+}
+
+// copyInto deep-copies a into dst, which must have the same shape and
+// options. The interleaved Sobol' state of every timestep moves with one
+// contiguous copy of the flat backing buffer; tracker and sketch state reuse
+// dst's storage.
+func (a *Accumulator) copyInto(dst *Accumulator) {
+	if dst.cells != a.cells || dst.timesteps != a.timesteps || dst.p != a.p {
+		panic(fmt.Sprintf("core: copyInto between shapes %dx%dx%d and %dx%dx%d",
+			a.cells, a.timesteps, a.p, dst.cells, dst.timesteps, dst.p))
+	}
+	copy(dst.buf, a.buf)
+	for t := range a.steps {
+		src, d := &a.steps[t], &dst.steps[t]
+		d.n = src.n
+		d.ciDirty = true
+		if src.minmax != nil && d.minmax != nil {
+			d.minmax.Inject(src.minmax, 0)
+		}
+		if src.exceed != nil && d.exceed != nil {
+			d.exceed.Inject(src.exceed, 0)
+		}
+		if src.higher != nil && d.higher != nil {
+			d.higher.Inject(src.higher, 0)
+		}
+		if src.quant != nil && d.quant != nil {
+			src.quant.CopyInto(d.quant)
+		}
+	}
+}
+
+// Timesteps returns the number of per-timestep sections EncodeStep accepts.
+func (snap *Snapshot) Timesteps() int { return snap.timesteps }
+
+// EncodeHeader appends the dense-layout accumulator header for the given
+// layout version — the first section of the streamed checkpoint encode.
+// EncodeHeader followed by EncodeStep for every timestep produces bytes
+// identical to ShardedAccumulator.Encode on the source accumulator at the
+// snapshot's fold state.
+func (snap *Snapshot) EncodeHeader(w *enc.Writer, version int) {
+	if version < LayoutV1 || version > LayoutCurrent {
+		panic(fmt.Sprintf("core: unknown accumulator layout version %d", version))
+	}
+	w.Int(snap.cells)
+	w.Int(snap.timesteps)
+	w.Int(snap.p)
+	w.Bool(snap.opts.MinMax)
+	w.Bool(snap.opts.Threshold != nil)
+	if snap.opts.Threshold != nil {
+		w.F64(*snap.opts.Threshold)
+	}
+	w.Bool(snap.opts.HigherMoments)
+	if version >= LayoutV2 {
+		w.F64Slice(snap.opts.Quantiles)
+		w.F64(snap.opts.QuantileEps)
+	}
+}
+
+// EncodeStep appends timestep t's dense-layout section: the per-statistic
+// arrays are stitched across shards (each shard contributes its contiguous
+// cell sub-range), so no dense intermediate copy of the state ever exists.
+func (snap *Snapshot) EncodeStep(w *enc.Writer, version, t int) {
+	if version < LayoutV1 || version > LayoutCurrent {
+		panic(fmt.Sprintf("core: unknown accumulator layout version %d", version))
+	}
+	w.I64(snap.shards[0].steps[t].n)
+	writeColumn := func(off int) {
+		w.U64(uint64(snap.cells))
+		for _, sh := range snap.shards {
+			w.F64Raw(sh.gatherColumn(&sh.steps[t], off))
+		}
+	}
+	stride := snap.shards[0].stride
+	writeColumn(offMeanA)
+	writeColumn(offM2A)
+	writeColumn(offMeanB)
+	writeColumn(offM2B)
+	for off := recHeader; off < stride; off += recPerParam {
+		writeColumn(off + blkMeanC)
+		writeColumn(off + blkM2C)
+		writeColumn(off + blkC2BC)
+		writeColumn(off + blkC2AC)
+	}
+	if snap.opts.MinMax {
+		parts := make([]*stats.FieldMinMax, len(snap.shards))
+		for i, sh := range snap.shards {
+			parts[i] = sh.steps[t].minmax
+		}
+		stats.EncodeMinMaxStitched(w, parts)
+	}
+	if snap.opts.Threshold != nil {
+		parts := make([]*stats.FieldExceedance, len(snap.shards))
+		for i, sh := range snap.shards {
+			parts[i] = sh.steps[t].exceed
+		}
+		stats.EncodeExceedanceStitched(w, parts)
+	}
+	if snap.opts.HigherMoments {
+		parts := make([]*stats.FieldMoments, len(snap.shards))
+		for i, sh := range snap.shards {
+			parts[i] = sh.steps[t].higher
+		}
+		stats.EncodeMomentsStitched(w, parts)
+	}
+	if version >= LayoutV2 && snap.opts.quantilesEnabled() {
+		parts := make([]*quantiles.Field, len(snap.shards))
+		for i, sh := range snap.shards {
+			parts[i] = sh.steps[t].quant
+		}
+		quantiles.EncodeStitched(w, parts)
+	}
+}
+
+// Encode appends the full snapshot state in the current layout — the
+// one-shot convenience equivalent of the streamed section sequence.
+func (snap *Snapshot) Encode(w *enc.Writer) {
+	snap.EncodeHeader(w, LayoutCurrent)
+	for t := 0; t < snap.timesteps; t++ {
+		snap.EncodeStep(w, LayoutCurrent, t)
+	}
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"melissa/internal/core"
+	"melissa/internal/enc"
+)
+
+// foldRandomGroups drives nGroups deterministic pseudo-random group updates
+// into s (the full-partition UpdateGroup path, identical across shard
+// counts).
+func foldRandomGroups(s *core.ShardedAccumulator, cells, timesteps, p, nGroups int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	yA := make([]float64, cells)
+	yB := make([]float64, cells)
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = make([]float64, cells)
+	}
+	for g := 0; g < nGroups; g++ {
+		for t := 0; t < timesteps; t++ {
+			for i := 0; i < cells; i++ {
+				yA[i] = rng.NormFloat64()
+				yB[i] = rng.NormFloat64()
+				for k := range yC {
+					yC[k][i] = rng.NormFloat64()
+				}
+			}
+			s.UpdateGroup(t, yA, yB, yC)
+		}
+	}
+}
+
+// TestSnapshotEncodeMatchesDense: a snapshot filled shard by shard must
+// encode, via the stitched section writers, to exactly the bytes of the
+// dense ShardedAccumulator.Encode at the same fold state — the byte-identity
+// contract the background checkpoint writer relies on. Swept over every
+// Options combination and several shard counts.
+func TestSnapshotEncodeMatchesDense(t *testing.T) {
+	const cells, timesteps, p, nGroups = 37, 3, 2, 9
+	for ci, opts := range optionCombos() {
+		for _, shards := range []int{1, 3, 4} {
+			s := core.NewSharded(cells, timesteps, p, opts, shards)
+			foldRandomGroups(s, cells, timesteps, p, nGroups, int64(1000+ci))
+			s.CompactQuantiles()
+
+			want := enc.NewWriter(1 << 16)
+			s.Encode(want)
+
+			snap := s.NewSnapshot()
+			for i := 0; i < s.NumShards(); i++ {
+				s.SnapshotShard(i, snap)
+			}
+			got := enc.NewWriter(1 << 16)
+			snap.Encode(got)
+
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatalf("combo %d shards %d: snapshot encode differs from dense (%d vs %d bytes)",
+					ci, shards, got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+// TestSnapshotReuse: refreshing a pooled snapshot after further folding must
+// fully overwrite the previous image — and still match the dense encode —
+// so double-buffered snapshot reuse can never leak stale state into a
+// checkpoint.
+func TestSnapshotReuse(t *testing.T) {
+	const cells, timesteps, p, shards = 41, 2, 3, 3
+	opts := core.Options{MinMax: true, HigherMoments: true, Quantiles: []float64{0.25, 0.75}}
+	s := core.NewSharded(cells, timesteps, p, opts, shards)
+
+	snap := s.NewSnapshot()
+	foldRandomGroups(s, cells, timesteps, p, 5, 7)
+	s.CompactQuantiles()
+	for i := 0; i < s.NumShards(); i++ {
+		s.SnapshotShard(i, snap)
+	}
+
+	// Fold more, refresh the same snapshot, and compare against a dense
+	// encode and a fresh snapshot.
+	foldRandomGroups(s, cells, timesteps, p, 6, 8)
+	s.CompactQuantiles()
+	for i := 0; i < s.NumShards(); i++ {
+		s.SnapshotShard(i, snap)
+	}
+	want := enc.NewWriter(1 << 16)
+	s.Encode(want)
+	got := enc.NewWriter(1 << 16)
+	snap.Encode(got)
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("reused snapshot differs from dense encode after refresh")
+	}
+
+	fresh := s.NewSnapshot()
+	for i := 0; i < s.NumShards(); i++ {
+		s.SnapshotShard(i, fresh)
+	}
+	freshW := enc.NewWriter(1 << 16)
+	fresh.Encode(freshW)
+	if !bytes.Equal(freshW.Bytes(), got.Bytes()) {
+		t.Fatal("reused snapshot differs from fresh snapshot")
+	}
+}
+
+// TestSnapshotDecodesRoundTrip: the snapshot's streamed encode must be
+// decodable by the ordinary dense decoder (it is, after all, the same
+// format), restoring the same statistics.
+func TestSnapshotDecodesRoundTrip(t *testing.T) {
+	const cells, timesteps, p = 23, 2, 2
+	opts := core.Options{MinMax: true, Quantiles: []float64{0.5}}
+	s := core.NewSharded(cells, timesteps, p, opts, 4)
+	foldRandomGroups(s, cells, timesteps, p, 8, 42)
+	s.CompactQuantiles()
+
+	snap := s.NewSnapshot()
+	for i := 0; i < s.NumShards(); i++ {
+		s.SnapshotShard(i, snap)
+	}
+	w := enc.NewWriter(1 << 16)
+	snap.Encode(w)
+	dec, err := core.DecodeAccumulator(enc.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := 0; t2 < timesteps; t2++ {
+		for k := 0; k < p; k++ {
+			for c := 0; c < cells; c++ {
+				if dec.FirstAt(t2, k, c) != s.FirstAt(t2, k, c) {
+					t.Fatalf("decoded S%d(t=%d,c=%d) differs", k, t2, c)
+				}
+			}
+		}
+	}
+}

@@ -127,6 +127,34 @@ func (w *Writer) BytesField(b []byte) {
 	w.buf = append(w.buf, b...)
 }
 
+// Raw appends b verbatim, with no length prefix. It splices pre-encoded
+// fragments (e.g. a tracker serialized earlier on another goroutine) into a
+// stream whose overall layout the caller controls.
+func (w *Writer) Raw(b []byte) {
+	w.buf = append(w.buf, b...)
+}
+
+// F64Raw appends the float64 values with no length prefix — the building
+// block of stitched encodes, where one logical F64Slice is assembled from
+// several contiguous sub-range arrays: write the total length with U64, then
+// each part with F64Raw, and the bytes are identical to one F64Slice call
+// over the concatenation.
+func (w *Writer) F64Raw(vs []float64) {
+	w.grow(8 * len(vs))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+	}
+}
+
+// I64Raw appends the int64 values with no length prefix (the I64Slice
+// counterpart of F64Raw).
+func (w *Writer) I64Raw(vs []int64) {
+	w.grow(8 * len(vs))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+	}
+}
+
 func (w *Writer) grow(n int) {
 	if cap(w.buf)-len(w.buf) < n {
 		nb := make([]byte, len(w.buf), 2*cap(w.buf)+n)

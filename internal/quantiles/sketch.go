@@ -328,6 +328,17 @@ func (s *Sketch) clone() Sketch {
 	}
 }
 
+// copyInto deep-copies s into dst, reusing dst's tuple storage when its
+// capacity suffices. Like clone it canonicalizes s first, so dst encodes to
+// the same bytes as s.
+func (s *Sketch) copyInto(dst *Sketch) {
+	s.flushPending()
+	dst.eps = s.eps
+	dst.n = s.n
+	dst.tuples = append(dst.tuples[:0], s.tuples...)
+	dst.pending = dst.pending[:0]
+}
+
 // ParseList parses a comma-separated quantile probe list such as
 // "0.05,0.5,0.95" (the CLI flag format). Every probe must lie in (0, 1).
 func ParseList(s string) ([]float64, error) {

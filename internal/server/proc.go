@@ -131,10 +131,14 @@ type ciScan struct {
 	remaining atomic.Int32
 }
 
-// foldTask is one unit on a worker channel. Exactly one of scan, bulk or
-// gate is the task's subject:
+// foldTask is one unit on a worker channel. Exactly one of scan, ckpt, bulk
+// or gate is the task's subject:
 //
 //   - scan: a convergence-scan request.
+//   - ckpt: a checkpoint-snapshot request — the worker compacts and
+//     deep-copies its shard into the job's pooled snapshot buffer, then
+//     resumes folding; the worker finishing last hands the job to the
+//     background writer.
 //   - bulk: decode work on a retained payload — the worker decodes its
 //     shard's overlap of step `step`'s fields into asm (assembled path) or,
 //     when asm is nil, into its own scratch (direct path, the piece covers
@@ -144,6 +148,7 @@ type ciScan struct {
 //     (lets tests back the pipeline up deterministically).
 type foldTask struct {
 	scan *ciScan
+	ckpt *ckptSnap
 
 	bulk *bulkMsg
 	step int
@@ -153,14 +158,77 @@ type foldTask struct {
 	gate chan struct{}
 }
 
+// ckptJobBuffers is the snapshot double-buffer depth: one job may be in its
+// snapshot phase while the previous one's background write is still in
+// flight. A third checkpoint interval firing while both are busy is skipped
+// (and logged) rather than queued — checkpoints are periodic state saves,
+// not a backlog to drain.
+const ckptJobBuffers = 2
+
+// ckptJob is one in-flight two-phase checkpoint: the pooled snapshot buffer
+// the shard workers fill (phase 1), the inbox-owned state captured at
+// initiation (partition, message count, tracker bytes — consistent with the
+// fold stream enqueued before the snapshot tasks), and the timing probes.
+// Jobs cycle inbox → workers → background writer → free pool.
+type ckptJob struct {
+	snap     *core.Snapshot
+	lo, hi   int
+	messages int64
+	tracker  *enc.Writer // tracker state serialized at initiation
+	start    time.Time
+	// stallNs records the longest per-shard snapshot copy — the
+	// fold-pipeline blockage attributable to this checkpoint: every lane
+	// must pass its snapshot task before its next fold, and the lanes copy
+	// concurrently, so the slowest copy bounds the added latency.
+	stallNs atomic.Int64
+}
+
+// noteStall folds one shard's copy duration into the job's max.
+func (j *ckptJob) noteStall(d time.Duration) {
+	ns := d.Nanoseconds()
+	for {
+		cur := j.stallNs.Load()
+		if ns <= cur || j.stallNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ckptSnap is the phase-1 task fanned out to every shard worker; the worker
+// that decrements remaining to zero completes the snapshot and enqueues the
+// job on the writer channel (never blocking: at most ckptJobBuffers jobs
+// exist).
+type ckptSnap struct {
+	job       *ckptJob
+	remaining atomic.Int32
+}
+
 // CheckpointStats aggregates checkpoint timing, the quantity reported in
-// Sec. 5.4 (2.75 s mean write, 7.24 s mean read in the paper's setup).
+// Sec. 5.4 (2.75 s mean write, 7.24 s mean read in the paper's setup). The
+// two-phase pipeline splits each write into the fold-pipeline stall (the
+// per-shard snapshot copies — the only part the ingest path ever waits for)
+// and the total wall time including the background encode+fsync; with
+// Config.SyncCheckpoints the legacy quiesced path makes the two equal.
 type CheckpointStats struct {
-	Writes        int
+	// Writes counts completed (durable) checkpoint writes; Skipped counts
+	// checkpoint intervals dropped because the previous write was still in
+	// flight (the skip-and-log overrun policy).
+	Writes  int
+	Skipped int
+	// WriteDuration is the total wall time from checkpoint initiation to the
+	// file being durable, across all writes. StallDuration is the
+	// fold-pipeline blockage: per checkpoint, the longest per-shard snapshot
+	// copy (the lanes copy concurrently, so the slowest bounds the added
+	// latency), summed over checkpoints. Encode, CRC, write, fsync and
+	// rename all happen off the run loop and never count as stall.
 	WriteDuration time.Duration
+	StallDuration time.Duration
 	Reads         int
 	ReadDuration  time.Duration
-	LastBytes     int64
+	// LastBytes is the size of the most recent checkpoint file;
+	// BytesWritten totals all checkpoint bytes made durable.
+	LastBytes    int64
+	BytesWritten int64
 }
 
 // Proc is one Melissa Server process: one partition, one inbox, no shared
@@ -185,7 +253,20 @@ type Proc struct {
 	lastMsg  map[int]time.Time
 	messages int64
 	folds    int64 // completed (group, timestep) updates; read concurrently
+
+	// Checkpoint pipeline. ckpt is guarded by ckptMu (the background writer
+	// and the inbox both update it). ckptJobs feeds completed snapshots to
+	// the writer goroutine; ckptFree recycles job buffers back to the inbox;
+	// ckptMade counts lazily created jobs (≤ ckptJobBuffers); ckptWG tracks
+	// checkpoints from initiation to durability (the final-checkpoint stop
+	// path waits on it).
 	ckpt     CheckpointStats
+	ckptMu   sync.Mutex
+	ckptJobs chan *ckptJob
+	ckptFree chan *ckptJob
+	ckptMade int
+	ckptWG   sync.WaitGroup
+	writerWG sync.WaitGroup
 
 	// Fold pipeline. workCh[i] feeds shard i's worker; every task is
 	// enqueued on every channel in arrival order, which makes the per-cell
@@ -260,6 +341,8 @@ func newProc(cfg procConfig, recv transport.Receiver) *Proc {
 		pending:      make(map[groupStep]*assembly),
 		lastMsg:      make(map[int]time.Time),
 		timedOutSeen: make(map[int]bool),
+		ckptJobs:     make(chan *ckptJob, ckptJobBuffers),
+		ckptFree:     make(chan *ckptJob, ckptJobBuffers),
 	}
 }
 
@@ -287,8 +370,13 @@ func (p *Proc) Messages() int64 { return atomic.LoadInt64(&p.messages) }
 // T timesteps is fully assimilated when Folds reaches G·T.
 func (p *Proc) Folds() int64 { return atomic.LoadInt64(&p.folds) }
 
-// Checkpoints returns the checkpoint timing statistics.
-func (p *Proc) Checkpoints() CheckpointStats { return p.ckpt }
+// Checkpoints returns the checkpoint timing statistics. Safe to call while
+// the server runs (the background writer updates them concurrently).
+func (p *Proc) Checkpoints() CheckpointStats {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	return p.ckpt
+}
 
 // requestStop asks the run loop to exit at the next iteration.
 func (p *Proc) requestStop(finalCheckpoint bool) {
@@ -318,7 +406,12 @@ func (p *Proc) run() {
 			p.drainInbox()
 			p.quiesce()
 			if p.stopCkpt.Load() && p.cfg.CheckpointDir != "" {
-				p.writeCheckpoint()
+				// The final checkpoint must be durable before the process
+				// exits: start it (waiting for a job buffer if a periodic
+				// write is still in flight) and block until the background
+				// writer commits it.
+				p.startCheckpoint(true)
+				p.ckptWG.Wait()
 			}
 			p.sendReport(true) // final status to the launcher
 			return
@@ -340,7 +433,7 @@ func (p *Proc) run() {
 		}
 		if p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval {
 			p.lastCkpt = now
-			p.writeCheckpoint()
+			p.startCheckpoint(false)
 		}
 	}
 }
@@ -366,6 +459,8 @@ func (p *Proc) startWorkers() {
 		p.workerWG.Add(1)
 		go p.foldWorker(i, p.workCh[i])
 	}
+	p.writerWG.Add(1)
+	go p.checkpointWriter()
 }
 
 // backpressure returns the occupancy fraction [0, 1] of the fold-pipeline
@@ -383,13 +478,18 @@ func (p *Proc) backpressure() float64 {
 	return float64(queued) / float64(capacity)
 }
 
-// stopWorkers closes the work channels (workers drain what is queued) and
-// joins the pool.
+// stopWorkers closes the work channels (workers drain what is queued —
+// including any pending snapshot tasks), joins the pool, then retires the
+// background checkpoint writer, which drains and commits every handed-off
+// job before exiting. A checkpoint whose snapshot completed is therefore
+// always durable by the time Stop returns.
 func (p *Proc) stopWorkers() {
 	for _, ch := range p.workCh {
 		close(ch)
 	}
 	p.workerWG.Wait()
+	close(p.ckptJobs)
+	p.writerWG.Wait()
 }
 
 // foldWorker is the decode+fold stage of the pipeline: it owns shard i and
@@ -414,6 +514,23 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 			p.ciWidths[i].Store(math.Float64bits(w))
 			if task.scan.remaining.Add(-1) == 0 {
 				p.ciScansDone.Add(1)
+				p.foldWG.Done()
+			}
+		case task.ckpt != nil:
+			// Phase 1 of a checkpoint: compact this shard's quantile
+			// sketches (parallelized across the pool instead of serialized
+			// on the inbox) and deep-copy the shard into the job's pooled
+			// snapshot buffer — a contiguous memmove of the interleaved
+			// records plus tracker/sketch copies. The shard resumes folding
+			// the moment the copy completes; encode and I/O happen on the
+			// background writer.
+			job := task.ckpt.job
+			t0 := time.Now()
+			p.acc.ShardAccum(i).CompactQuantiles()
+			p.acc.SnapshotShard(i, job.snap)
+			job.noteStall(time.Since(t0))
+			if task.ckpt.remaining.Add(-1) == 0 {
+				p.ckptJobs <- job
 				p.foldWG.Done()
 			}
 		case task.bulk != nil:
@@ -522,8 +639,10 @@ func (p *Proc) publishedCIWidth() float64 {
 	return worst
 }
 
-// quiesce blocks until every enqueued assembly and scan has been processed
-// by every shard worker. Only the inbox goroutine may call it (it is the
+// quiesce blocks until every enqueued assembly, scan and checkpoint
+// snapshot has been processed by every shard worker (a checkpoint's
+// background *write* is not waited for — only the final-checkpoint stop path
+// needs that, via ckptWG). Only the inbox goroutine may call it (it is the
 // only enqueuer), after which the accumulator may be read — and its caches
 // mutated — safely until the next enqueue.
 func (p *Proc) quiesce() { p.foldWG.Wait() }
@@ -807,17 +926,146 @@ func (p *Proc) sendReport(final bool) {
 	}
 }
 
-// writeCheckpoint saves the process state. The run loop is blocked while
-// writing — incoming messages wait in the transport buffers, exactly the
-// behavior measured in Sec. 5.4. The fold pipeline is quiesced first so the
-// checkpoint captures a consistent accumulator; the format is the dense
-// single-accumulator layout regardless of FoldWorkers. Quantile sketches,
-// when enabled, are compacted first (quantiles.Field.Compact) so the file
-// carries the smallest invariant-preserving summaries.
-func (p *Proc) writeCheckpoint() {
+// startCheckpoint begins one checkpoint from the run loop. The default path
+// is the two-phase pipeline: snapshot tasks ride the fold pipeline (the only
+// hot-path cost), and a background goroutine encodes and fsyncs the frozen
+// image overlapped with ongoing ingest. Config.SyncCheckpoints selects the
+// legacy quiesced path instead, which blocks the run loop for the whole
+// serialize+CRC+fsync — the Sec. 5.4 behavior, kept for debugging and as the
+// reference the pipelined path is byte-equivalence-tested against. final
+// makes the pipelined path wait for a free job buffer instead of skipping
+// (the stop path must not drop its checkpoint).
+func (p *Proc) startCheckpoint(final bool) {
+	if p.cfg.SyncCheckpoints {
+		p.writeCheckpointSync()
+		return
+	}
+	p.beginCheckpoint(final)
+}
+
+// beginCheckpoint initiates a pipelined checkpoint: capture the inbox-owned
+// state (partition, message count, tracker) consistent with the fold stream
+// enqueued so far, then fan a snapshot task out to every shard worker. Each
+// worker processes the task after exactly the folds enqueued before it, so
+// the assembled snapshot equals the accumulator state the legacy path would
+// have quiesced into — at the identical fold state. Returns false when both
+// job buffers are still busy (previous write still in flight) and block is
+// false: the interval is skipped and logged, never queued.
+func (p *Proc) beginCheckpoint(block bool) bool {
+	job := p.takeCkptJob(block)
+	if job == nil {
+		p.ckptMu.Lock()
+		p.ckpt.Skipped++
+		p.ckptMu.Unlock()
+		log.Printf("melissa server %d: checkpoint skipped: previous write still in flight", p.cfg.Rank)
+		return false
+	}
+	job.start = time.Now()
+	job.stallNs.Store(0)
+	job.lo, job.hi = p.cfg.Partition.Lo, p.cfg.Partition.Hi
+	job.messages = atomic.LoadInt64(&p.messages)
+	job.tracker.Reset()
+	p.tracker.Encode(job.tracker)
+	snap := &ckptSnap{job: job}
+	snap.remaining.Store(int32(len(p.workCh)))
+	p.ckptWG.Add(1)
+	p.foldWG.Add(1)
+	for _, ch := range p.workCh {
+		ch <- foldTask{ckpt: snap}
+	}
+	return true
+}
+
+// takeCkptJob acquires a free checkpoint job, lazily growing the pool to its
+// double-buffer bound. Only the inbox goroutine calls it. With block set it
+// waits for the background writer to recycle one.
+func (p *Proc) takeCkptJob(block bool) *ckptJob {
+	select {
+	case job := <-p.ckptFree:
+		return job
+	default:
+	}
+	if p.ckptMade < ckptJobBuffers {
+		p.ckptMade++
+		return &ckptJob{snap: p.acc.NewSnapshot(), tracker: enc.NewWriter(1 << 10)}
+	}
+	if !block {
+		return nil
+	}
+	return <-p.ckptFree
+}
+
+// checkpointWriter is the phase-2 goroutine: it receives completed
+// snapshots, streams them to disk fully overlapped with ongoing ingest, and
+// recycles the job buffers. It drains every handed-off job before exiting at
+// shutdown.
+func (p *Proc) checkpointWriter() {
+	defer p.writerWG.Done()
+	for job := range p.ckptJobs {
+		p.writeSnapshot(job)
+		p.ckptFree <- job
+		p.ckptWG.Done()
+	}
+}
+
+// writeSnapshot encodes one frozen snapshot into the unchanged dense
+// checkpoint format — section by section through the streaming writer, so
+// the full payload never materializes in memory — computes the CRC, fsyncs
+// and atomically renames. The bytes are identical to the legacy quiesced
+// path at the same fold state.
+func (p *Proc) writeSnapshot(job *ckptJob) {
+	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
+	sw, err := checkpoint.NewStreamWriter(path, checkpoint.Version)
+	if err != nil {
+		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+		return
+	}
+	err = sw.Section(func(w *enc.Writer) {
+		w.Int(job.lo)
+		w.Int(job.hi)
+		w.I64(job.messages)
+		job.snap.EncodeHeader(w, core.LayoutCurrent)
+	})
+	for t := 0; t < job.snap.Timesteps() && err == nil; t++ {
+		err = sw.Section(func(w *enc.Writer) { job.snap.EncodeStep(w, core.LayoutCurrent, t) })
+	}
+	if err == nil {
+		err = sw.Section(func(w *enc.Writer) { w.Raw(job.tracker.Bytes()) })
+	}
+	written := sw.Written() + 16 // payload + header
+	if err == nil {
+		err = sw.Commit()
+	} else {
+		sw.Abort()
+	}
+	p.ckptMu.Lock()
+	// The snapshot copies stalled the fold pipeline whether or not the
+	// write then reached the disk; charge them unconditionally so a failing
+	// checkpoint directory cannot make the stall telemetry read zero.
+	p.ckpt.StallDuration += time.Duration(job.stallNs.Load())
+	if err == nil {
+		p.ckpt.Writes++
+		p.ckpt.WriteDuration += time.Since(job.start)
+		p.ckpt.LastBytes = written
+		p.ckpt.BytesWritten += written
+	}
+	p.ckptMu.Unlock()
+	if err != nil {
+		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+	}
+}
+
+// writeCheckpointSync is the legacy quiesced checkpoint: the run loop blocks
+// while the whole state is compacted, serialized, CRC'd and fsynced —
+// incoming messages wait in the transport buffers, exactly the behavior
+// measured in Sec. 5.4. Kept behind Config.SyncCheckpoints as the reference
+// implementation; the stall it charges equals the full write duration,
+// timed from before the quiesce and compaction so the sync-vs-pipelined
+// comparison counts the same work on both sides.
+func (p *Proc) writeCheckpointSync() {
+	start := time.Now()
 	p.quiesce()
 	p.acc.CompactQuantiles()
-	start := time.Now()
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	err := checkpoint.Write(path, func(w *enc.Writer) {
 		w.Int(p.cfg.Partition.Lo)
@@ -826,19 +1074,38 @@ func (p *Proc) writeCheckpoint() {
 		p.acc.Encode(w)
 		p.tracker.Encode(w)
 	})
+	elapsed := time.Since(start)
+	p.ckptMu.Lock()
+	// Like the pipelined path, the stall is charged whether or not the file
+	// reached the disk — the run loop was blocked either way.
+	p.ckpt.StallDuration += elapsed
+	if err == nil {
+		p.ckpt.Writes++
+		p.ckpt.WriteDuration += elapsed
+		if info := checkpointSize(path); info > 0 {
+			p.ckpt.LastBytes = info
+			p.ckpt.BytesWritten += info
+		}
+	}
+	p.ckptMu.Unlock()
 	if err != nil {
 		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
-		return
-	}
-	p.ckpt.Writes++
-	p.ckpt.WriteDuration += time.Since(start)
-	if info := checkpointSize(path); info > 0 {
-		p.ckpt.LastBytes = info
 	}
 }
 
 // restore loads the last checkpoint, if any (Sec. 4.2.3 server restart).
+// Process zero also sweeps stale .ckpt-* temp files left by a writer that
+// crashed mid-checkpoint — pure garbage under the atomic-rename protocol,
+// but garbage that would otherwise accumulate across restarts.
 func (p *Proc) restore() error {
+	if p.cfg.CheckpointDir != "" && p.cfg.Rank == 0 {
+		if removed, err := checkpoint.SweepTemps(p.cfg.CheckpointDir); err != nil {
+			log.Printf("melissa server %d: temp-file sweep: %v", p.cfg.Rank, err)
+		} else if len(removed) > 0 {
+			log.Printf("melissa server %d: swept %d stale checkpoint temp file(s): %v",
+				p.cfg.Rank, len(removed), removed)
+		}
+	}
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	if p.cfg.CheckpointDir == "" || !checkpoint.Exists(path) {
 		return nil // cold start

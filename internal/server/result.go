@@ -161,6 +161,27 @@ func (r *Result) PayloadPool() transport.PoolStats {
 	return transport.ReadPoolStats()
 }
 
+// Checkpoints sums the checkpoint statistics across processes: writes,
+// skipped intervals, total and stall (fold-pipeline blockage) wall time,
+// and bytes made durable. With the default two-phase pipeline StallDuration
+// is the snapshot-copy cost only — the encode+fsync part of WriteDuration
+// ran overlapped with ingest; with Config.SyncCheckpoints the two are equal.
+func (r *Result) Checkpoints() CheckpointStats {
+	var total CheckpointStats
+	for _, p := range r.procs {
+		ck := p.Checkpoints()
+		total.Writes += ck.Writes
+		total.Skipped += ck.Skipped
+		total.WriteDuration += ck.WriteDuration
+		total.StallDuration += ck.StallDuration
+		total.Reads += ck.Reads
+		total.ReadDuration += ck.ReadDuration
+		total.LastBytes += ck.LastBytes
+		total.BytesWritten += ck.BytesWritten
+	}
+	return total
+}
+
 // Messages totals the data messages processed across processes.
 func (r *Result) Messages() int64 {
 	var total int64

@@ -72,6 +72,39 @@
 // groups, per-group message timeouts reported to the launcher, periodic
 // atomic checkpoints (one file per process, dense format regardless of
 // FoldWorkers), and restart from the last checkpoint.
+//
+// # Stall-free checkpointing
+//
+// Checkpoints are a two-phase pipeline so the fold path never waits for the
+// file system:
+//
+//	snapshot (fold workers):  the inbox captures its own state (partition,
+//	                          message count, tracker bytes) and fans one
+//	                          snapshot task out to every worker channel;
+//	                          each worker — after exactly the folds enqueued
+//	                          before the task, so the image equals what the
+//	                          quiesced design would have written — compacts
+//	                          its shard's quantile sketches and deep-copies
+//	                          the shard into a pooled, double-buffered
+//	                          snapshot (the interleaved Sobol' records move
+//	                          with one contiguous copy), then resumes
+//	                          folding immediately
+//	write (background):       a dedicated goroutine per process streams the
+//	                          frozen snapshot into the unchanged dense v2
+//	                          on-disk format section by section
+//	                          (checkpoint.StreamWriter: incremental CRC, no
+//	                          full-payload buffer), fsyncs, renames
+//	                          atomically and fsyncs the directory — fully
+//	                          overlapped with ongoing ingest
+//
+// The fold pipeline therefore stalls only for the snapshot copies (the
+// longest lane's copy bounds the added latency — CheckpointStats splits this
+// stall out of the total write time), and a checkpoint interval that fires
+// while both snapshot buffers are still busy is skipped and logged, never
+// queued. Files are byte-identical to the legacy quiesced path at the same
+// fold state (Config.SyncCheckpoints keeps that path as the equivalence
+// reference), so checkpoints remain interchangeable across versions,
+// FoldWorkers settings and write paths.
 package server
 
 import (
@@ -110,6 +143,14 @@ type Config struct {
 	CheckpointInterval time.Duration
 	// CheckpointDir is where checkpoint files live.
 	CheckpointDir string
+	// SyncCheckpoints selects the legacy quiesced checkpoint path: the run
+	// loop blocks for the whole serialize+CRC+fsync (the Sec. 5.4 stall)
+	// instead of the default two-phase pipeline, where fold workers stall
+	// only for a per-shard snapshot copy and a background goroutine writes
+	// the frozen image overlapped with ingest. Both paths produce
+	// byte-identical files at the same fold state; this is a debugging and
+	// benchmarking reference, not a correctness knob.
+	SyncCheckpoints bool
 	// LauncherAddr, when set, receives heartbeats and reports.
 	LauncherAddr string
 	// ReportInterval is the heartbeat/report period (default 1 s).

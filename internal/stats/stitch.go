@@ -1,0 +1,66 @@
+package stats
+
+import "melissa/internal/enc"
+
+// Stitched encoders assemble the dense single-tracker checkpoint encoding
+// from contiguous cell sub-range trackers without first materializing the
+// dense tracker: each per-cell array is written as one logical F64Slice —
+// total length prefix, then every part's sub-array raw — so the bytes are
+// identical to Encode on the concatenation. The scalar fields (sample count,
+// threshold) are taken from the first part; they are invariant across shards
+// of one partition because every sample field covers them all. These are the
+// building blocks of the background checkpoint writer, which encodes
+// per-shard snapshots straight into the unchanged dense on-disk format.
+
+// EncodeMinMaxStitched writes the concatenation of parts in the
+// FieldMinMax.Encode layout. parts must be non-empty.
+func EncodeMinMaxStitched(w *enc.Writer, parts []*FieldMinMax) {
+	total := 0
+	for _, p := range parts {
+		total += len(p.min)
+	}
+	w.I64(parts[0].n)
+	w.U64(uint64(total))
+	for _, p := range parts {
+		w.F64Raw(p.min)
+	}
+	w.U64(uint64(total))
+	for _, p := range parts {
+		w.F64Raw(p.max)
+	}
+}
+
+// EncodeExceedanceStitched writes the concatenation of parts in the
+// FieldExceedance.Encode layout. parts must be non-empty.
+func EncodeExceedanceStitched(w *enc.Writer, parts []*FieldExceedance) {
+	total := 0
+	for _, p := range parts {
+		total += len(p.counts)
+	}
+	w.F64(parts[0].Threshold)
+	w.I64(parts[0].n)
+	w.U64(uint64(total))
+	for _, p := range parts {
+		w.I64Raw(p.counts)
+	}
+}
+
+// EncodeMomentsStitched writes the concatenation of parts in the
+// FieldMoments.Encode layout. parts must be non-empty.
+func EncodeMomentsStitched(w *enc.Writer, parts []*FieldMoments) {
+	total := 0
+	for _, p := range parts {
+		total += len(p.means)
+	}
+	w.I64(parts[0].n)
+	writeCol := func(get func(p *FieldMoments) []float64) {
+		w.U64(uint64(total))
+		for _, p := range parts {
+			w.F64Raw(get(p))
+		}
+	}
+	writeCol(func(p *FieldMoments) []float64 { return p.means })
+	writeCol(func(p *FieldMoments) []float64 { return p.m2 })
+	writeCol(func(p *FieldMoments) []float64 { return p.m3 })
+	writeCol(func(p *FieldMoments) []float64 { return p.m4 })
+}

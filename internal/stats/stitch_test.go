@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"melissa/internal/enc"
+)
+
+// TestStitchedEncodesMatchDense: encoding a dense tracker must equal the
+// stitched encode of its extracted sub-range parts — the byte-identity the
+// streaming checkpoint writer depends on. Covers 1-part (trivial) and
+// uneven multi-part splits.
+func TestStitchedEncodesMatchDense(t *testing.T) {
+	const cells = 29
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, cells)
+	b := make([]float64, cells)
+
+	mm := NewFieldMinMax(cells)
+	ex := NewFieldExceedance(cells, 0.25)
+	hm := NewFieldMoments(cells)
+	for s := 0; s < 7; s++ {
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		mm.UpdatePair(a, b)
+		ex.UpdatePair(a, b)
+		hm.UpdatePair(a, b)
+	}
+
+	for _, bounds := range [][]int{{0, cells}, {0, 10, 17, cells}} {
+		var mmParts []*FieldMinMax
+		var exParts []*FieldExceedance
+		var hmParts []*FieldMoments
+		for i := 0; i+1 < len(bounds); i++ {
+			mmParts = append(mmParts, mm.Extract(bounds[i], bounds[i+1]))
+			exParts = append(exParts, ex.Extract(bounds[i], bounds[i+1]))
+			hmParts = append(hmParts, hm.Extract(bounds[i], bounds[i+1]))
+		}
+
+		check := func(name string, dense func(w *enc.Writer), stitched func(w *enc.Writer)) {
+			want := enc.NewWriter(1 << 12)
+			dense(want)
+			got := enc.NewWriter(1 << 12)
+			stitched(got)
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Errorf("%s (%d parts): stitched encode differs from dense", name, len(mmParts))
+			}
+		}
+		check("minmax", mm.Encode, func(w *enc.Writer) { EncodeMinMaxStitched(w, mmParts) })
+		check("exceedance", ex.Encode, func(w *enc.Writer) { EncodeExceedanceStitched(w, exParts) })
+		check("moments", hm.Encode, func(w *enc.Writer) { EncodeMomentsStitched(w, hmParts) })
+	}
+}

@@ -130,6 +130,13 @@ type StudyConfig struct {
 	// CheckpointDir/CheckpointInterval enable server checkpoints.
 	CheckpointDir      string
 	CheckpointInterval time.Duration
+	// SyncCheckpoints selects the legacy quiesced checkpoint path: the
+	// server blocks its fold pipeline for the whole serialize+fsync instead
+	// of the default two-phase pipeline (per-shard snapshot copy on the fold
+	// workers, encode+fsync on a background writer overlapped with ingest).
+	// Both paths write byte-identical files; this is a debugging and
+	// benchmarking reference.
+	SyncCheckpoints bool
 	// ConvergenceTarget, when positive, stops the study once every Sobol'
 	// index is bracketed by a 95% confidence interval narrower than this
 	// (the loopback control of Sec. 3.4/4.1.5).
@@ -204,6 +211,39 @@ func (r *FieldResult) QuantileTupleCount() int64 { return r.res.QuantileTupleCou
 // MaxCIWidth returns the widest 95% confidence interval over all indices.
 func (r *FieldResult) MaxCIWidth() float64 { return r.res.MaxCIWidth(0.95) }
 
+// CheckpointStats summarizes the server-side checkpoint activity of a study:
+// how many periodic/final checkpoints were written (and how many intervals
+// were skipped because a write was still in flight), the total wall time of
+// the writes vs the part that actually stalled the fold pipeline (the
+// per-shard snapshot copies — encode and fsync run on a background writer,
+// overlapped with ingest), read-side restore timing, and bytes made durable.
+type CheckpointStats struct {
+	Writes        int
+	Skipped       int
+	WriteDuration time.Duration
+	StallDuration time.Duration
+	Reads         int
+	ReadDuration  time.Duration
+	LastBytes     int64
+	BytesWritten  int64
+}
+
+// Checkpoints returns the aggregated checkpoint statistics across all server
+// processes (all zeros when checkpointing was not enabled).
+func (r *FieldResult) Checkpoints() CheckpointStats {
+	ck := r.res.Checkpoints()
+	return CheckpointStats{
+		Writes:        ck.Writes,
+		Skipped:       ck.Skipped,
+		WriteDuration: ck.WriteDuration,
+		StallDuration: ck.StallDuration,
+		Reads:         ck.Reads,
+		ReadDuration:  ck.ReadDuration,
+		LastBytes:     ck.LastBytes,
+		BytesWritten:  ck.BytesWritten,
+	}
+}
+
 // RunStudy executes a complete study in-process: it builds the pick-freeze
 // design, starts the parallel server and the launcher, runs every
 // simulation group through the two-stage transfer path, and returns the
@@ -259,6 +299,7 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		GroupTimeout:       cfg.GroupTimeout,
 		CheckpointDir:      cfg.CheckpointDir,
 		CheckpointInterval: cfg.CheckpointInterval,
+		SyncCheckpoints:    cfg.SyncCheckpoints,
 		ConvergenceTarget:  cfg.ConvergenceTarget,
 	}
 	l, err := launcher.New(lcfg)
