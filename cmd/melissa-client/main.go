@@ -38,6 +38,8 @@ func main() {
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	maxBatchSteps := flag.Int("max-batch-steps", 0,
 		"adaptive batching cap: batch up to this many timesteps when the send path backs up (overrides -batch-steps)")
+	wireCodec := flag.Bool("wire-codec", false,
+		"compress field frames when the server advertises the codec (falls back to raw framing otherwise)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "handshake timeout")
 	flag.Parse()
 
@@ -56,7 +58,8 @@ func main() {
 	start := time.Now()
 	// Size the per-connection transport buffers from the study shape so a
 	// whole batched data frame fits the kernel and user-space buffers.
-	net := transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), max(*batchSteps, *maxBatchSteps)))
+	net := transport.NewTCPNetwork(transport.ForStudyCodec(
+		st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec))
 	// A standalone client has no launcher feeding it server congestion
 	// hints; MaxBatchSteps without a controller falls back to the local
 	// send-queue signal, which backs up exactly when the server stalls.
@@ -68,6 +71,7 @@ func main() {
 		ConnectTimeout: *connectTimeout,
 		BatchSteps:     *batchSteps,
 		MaxBatchSteps:  *maxBatchSteps,
+		WireCodec:      *wireCodec,
 	})
 	if err != nil {
 		log.Fatalf("melissa-client: group %d failed: %v", *group, err)

@@ -38,6 +38,8 @@ func main() {
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	maxBatchSteps := flag.Int("max-batch-steps", 0,
 		"adaptive batching cap: grow batches towards this when the server reports backpressure (overrides -batch-steps)")
+	wireCodec := flag.Bool("wire-codec", false,
+		"negotiate the compressed field framing between the server and every group (results are bitwise identical)")
 	simRanks := flag.Int("sim-ranks", 2, "parallel ranks per simulation")
 	clusterNodes := flag.Int("cluster-nodes", 0, "virtual cluster size (0 = unbounded)")
 	groupNodes := flag.Int("group-nodes", 1, "nodes per group job")
@@ -59,18 +61,20 @@ func main() {
 		cluster = scheduler.New(*clusterNodes)
 	}
 	cfg := launcher.Config{
-		Design:            st.Design(*groups, *seed),
-		Sim:               st.Sim,
-		Cells:             st.Cells,
-		Timesteps:         st.Timesteps,
-		SimRanks:          *simRanks,
-		Stats:             core.Options{MinMax: true},
-		Network:           transport.NewTCPNetwork(transport.ForStudy(st.Cells, st.P(), max(*batchSteps, *maxBatchSteps))),
+		Design:    st.Design(*groups, *seed),
+		Sim:       st.Sim,
+		Cells:     st.Cells,
+		Timesteps: st.Timesteps,
+		SimRanks:  *simRanks,
+		Stats:     core.Options{MinMax: true},
+		Network: transport.NewTCPNetwork(transport.ForStudyCodec(
+			st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec)),
 		Cluster:           cluster,
 		ServerProcs:       *serverProcs,
 		FoldWorkers:       *foldWorkers,
 		BatchSteps:        *batchSteps,
 		MaxBatchSteps:     *maxBatchSteps,
+		WireCodec:         *wireCodec,
 		GroupNodes:        *groupNodes,
 		GroupTimeout:      *groupTimeout,
 		ConvergenceTarget: *convergence,
@@ -97,6 +101,10 @@ func main() {
 	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  timeout kills: %d  server restarts: %d",
 		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.TimeoutKills, stats.ServerRestarts)
 	log.Printf("  messages folded: %d  server state: %.1f MB", res.Messages(), float64(res.MemoryBytes())/1e6)
+	if ws := res.WireStats(); ws.Messages > 0 {
+		log.Printf("  field traffic: %.1f MB on the wire vs %.1f MB raw (%.2fx, %.1f MB saved)",
+			float64(ws.WireBytes)/1e6, float64(ws.RawBytes)/1e6, ws.Ratio(), float64(ws.Saved())/1e6)
+	}
 	if ck := res.Checkpoints(); ck.Writes > 0 {
 		log.Printf("  checkpoints: %d written (%d skipped), %.1f MB durable; ingest stalled %v of %v total write time",
 			ck.Writes, ck.Skipped, float64(ck.BytesWritten)/1e6,

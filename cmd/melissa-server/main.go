@@ -45,6 +45,8 @@ func main() {
 	groupTimeout := flag.Duration("group-timeout", 5*time.Minute, "unresponsive-group timeout (paper: 300s)")
 	batchSteps := flag.Int("batch-steps", 4, "largest client -batch-steps expected (sizes the receive buffers)")
 	maxBatchSteps := flag.Int("max-batch-steps", 0, "largest client -max-batch-steps expected (adaptive batching; sizes the receive buffers)")
+	wireCodec := flag.Bool("wire-codec", false,
+		"advertise the compressed field framing to clients (delta-XOR + entropy coding per fold shard; results are bitwise identical)")
 	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
 	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
 	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
@@ -79,15 +81,17 @@ func main() {
 	stats.Quantiles = probes
 
 	cfg := server.Config{
-		Procs:        *procs,
-		FoldWorkers:  *foldWorkers,
-		Cells:        *cells,
-		Timesteps:    *timesteps,
-		P:            *p,
-		Stats:        stats,
-		Network:      transport.NewTCPNetwork(transport.ForStudy(*cells, *p, max(*batchSteps, *maxBatchSteps))),
+		Procs:       *procs,
+		FoldWorkers: *foldWorkers,
+		Cells:       *cells,
+		Timesteps:   *timesteps,
+		P:           *p,
+		Stats:       stats,
+		Network: transport.NewTCPNetwork(transport.ForStudyCodec(
+			*cells, *p, max(*batchSteps, *maxBatchSteps), *wireCodec)),
 		GroupTimeout: *groupTimeout,
 		LauncherAddr: *launcherAddr,
+		WireCodec:    *wireCodec,
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -129,6 +133,10 @@ func main() {
 	tracker := res.Tracker()
 	log.Printf("melissa-server: done — %d messages, %d finished groups, %d running",
 		res.Messages(), len(tracker.Finished()), len(tracker.Running()))
+	if ws := res.WireStats(); ws.Messages > 0 {
+		log.Printf("melissa-server: field traffic — %.1f MB on the wire vs %.1f MB raw (%.2fx, %.1f MB saved)",
+			float64(ws.WireBytes)/1e6, float64(ws.RawBytes)/1e6, ws.Ratio(), float64(ws.Saved())/1e6)
+	}
 	if ck := res.Checkpoints(); ck.Writes > 0 {
 		log.Printf("melissa-server: checkpoints — %d written (%d skipped), %.1f MB durable; ingest stalled %v of %v total write time",
 			ck.Writes, ck.Skipped, float64(ck.BytesWritten)/1e6,

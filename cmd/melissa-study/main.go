@@ -64,6 +64,8 @@ func main() {
 	batchSteps := flag.Int("batch-steps", 1, "timesteps batched per wire message")
 	maxBatchSteps := flag.Int("max-batch-steps", 0,
 		"adaptive batching cap: grow batches towards this when the server reports backpressure (overrides -batch-steps)")
+	wireCodec := flag.Bool("wire-codec", false,
+		"negotiate the compressed field framing for the live study (results are bitwise identical)")
 	minMax := flag.Bool("minmax", false, "track per-cell min/max over the A/B samples")
 	threshold := flag.String("threshold", "", "count per-cell exceedances of this value (empty = off)")
 	higherMoments := flag.Bool("higher-moments", false, "track per-cell skewness/kurtosis")
@@ -111,7 +113,7 @@ func main() {
 		runSec54(*out)
 	}
 	if *fig7 {
-		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps, *maxBatchSteps, stats)
+		runFig7(*out, *nx, *ny, *groups, *foldWorkers, *batchSteps, *maxBatchSteps, *wireCodec, stats)
 	}
 	if *conv {
 		runConvergence(*out)
@@ -245,7 +247,7 @@ func runSec54(out string) {
 	_ = out
 }
 
-func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps int, opts statOptions) {
+func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps int, wireCodec bool, opts statOptions) {
 	fmt.Println("================ Fig. 7/8: tube-bundle Sobol' maps (live) ================")
 	study, grid, err := melissa.TubeBundleStudy(nx, ny, groups, 2017)
 	if err != nil {
@@ -256,6 +258,7 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 	study.FoldWorkers = foldWorkers
 	study.BatchSteps = batchSteps
 	study.MaxBatchSteps = maxBatchSteps
+	study.WireCodec = wireCodec
 	study.MinMax = opts.minMax
 	study.Threshold = opts.threshold
 	study.HigherMoments = opts.higherMoments
@@ -274,6 +277,10 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 	fmt.Printf("live study: %dx%d cells, %d groups x 8 sims in %v (%d messages, %.1f GB avoided)\n\n",
 		nx, ny, groups, time.Since(start).Round(time.Millisecond),
 		stats.MessagesFolded, float64(stats.DataAvoidedBytes)/1e9)
+	if ws := res.WireStats(); wireCodec && ws.Messages > 0 {
+		fmt.Printf("field traffic: %.1f MB on the wire vs %.1f MB raw (%.2fx, %.1f MB saved)\n\n",
+			float64(ws.WireBytes)/1e6, float64(ws.RawBytes)/1e6, ws.Ratio(), float64(ws.Saved())/1e6)
+	}
 	if ck := res.Checkpoints(); ck.Writes > 0 {
 		path := "two-phase pipeline"
 		if opts.syncCkpt {

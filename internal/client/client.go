@@ -71,10 +71,29 @@ type Connection struct {
 	// server stops draining.
 	Congestion *BatchController
 
+	// WireCodec, when true, ships field payloads in the compressed framing
+	// (delta-XOR + entropy coding, wire.TypeDataBatchC) — provided the server
+	// negotiated the capability in the Welcome (Hello always advertises it;
+	// a server configured without the codec answers without the bit and the
+	// connection transparently stays on the raw format). Set it before the
+	// first SendTimestep. Payloads are cut on the receiving process's
+	// fold-shard boundaries (Welcome.FoldShards) so each fold worker
+	// decompresses exactly its own block.
+	WireCodec bool
+
 	net      transport.Network
 	senders  []transport.Sender
 	routes   []mesh.Transfer
 	simParts []mesh.Partition
+
+	// Compressed-path state: the per-connection compressor, the per-route
+	// shard-aligned sub-range lengths (computed on first use), the one-step
+	// batch shell of the unbatched path, and the raw-vs-wire byte counters.
+	comp      wire.BatchCompressor
+	rangeLens [][]int
+	oneStep   wire.DataBatch
+	wireBytes int64
+	rawBytes  int64
 
 	// local is the fallback controller fed from send-queue occupancy;
 	// effSteps is the batch size the current timestep was routed with.
@@ -112,7 +131,10 @@ func Connect(net transport.Network, mainAddr string, groupID, simRanks int, time
 	if err != nil {
 		return nil, fmt.Errorf("client: group %d cannot reach server: %w", groupID, err)
 	}
-	hello := &wire.Hello{GroupID: groupID, SimRanks: simRanks, ReplyAddr: reply.Addr()}
+	// Caps always advertises the full capability set of this build — whether
+	// a capability is used is the server's call (echoed in Welcome.Caps) and
+	// the connection's knobs.
+	hello := &wire.Hello{GroupID: groupID, SimRanks: simRanks, ReplyAddr: reply.Addr(), Caps: wire.CapWireCodec}
 	if err := main.Send(wire.Encode(hello)); err != nil {
 		main.Close()
 		return nil, fmt.Errorf("client: group %d hello: %w", groupID, err)
@@ -189,19 +211,41 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 		c.cutScratch = make([][]float64, len(fields))
 	}
 	cut := c.cutScratch
-	for _, tr := range c.routes {
+	codecOn := c.codecNegotiated()
+	for ri, tr := range c.routes {
 		for fi, f := range fields {
 			cut[fi] = f[tr.Cells.Lo:tr.Cells.Hi]
 		}
-		data := &wire.Data{
-			GroupID:  c.GroupID,
-			Timestep: step,
-			CellLo:   tr.Cells.Lo,
-			CellHi:   tr.Cells.Hi,
-			Fields:   cut,
+		var w *enc.Writer
+		if codecOn {
+			// A compressed single step is a one-step TypeDataBatchC frame —
+			// the codec framing's degenerate batch, so the server needs no
+			// third bulk path.
+			c.oneStep.GroupID = c.GroupID
+			c.oneStep.CellLo = tr.Cells.Lo
+			c.oneStep.CellHi = tr.Cells.Hi
+			if c.oneStep.Steps == nil {
+				c.oneStep.Steps = make([]wire.DataStep, 1)
+			}
+			c.oneStep.Steps[0].Timestep = step
+			c.oneStep.Steps[0].Fields = cut
+			w = enc.GetWriter(int(wire.DataSizeBytes(len(cut), tr.Cells.Len())))
+			c.comp.EncodeTo(w, &c.oneStep, c.routeRangeLens(ri))
+			c.wireBytes += int64(w.Len())
+			c.rawBytes += wire.DataSizeBytes(len(cut), tr.Cells.Len())
+		} else {
+			data := &wire.Data{
+				GroupID:  c.GroupID,
+				Timestep: step,
+				CellLo:   tr.Cells.Lo,
+				CellHi:   tr.Cells.Hi,
+				Fields:   cut,
+			}
+			w = enc.GetWriter(int(wire.DataSizeBytes(len(cut), tr.Cells.Len())))
+			wire.EncodeTo(w, data)
+			c.wireBytes += int64(w.Len())
+			c.rawBytes += int64(w.Len())
 		}
-		w := enc.GetWriter(int(wire.DataSizeBytes(len(cut), tr.Cells.Len())))
-		wire.EncodeTo(w, data)
 		err := c.senders[tr.ServerRank].Send(w.Bytes())
 		enc.PutWriter(w) // Send copied the payload
 		if err != nil {
@@ -210,6 +254,54 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 		}
 	}
 	return nil
+}
+
+// codecNegotiated reports whether compressed frames may be sent: the local
+// knob is on and the server granted the capability.
+func (c *Connection) codecNegotiated() bool {
+	return c.WireCodec && c.Layout.Caps&wire.CapWireCodec != 0
+}
+
+// routeRangeLens returns route ri's compressed sub-range lengths: the
+// receiving process's fold-shard boundaries intersected with the route's
+// cell range, computed once per route. The server resolves its shard count
+// with the same block rule (core.NewSharded), so each block lands on exactly
+// one fold worker.
+func (c *Connection) routeRangeLens(ri int) []int {
+	if c.rangeLens == nil {
+		c.rangeLens = make([][]int, len(c.routes))
+	}
+	if c.rangeLens[ri] == nil {
+		tr := c.routes[ri]
+		part := c.Layout.Partitions[tr.ServerRank]
+		shards := 1
+		if tr.ServerRank < len(c.Layout.FoldShards) {
+			shards = c.Layout.FoldShards[tr.ServerRank]
+		}
+		if shards < 1 {
+			shards = 1
+		}
+		if n := part.Len(); shards > n {
+			shards = n
+		}
+		lens := []int{}
+		for _, sh := range mesh.BlockPartition(part.Len(), shards) {
+			lo := max(sh.Lo+part.Lo, tr.Cells.Lo)
+			hi := min(sh.Hi+part.Lo, tr.Cells.Hi)
+			if lo < hi {
+				lens = append(lens, hi-lo)
+			}
+		}
+		c.rangeLens[ri] = lens
+	}
+	return c.rangeLens[ri]
+}
+
+// WireStats returns the bytes this connection put on the wire and the bytes
+// the same payloads would have cost in the raw format (equal when the codec
+// is off — the negotiated-codec savings is their ratio).
+func (c *Connection) WireStats() (wireBytes, rawBytes int64) {
+	return c.wireBytes, c.rawBytes
 }
 
 // effectiveBatchSteps resolves the batch size for the current timestep:
@@ -294,8 +386,15 @@ func (c *Connection) flushRoute(ri int) error {
 		CellHi:  tr.Cells.Hi,
 		Steps:   rb.steps,
 	}
-	w := enc.GetWriter(int(wire.DataBatchSizeBytes(len(rb.steps), len(rb.steps[0].Fields), tr.Cells.Len())))
-	wire.EncodeTo(w, batch)
+	rawSize := wire.DataBatchSizeBytes(len(rb.steps), len(rb.steps[0].Fields), tr.Cells.Len())
+	w := enc.GetWriter(int(rawSize))
+	if c.codecNegotiated() {
+		c.comp.EncodeTo(w, batch, c.routeRangeLens(ri))
+	} else {
+		wire.EncodeTo(w, batch)
+	}
+	c.wireBytes += int64(w.Len())
+	c.rawBytes += rawSize
 	err := c.senders[tr.ServerRank].Send(w.Bytes())
 	enc.PutWriter(w)
 	rb.steps = rb.steps[:0] // keep field storage for the next batch

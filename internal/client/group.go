@@ -31,6 +31,9 @@ type RunConfig struct {
 	// fed by the launcher from server reports. nil falls back to the local
 	// send-queue signal (see Connection.Congestion).
 	Congestion *BatchController
+	// WireCodec enables the compressed wire framing when the server
+	// negotiates it (see Connection.WireCodec).
+	WireCodec bool
 	// BeforeStep, when non-nil, is a fault-injection hook called before
 	// each timestep is sent. Returning an error makes the whole group fail
 	// (the paper treats a group as a single failure unit, Sec. 4.2).
@@ -76,6 +79,7 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 	conn.BatchSteps = rc.BatchSteps
 	conn.MaxBatchSteps = rc.MaxBatchSteps
 	conn.Congestion = rc.Congestion
+	conn.WireCodec = rc.WireCodec
 
 	if got, want := len(rc.Rows), conn.Layout.P+2; got != want {
 		return fmt.Errorf("client: group %d has %d rows but the server expects p+2 = %d", rc.GroupID, got, want)

@@ -58,6 +58,11 @@ type Config struct {
 	// server's fold-pipeline backlog. Overrides BatchSteps. GroupTimeout is
 	// scaled by MaxBatchSteps (the worst-case message stretch).
 	MaxBatchSteps int
+	// WireCodec opts the whole study into the compressed field framing: the
+	// server advertises the capability in its Welcome and every group
+	// compresses its data frames (see server.Config.WireCodec and
+	// client.Connection.WireCodec). Results are bitwise identical either way.
+	WireCodec bool
 	// GroupWalltime bounds one group execution in the scheduler (0 = none).
 	GroupWalltime time.Duration
 
@@ -313,6 +318,7 @@ func (l *Launcher) startServer(restore bool) error {
 		CheckpointInterval: l.cfg.CheckpointInterval,
 		CheckpointDir:      l.cfg.CheckpointDir,
 		SyncCheckpoints:    l.cfg.SyncCheckpoints,
+		WireCodec:          l.cfg.WireCodec,
 		LauncherAddr:       l.recv.Addr(),
 		ReportInterval:     maxDuration(l.cfg.TickInterval*4, 20*time.Millisecond),
 		ConvergenceReports: l.cfg.ConvergenceTarget > 0,
@@ -438,6 +444,7 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 			BatchSteps:     l.cfg.BatchSteps,
 			MaxBatchSteps:  l.cfg.MaxBatchSteps,
 			Congestion:     l.batchCtl,
+			WireCodec:      l.cfg.WireCodec,
 			BeforeStep:     hook,
 		})
 		l.done <- groupDone{group: id, attempt: attempt, job: job, err: err}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"melissa/internal/checkpoint"
+	"melissa/internal/codec"
 	"melissa/internal/core"
 	"melissa/internal/enc"
 	"melissa/internal/mesh"
@@ -25,6 +26,11 @@ type procConfig struct {
 	Partition  mesh.Partition
 	AllAddrs   []string
 	Partitions []mesh.Partition
+	// FoldShards is every process's resolved fold-worker count, advertised
+	// in the Welcome so codec-enabled clients cut their compressed payloads
+	// on shard boundaries. Advisory: a process whose pool was resized by a
+	// checkpoint restore still decodes misaligned cuts, just less locally.
+	FoldShards []int
 }
 
 // groupStep keys one in-flight (group, timestep) assembly.
@@ -50,17 +56,31 @@ type assembly struct {
 	remaining atomic.Int32
 }
 
-// bulkMsg is one retained inbound bulk payload (Data or DataBatch): the
-// transport buffer with its embedded refcount and the parsed lazy header
-// view. The inbox parses and routes it; the shard workers share it
-// read-only, each decoding exactly its shard's cell sub-range out of the
-// payload bytes. The final Release recycles the buffer and retires the
-// message. bulkMsgs are pooled.
+// bulkKind discriminates the three bulk payload framings a bulkMsg can hold.
+type bulkKind uint8
+
+const (
+	kindData bulkKind = iota
+	kindBatch
+	kindCBatch
+)
+
+// bulkMsg is one retained inbound bulk payload (Data, DataBatch or the
+// compressed DataBatchC): the transport buffer with its embedded refcount
+// and the parsed lazy header view. The inbox parses and routes it; the shard
+// workers share it read-only, each decoding exactly its shard's cell
+// sub-range out of the payload bytes (decompressing its own shard-aligned
+// block first on the codec path, cached per worker across the batch's
+// steps). The final Release recycles the buffer and retires the message.
+// bulkMsgs are pooled; gen distinguishes successive payloads parsed into the
+// same pooled shell, so worker-side decode caches can key on (msg, gen).
 type bulkMsg struct {
 	transport.Ref
-	data    wire.DataView
-	batch   wire.DataBatchView
-	isBatch bool
+	data   wire.DataView
+	batch  wire.DataBatchView
+	cbatch wire.DataBatchCView
+	kind   bulkKind
+	gen    uint64
 
 	// Set by the inbox while it still holds its own reference:
 	tracked bool  // foldWG.Add(1) was charged for this message
@@ -68,55 +88,148 @@ type bulkMsg struct {
 }
 
 func (m *bulkMsg) groupID() int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.GroupID
+	case kindCBatch:
+		return m.cbatch.GroupID
 	}
 	return m.data.GroupID
 }
 
 func (m *bulkMsg) cellLo() int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.CellLo
+	case kindCBatch:
+		return m.cbatch.CellLo
 	}
 	return m.data.CellLo
 }
 
 func (m *bulkMsg) cellHi() int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.CellHi
+	case kindCBatch:
+		return m.cbatch.CellHi
 	}
 	return m.data.CellHi
 }
 
 func (m *bulkMsg) numSteps() int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.NumSteps()
+	case kindCBatch:
+		return m.cbatch.NumSteps()
 	}
 	return 1
 }
 
 func (m *bulkMsg) numFields() int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.NumFields()
+	case kindCBatch:
+		return m.cbatch.NumFields()
 	}
 	return m.data.NumFields()
 }
 
 func (m *bulkMsg) stepTimestep(s int) int {
-	if m.isBatch {
+	switch m.kind {
+	case kindBatch:
 		return m.batch.StepTimestep(s)
+	case kindCBatch:
+		return m.cbatch.StepTimestep(s)
 	}
 	return m.data.Timestep
 }
 
 // decodeFieldRange decodes cells [lo, hi) — relative to cellLo() — of field
-// f at batch entry s into dst[:hi-lo].
-func (m *bulkMsg) decodeFieldRange(s, f, lo, hi int, dst []float64) {
-	if m.isBatch {
+// f at batch entry s into dst[:hi-lo]. Compressed payloads go through the
+// calling worker's decode cache.
+func (m *bulkMsg) decodeFieldRange(cc *codecCache, s, f, lo, hi int, dst []float64) {
+	switch m.kind {
+	case kindBatch:
 		m.batch.DecodeFieldRange(s, f, lo, hi, dst)
-	} else {
+	case kindCBatch:
+		m.decodeCompressedRange(cc, s, f, lo, hi, dst)
+	default:
 		m.data.DecodeFieldRange(f, lo, hi, dst)
 	}
+}
+
+// decodeCompressedRange converts cells [lo, hi) of (step s, field f) out of
+// the compressed payload: it walks the frame's cell sub-ranges overlapping
+// [lo, hi), decompresses each at most once per worker per message (the
+// cache), and bit-copies the words into dst. Clients cut sub-ranges on this
+// process's shard boundaries, so in steady state a worker decompresses
+// exactly its own block; after a pool resize (checkpoint restore) it may
+// touch a neighbouring block — correct either way.
+func (m *bulkMsg) decodeCompressedRange(cc *codecCache, s, f, lo, hi int, dst []float64) {
+	v := &m.cbatch
+	nf := v.NumFields()
+	for r := 0; r < v.NumRanges() && lo < hi; r++ {
+		rlo, rhi := v.RangeBounds(r)
+		if rhi <= lo {
+			continue
+		}
+		if rlo >= hi {
+			break
+		}
+		words := cc.rangeWords(m, r)
+		rc := rhi - rlo
+		olo, ohi := max(lo, rlo), min(hi, rhi)
+		block := words[(s*nf+f)*rc : (s*nf+f+1)*rc]
+		codec.WordsToFloat64s(dst[olo-lo:ohi-lo], block[olo-rlo:ohi-rlo])
+	}
+}
+
+// codecCache is one fold worker's decompression state: the codec scratch and
+// the per-range decompressed words of the message currently in front of the
+// worker. The inbox enqueues every step of a batch back to back, so keying
+// on (message, generation) makes each worker decompress its block(s) once
+// per message, not once per step. Storage grows to the largest (ranges ×
+// block) shape seen and is reused — steady-state decoding allocates nothing.
+type codecCache struct {
+	dec   codec.Decoder
+	msg   *bulkMsg
+	gen   uint64
+	words [][]uint64
+	ready []bool
+}
+
+// rangeWords returns the decompressed words of sub-range r of m, reusing the
+// cached copy when this worker already expanded it for an earlier step.
+func (cc *codecCache) rangeWords(m *bulkMsg, r int) []uint64 {
+	if cc.msg != m || cc.gen != m.gen {
+		cc.msg, cc.gen = m, m.gen
+		nr := m.cbatch.NumRanges()
+		if cap(cc.ready) < nr {
+			cc.ready = make([]bool, nr)
+			cc.words = make([][]uint64, nr)
+		}
+		cc.ready = cc.ready[:nr]
+		cc.words = cc.words[:nr]
+		clear(cc.ready)
+	}
+	if !cc.ready[r] {
+		need := m.cbatch.RangeWords(r)
+		if cap(cc.words[r]) < need {
+			cc.words[r] = make([]uint64, need)
+		}
+		cc.words[r] = cc.words[r][:need]
+		// Parse token-scanned every block (codec.Validate), so this cannot
+		// fail on a routed message; the check is pure defence in depth.
+		if err := m.cbatch.DecompressRange(r, &cc.dec, cc.words[r]); err != nil {
+			log.Printf("melissa server: validated block failed to decompress: %v", err)
+			clear(cc.words[r])
+		}
+		cc.ready[r] = true
+	}
+	return cc.words[r]
 }
 
 // ciScan asks every fold worker to refresh its shard's cached worst-CI-width
@@ -253,6 +366,12 @@ type Proc struct {
 	lastMsg  map[int]time.Time
 	messages int64
 	folds    int64 // completed (group, timestep) updates; read concurrently
+
+	// Wire telemetry (read concurrently via Result.WireStats): bytes of bulk
+	// payloads as received vs what the same content costs in the raw framing.
+	wireBytes int64
+	rawBytes  int64
+	bulkGen   uint64 // generation stamp for pooled bulkMsg reuse (inbox-owned)
 
 	// Checkpoint pipeline. ckpt is guarded by ckptMu (the background writer
 	// and the inbox both update it). ckptJobs feeds completed snapshots to
@@ -505,6 +624,7 @@ func (p *Proc) stopWorkers() {
 func (p *Proc) foldWorker(i int, ch chan foldTask) {
 	defer p.workerWG.Done()
 	shardLo, shardHi := p.acc.ShardRange(i)
+	var cc codecCache // this worker's compressed-payload decode state
 	for task := range ch {
 		switch {
 		case task.gate != nil:
@@ -534,7 +654,7 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 				p.foldWG.Done()
 			}
 		case task.bulk != nil:
-			p.runBulkTask(i, shardLo, shardHi, task)
+			p.runBulkTask(i, shardLo, shardHi, &cc, task)
 		}
 	}
 }
@@ -542,7 +662,7 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 // runBulkTask executes one bulk task on worker i (owning partition-local
 // cells [shardLo, shardHi)): decode the shard's overlap of the piece, then
 // fold if this task completes the (group, timestep).
-func (p *Proc) runBulkTask(i, shardLo, shardHi int, task foldTask) {
+func (p *Proc) runBulkTask(i, shardLo, shardHi int, cc *codecCache, task foldTask) {
 	m := task.bulk
 	part := p.cfg.Partition
 	plo := m.cellLo() - part.Lo // piece range, partition-local
@@ -555,7 +675,7 @@ func (p *Proc) runBulkTask(i, shardLo, shardHi int, task foldTask) {
 		olo, ohi := max(plo, shardLo), min(phi, shardHi)
 		if olo < ohi {
 			for f := 0; f < nf; f++ {
-				m.decodeFieldRange(task.step, f, olo-plo, ohi-plo, asm.fields[f][olo:ohi])
+				m.decodeFieldRange(cc, task.step, f, olo-plo, ohi-plo, asm.fields[f][olo:ohi])
 			}
 		}
 		if task.fold {
@@ -571,7 +691,7 @@ func (p *Proc) runBulkTask(i, shardLo, shardHi int, task foldTask) {
 		// cells go payload → worker scratch → fold with no assembly copy.
 		sc := p.scratch[i]
 		for f := 0; f < nf; f++ {
-			m.decodeFieldRange(task.step, f, shardLo-plo, shardHi-plo, sc[f])
+			m.decodeFieldRange(cc, task.step, f, shardLo-plo, shardHi-plo, sc[f])
 		}
 		p.acc.ShardAccum(i).UpdateGroup(m.stepTimestep(task.step), sc[0], sc[1], sc[2:])
 	}
@@ -698,7 +818,7 @@ func (p *Proc) markStopped() {
 // path, with the buffer recycled immediately.
 func (p *Proc) dispatch(payload []byte) {
 	switch wire.PayloadType(payload) {
-	case wire.TypeData, wire.TypeDataBatch:
+	case wire.TypeData, wire.TypeDataBatch, wire.TypeDataBatchC:
 		p.handleBulk(payload)
 		return
 	}
@@ -740,6 +860,12 @@ func (p *Proc) handleHello(m *wire.Hello) {
 		P:          p.cfg.P,
 		ServerAddr: p.cfg.AllAddrs,
 		Partitions: p.cfg.Partitions,
+		FoldShards: p.cfg.FoldShards,
+	}
+	// Grant a capability only when this server opted in AND the client
+	// advertised it: either side lacking the codec keeps the raw format.
+	if p.cfg.WireCodec {
+		w.Caps = m.Caps & wire.CapWireCodec
 	}
 	if err := reply.Send(wire.Encode(w)); err != nil {
 		log.Printf("melissa server 0: welcome to group %d failed: %v", m.GroupID, err)
@@ -764,11 +890,16 @@ func (p *Proc) getBulk() *bulkMsg {
 // replays by overwriting.
 func (p *Proc) handleBulk(payload []byte) {
 	m := p.getBulk()
-	m.isBatch = wire.PayloadType(payload) == wire.TypeDataBatch
 	var err error
-	if m.isBatch {
+	switch wire.PayloadType(payload) {
+	case wire.TypeDataBatch:
+		m.kind = kindBatch
 		err = m.batch.Parse(payload)
-	} else {
+	case wire.TypeDataBatchC:
+		m.kind = kindCBatch
+		err = m.cbatch.Parse(payload)
+	default:
+		m.kind = kindData
 		err = m.data.Parse(payload)
 	}
 	if err != nil {
@@ -779,7 +910,16 @@ func (p *Proc) handleBulk(payload []byte) {
 	}
 	m.Init(payload, 1) // the inbox's own reference
 	m.tracked, m.applied = false, 0
+	p.bulkGen++
+	m.gen = p.bulkGen
 	atomic.AddInt64(&p.messages, 1)
+	atomic.AddInt64(&p.wireBytes, int64(len(payload)))
+	if m.kind == kindCBatch {
+		atomic.AddInt64(&p.rawBytes,
+			wire.DataBatchSizeBytes(m.numSteps(), m.numFields(), m.cellHi()-m.cellLo()))
+	} else {
+		atomic.AddInt64(&p.rawBytes, int64(len(payload)))
+	}
 	p.lastMsg[m.groupID()] = time.Now()
 
 	part := p.cfg.Partition

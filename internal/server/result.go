@@ -2,6 +2,7 @@ package server
 
 import (
 	"os"
+	"sync/atomic"
 
 	"melissa/internal/core"
 	"melissa/internal/mesh"
@@ -187,6 +188,40 @@ func (r *Result) Messages() int64 {
 	var total int64
 	for _, p := range r.procs {
 		total += p.Messages()
+	}
+	return total
+}
+
+// WireStats aggregates the bulk-data byte accounting of a study: how many
+// bytes actually crossed the wire versus what the same payloads cost in the
+// raw framing. With the codec off the two are equal; with it negotiated,
+// RawBytes−WireBytes is the transfer the compression avoided (the in-transit
+// bandwidth the Catalyst/ADIOS2 line of work is about limiting).
+type WireStats struct {
+	Messages  int64 // bulk data messages received
+	WireBytes int64 // payload bytes as received
+	RawBytes  int64 // what the same content costs uncompressed
+}
+
+// Saved returns the bytes the codec kept off the wire.
+func (ws WireStats) Saved() int64 { return ws.RawBytes - ws.WireBytes }
+
+// Ratio returns RawBytes/WireBytes (1.0 when nothing was compressed).
+func (ws WireStats) Ratio() float64 {
+	if ws.WireBytes == 0 {
+		return 1
+	}
+	return float64(ws.RawBytes) / float64(ws.WireBytes)
+}
+
+// WireStats totals the wire-byte telemetry across processes. Safe to read
+// while the server runs (the counters are atomics).
+func (r *Result) WireStats() WireStats {
+	var total WireStats
+	for _, p := range r.procs {
+		total.Messages += p.Messages()
+		total.WireBytes += atomic.LoadInt64(&p.wireBytes)
+		total.RawBytes += atomic.LoadInt64(&p.rawBytes)
 	}
 	return total
 }

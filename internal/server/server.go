@@ -164,6 +164,14 @@ type Config struct {
 	// reported values lag the stream by at most one report interval. Off by
 	// default.
 	ConvergenceReports bool
+	// WireCodec opts this server into the negotiated wire codec: Welcome
+	// replies grant wire.CapWireCodec to clients that advertised it, inviting
+	// them to ship field payloads as delta-XOR + entropy-coded frames cut on
+	// this process's fold-shard boundaries. Decoding compressed frames is
+	// unconditional (a mixed fleet stays interoperable either way); the knob
+	// only controls the advertisement. Results are bitwise identical with the
+	// codec on or off. Off by default.
+	WireCodec bool
 }
 
 func (c Config) withDefaults() Config {
@@ -226,6 +234,13 @@ func New(cfg Config) (*Server, error) {
 		recvs[rank] = r
 		addrs[rank] = r.Addr()
 	}
+	// Resolve every process's fold-shard count up front: the Welcome
+	// advertises the full vector so codec-enabled clients cut compressed
+	// payloads on the shard boundaries of whichever process they feed.
+	foldShards := make([]int, cfg.Procs)
+	for rank := 0; rank < cfg.Procs; rank++ {
+		foldShards[rank] = procConfig{Config: cfg, Partition: s.partitions[rank]}.foldWorkers()
+	}
 	for rank := 0; rank < cfg.Procs; rank++ {
 		s.procs = append(s.procs, newProc(procConfig{
 			Config:     cfg,
@@ -233,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 			Partition:  s.partitions[rank],
 			AllAddrs:   addrs,
 			Partitions: s.partitions,
+			FoldShards: foldShards,
 		}, recvs[rank]))
 	}
 	return s, nil

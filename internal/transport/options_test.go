@@ -49,6 +49,31 @@ func TestForStudySizing(t *testing.T) {
 	}
 }
 
+func TestForStudyCodecSizing(t *testing.T) {
+	// With the codec negotiated, buffers plan for the compressed frame size
+	// at the conservative divisor.
+	raw := ForStudyCodec(10000, 6, 4, false)
+	comp := ForStudyCodec(10000, 6, 4, true)
+	wantFrame := 8*10000*(6+2)*4/codecFrameDivisor + 4096
+	if comp.SendSockBytes != wantFrame || comp.FrameBufBytes != wantFrame {
+		t.Fatalf("codec sizing = %d/%d, want %d", comp.SendSockBytes, comp.FrameBufBytes, wantFrame)
+	}
+	if comp.SendSockBytes >= raw.SendSockBytes {
+		t.Fatalf("codec sizing %d not smaller than raw %d", comp.SendSockBytes, raw.SendSockBytes)
+	}
+
+	// codec=false is exactly ForStudy.
+	if raw != ForStudy(10000, 6, 4) {
+		t.Fatalf("ForStudyCodec(..., false) diverged from ForStudy")
+	}
+
+	// The 64 KiB floors still hold for small compressed frames.
+	small := ForStudyCodec(16, 2, 1, true)
+	if small.SendSockBytes != minSockBytes || small.FrameBufBytes != 1<<16 {
+		t.Fatalf("small codec study produced %+v", small)
+	}
+}
+
 // A TCP network built from ForStudy options must move study-shaped frames
 // end to end (the socket-buffer calls succeed and the sized bufio layers
 // frame correctly, including frames larger than the user-space buffer).

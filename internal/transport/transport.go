@@ -140,6 +140,22 @@ const (
 // process partition a connection will carry; non-positive inputs fall back
 // to 1 (p, batchSteps) or the defaults (cells).
 func ForStudy(cells, p, batchSteps int) Options {
+	return ForStudyCodec(cells, p, batchSteps, false)
+}
+
+// codecFrameDivisor is the planning ratio for codec-negotiated connections:
+// the delta-XOR+ZRLE codec measures ~1.7× on full-precision chaotic fields
+// and ~3.2× on single-precision-widened ones, so buffer sizing assumes a
+// conservative 2× — enough to halve the per-connection memory of a large
+// study without risking mid-frame stalls when a field barely compresses
+// (the 64 KiB floors still absorb small frames either way).
+const codecFrameDivisor = 2
+
+// ForStudyCodec is ForStudy with the wire codec taken into account: when
+// codec is true the expected frame size is divided by the conservative
+// compression ratio the codec guarantees on typical fields, shrinking the
+// kernel and user-space buffers a codec-negotiated connection pins.
+func ForStudyCodec(cells, p, batchSteps int, codec bool) Options {
 	opts := DefaultOptions()
 	if cells <= 0 {
 		return opts
@@ -152,6 +168,9 @@ func ForStudy(cells, p, batchSteps int) Options {
 	}
 	// 8 bytes per float plus a small allowance for headers/cell ranges.
 	frame := 8*cells*(p+2)*batchSteps + 4096
+	if codec {
+		frame = 8*cells*(p+2)*batchSteps/codecFrameDivisor + 4096
+	}
 	sock := frame
 	if sock < minSockBytes {
 		sock = minSockBytes

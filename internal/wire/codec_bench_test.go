@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"melissa/internal/enc"
+)
+
+// benchCorrelatedBatch builds the correlated client-side batch the codec
+// targets: a smooth spatial profile per member, computed at single precision
+// and widened to float64 (the common production-CFD case), 8 timesteps × 8
+// fields over one shard-sized cell range.
+func benchCorrelatedBatch(cells, steps, fields int) *DataBatch {
+	m := &DataBatch{GroupID: 7, CellLo: 0, CellHi: cells}
+	for s := 0; s < steps; s++ {
+		st := DataStep{Timestep: s}
+		for f := 0; f < fields; f++ {
+			vals := make([]float64, cells)
+			for c := range vals {
+				x := float64(c) / float64(cells)
+				v := math.Sin(0.3*float64(f)+2*math.Pi*x) + 0.1*float64(s+1)*float64(f)
+				vals[c] = float64(float32(v))
+			}
+			st.Fields = append(st.Fields, vals)
+		}
+		m.Steps = append(m.Steps, st)
+	}
+	return m
+}
+
+// BenchmarkClientEncode measures the sender-side cost of framing one group
+// batch, raw vs compressed, with the frame size as the B/group metric — the
+// client half of the BenchmarkServerIngestCodec numbers. Steady state must
+// not allocate: the compressor scratch and the pooled writer are reused.
+func BenchmarkClientEncode(b *testing.B) {
+	const cells, steps, fields = 4096, 8, 8
+	m := benchCorrelatedBatch(cells, steps, fields)
+	rangeLens := []int{cells / 4, cells / 4, cells / 4, cells - 3*(cells/4)}
+
+	b.Run("raw", func(b *testing.B) {
+		b.SetBytes(8 * cells * steps * fields)
+		var frameLen int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := enc.GetWriter(1 << 16)
+			EncodeTo(w, m)
+			frameLen = w.Len()
+			enc.PutWriter(w)
+		}
+		b.ReportMetric(float64(frameLen), "B/group")
+	})
+	b.Run("codec", func(b *testing.B) {
+		var bc BatchCompressor
+		b.SetBytes(8 * cells * steps * fields)
+		var frameLen int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := enc.GetWriter(1 << 16)
+			bc.EncodeTo(w, m, rangeLens)
+			frameLen = w.Len()
+			enc.PutWriter(w)
+		}
+		b.ReportMetric(float64(frameLen), "B/group")
+	})
+}

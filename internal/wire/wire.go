@@ -41,25 +41,49 @@ const (
 	// range in a single message, cutting per-message framing and syscall
 	// overhead on the simulation→server hot path.
 	TypeDataBatch
+	// TypeDataBatchC is the compressed form of TypeDataBatch (codecframe.go):
+	// the same timesteps and cell range, with the float payload delta-XOR'd
+	// and entropy-coded per shard-aligned cell sub-range. Only sent after
+	// both sides advertised CapWireCodec in the Hello/Welcome exchange.
+	TypeDataBatchC
+)
+
+// Capability bits exchanged in Hello.Caps/Welcome.Caps. A capability takes
+// effect only when both sides advertise it, so a peer built (or configured)
+// without it transparently falls back to the raw wire format.
+const (
+	// CapWireCodec: the peer can produce/consume TypeDataBatchC frames.
+	CapWireCodec uint32 = 1 << 0
 )
 
 // Hello announces a new simulation group. ReplyAddr is an address the
-// server dials back to deliver the Welcome.
+// server dials back to deliver the Welcome. Caps carries the capability
+// bitmask the client supports (always its full capability set — whether a
+// capability is *used* is decided by the server's answer).
 type Hello struct {
 	GroupID   int
 	SimRanks  int // parallel ranks per simulation (N of the N×M pattern)
 	ReplyAddr string
+	Caps      uint32
 }
 
 // Welcome describes the server layout to a freshly connected group: the
 // address and cell partition of every server process, plus the study shape
-// the client must conform to.
+// the client must conform to. Caps echoes the subset of the client's
+// capabilities the server accepts; a bit set here is a contract that the
+// server understands the corresponding frames. FoldShards carries each
+// server process's fold-worker shard count so codec-enabled clients can cut
+// their compressed payloads on shard boundaries (each fold worker then
+// decompresses exactly its own block); it is advisory — misaligned cuts
+// still decode, they just cost a worker a neighbouring block.
 type Welcome struct {
 	Timesteps  int
 	Cells      int
 	P          int
 	ServerAddr []string
 	Partitions []mesh.Partition
+	Caps       uint32
+	FoldShards []int
 }
 
 // Data is the bulk payload: the fields of all p+2 simulations of one group
@@ -167,6 +191,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.Int(m.GroupID)
 		w.Int(m.SimRanks)
 		w.String(m.ReplyAddr)
+		w.U32(m.Caps)
 	case *Welcome:
 		w.U8(uint8(TypeWelcome))
 		w.Int(m.Timesteps)
@@ -180,6 +205,11 @@ func EncodeTo(w *enc.Writer, msg any) {
 		for _, p := range m.Partitions {
 			w.Int(p.Lo)
 			w.Int(p.Hi)
+		}
+		w.U32(m.Caps)
+		w.U32(uint32(len(m.FoldShards)))
+		for _, s := range m.FoldShards {
+			w.Int(s)
 		}
 	case *Data:
 		w.U8(uint8(TypeData))
@@ -248,6 +278,7 @@ func Decode(payload []byte) (any, error) {
 		m.GroupID = r.Int()
 		m.SimRanks = r.Int()
 		m.ReplyAddr = r.String()
+		m.Caps = r.U32()
 		msg = m
 	case TypeWelcome:
 		m := &Welcome{}
@@ -267,6 +298,14 @@ func Decode(payload []byte) (any, error) {
 			for i := range m.Partitions {
 				m.Partitions[i].Lo = r.Int()
 				m.Partitions[i].Hi = r.Int()
+			}
+		}
+		m.Caps = r.U32()
+		nw := int(r.U32())
+		if r.Err() == nil && nw > 0 && nw < 1<<20 {
+			m.FoldShards = make([]int, nw)
+			for i := range m.FoldShards {
+				m.FoldShards[i] = r.Int()
 			}
 		}
 		msg = m
@@ -305,6 +344,11 @@ func Decode(payload []byte) (any, error) {
 			}
 		}
 		msg = m
+	case TypeDataBatchC:
+		// The compressed frame has its own parser (the reader-based decode
+		// cannot express the patched range table); delegate and skip the
+		// trailing-bytes epilogue, which DataBatchCView already enforces.
+		return DecodeDataBatchC(payload)
 	case TypeHeartbeat:
 		m := &Heartbeat{}
 		m.Sender = r.String()

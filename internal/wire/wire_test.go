@@ -19,7 +19,7 @@ func roundTrip(t *testing.T, msg any) any {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := &Hello{GroupID: 42, SimRanks: 4, ReplyAddr: "mem://17"}
+	in := &Hello{GroupID: 42, SimRanks: 4, ReplyAddr: "mem://17", Caps: CapWireCodec}
 	got := roundTrip(t, in)
 	if !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
@@ -33,6 +33,8 @@ func TestWelcomeRoundTrip(t *testing.T) {
 		P:          6,
 		ServerAddr: []string{"a:1", "b:2", "c:3"},
 		Partitions: []mesh.Partition{{Lo: 0, Hi: 3201280}, {Lo: 3201280, Hi: 6402560}, {Lo: 6402560, Hi: 9603840}},
+		Caps:       CapWireCodec,
+		FoldShards: []int{8, 8, 8},
 	}
 	got := roundTrip(t, in)
 	if !reflect.DeepEqual(got, in) {

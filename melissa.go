@@ -102,6 +102,14 @@ type StudyConfig struct {
 	// throughput once it reports congestion). Overrides BatchSteps;
 	// GroupTimeout is scaled by the cap.
 	MaxBatchSteps int
+	// WireCodec opts the study into the negotiated compressed field framing:
+	// every group delta-XOR + entropy compresses its data frames per
+	// fold-shard cell range, and the server's fold workers decompress their
+	// own sub-ranges in parallel. The statistics are bitwise identical either
+	// way (the codec is lossless on float64 bit patterns); the win is wire
+	// and buffer footprint — see FieldResult.WireStats for the measured
+	// savings of a run.
+	WireCodec bool
 
 	// MinMax, Threshold and HigherMoments enable the optional iterative
 	// statistics computed on the A and B samples (Sec. 4.1).
@@ -211,6 +219,15 @@ func (r *FieldResult) QuantileTupleCount() int64 { return r.res.QuantileTupleCou
 // MaxCIWidth returns the widest 95% confidence interval over all indices.
 func (r *FieldResult) MaxCIWidth() float64 { return r.res.MaxCIWidth(0.95) }
 
+// WireStats is the wire-byte telemetry of a study's bulk field traffic:
+// bytes as they crossed the wire versus what the same payloads cost in the
+// raw framing. Equal when the codec was off; the gap is the in-transit
+// bandwidth the negotiated compression avoided.
+type WireStats = server.WireStats
+
+// WireStats returns the study's aggregated wire-byte telemetry.
+func (r *FieldResult) WireStats() WireStats { return r.res.WireStats() }
+
 // CheckpointStats summarizes the server-side checkpoint activity of a study:
 // how many periodic/final checkpoints were written (and how many intervals
 // were skipped because a write was still in flight), the total wall time of
@@ -286,13 +303,14 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 			Quantiles:     cfg.Quantiles,
 			QuantileEps:   cfg.QuantileEps,
 		},
-		Network: transport.NewMemNetwork(transport.ForStudy(
-			cfg.Cells, len(cfg.Parameters), max(cfg.BatchSteps, cfg.MaxBatchSteps))),
+		Network: transport.NewMemNetwork(transport.ForStudyCodec(
+			cfg.Cells, len(cfg.Parameters), max(cfg.BatchSteps, cfg.MaxBatchSteps), cfg.WireCodec)),
 		Cluster:            cluster,
 		ServerProcs:        cfg.ServerProcs,
 		FoldWorkers:        cfg.FoldWorkers,
 		BatchSteps:         cfg.BatchSteps,
 		MaxBatchSteps:      cfg.MaxBatchSteps,
+		WireCodec:          cfg.WireCodec,
 		ServerNodes:        cfg.ServerNodes,
 		GroupNodes:         cfg.GroupNodes,
 		MaxRetries:         cfg.MaxRetries,

@@ -192,6 +192,54 @@ func TestRunStudyMultiProcMultiRank(t *testing.T) {
 	}
 }
 
+func TestRunStudyWireCodec(t *testing.T) {
+	// Same gradient study through the negotiated compressed framing: the
+	// statistics must come out just as correct, and the wire telemetry must
+	// show the field traffic cost less than its raw framing.
+	const cells, timesteps, groups = 30, 2, 200
+	cfg := StudyConfig{
+		Parameters: []Distribution{Normal{Mean: 0, Std: 1}, Normal{Mean: 0, Std: 1}},
+		Groups:     groups,
+		Seed:       5,
+		Cells:      cells,
+		Timesteps:  timesteps,
+		Simulation: SimFunc(func(row []float64, emit func(int, []float64) bool) {
+			f := make([]float64, cells)
+			for s := 0; s < timesteps; s++ {
+				for c := range f {
+					w := float64(c) / float64(cells-1)
+					f[c] = w*row[0] + (1-w)*row[1]
+				}
+				if !emit(s, f) {
+					return
+				}
+			}
+		}),
+		ServerProcs: 3,
+		SimRanks:    4,
+		BatchSteps:  2,
+		WireCodec:   true,
+	}
+	res, stats, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.GroupsFinished != groups {
+		t.Fatalf("finished %d", stats.GroupsFinished)
+	}
+	s0 := res.First(0, 0)
+	if s0[0] > 0.3 || s0[cells-1] < 0.8 {
+		t.Fatalf("ubiquitous S1 gradient wrong: S1(0)=%v S1(last)=%v", s0[0], s0[cells-1])
+	}
+	ws := res.WireStats()
+	if ws.Messages == 0 || ws.WireBytes >= ws.RawBytes || ws.Ratio() <= 1 {
+		t.Fatalf("codec study shows no wire savings: %+v", ws)
+	}
+	if ws.Saved() != ws.RawBytes-ws.WireBytes {
+		t.Fatalf("inconsistent telemetry: %+v", ws)
+	}
+}
+
 func TestRunStudyQuantiles(t *testing.T) {
 	// Per-cell output is w·x1 + (1−w)·x2 with x1, x2 ~ N(0,1): every cell's
 	// distribution is a centered Gaussian, so the ubiquitous median must be
