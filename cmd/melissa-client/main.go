@@ -19,6 +19,7 @@ import (
 	"log"
 	"time"
 
+	"melissa"
 	"melissa/internal/client"
 	"melissa/internal/studies"
 	"melissa/internal/transport"
@@ -41,10 +42,25 @@ func main() {
 	wireCodec := flag.Bool("wire-codec", false,
 		"compress field frames when the server advertises the codec (falls back to raw framing otherwise)")
 	connectTimeout := flag.Duration("connect-timeout", 10*time.Second, "handshake timeout")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry (/metrics, /status, /debug/pprof) on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
 	flag.Parse()
 
 	if *serverAddr == "" {
 		log.Fatal("melissa-client: -server is required")
+	}
+	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
+		log.Fatalf("melissa-client: -log-level: %v", err)
+	}
+	if *metricsAddr != "" {
+		ep, err := melissa.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			log.Fatalf("melissa-client: -metrics-addr: %v", err)
+		}
+		defer ep.Close()
+		log.Printf("melissa-client: telemetry at http://%s/metrics", ep.Addr())
 	}
 	st, err := studies.Build(*study, *nx, *ny, *cells, *timesteps)
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"melissa"
 	"melissa/internal/core"
 	"melissa/internal/harness"
 	"melissa/internal/launcher"
@@ -50,8 +51,15 @@ func main() {
 	groupTimeout := flag.Duration("group-timeout", time.Minute, "unresponsive-group timeout")
 	convergence := flag.Float64("converge-at", 0, "stop when every 95% CI is narrower than this (0 = off)")
 	out := flag.String("out", "out/launcher", "output directory for result fields")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry (/metrics, /status, /debug/pprof) on this address for the study's duration (empty = off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
 	flag.Parse()
 
+	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
+		log.Fatalf("melissa-launcher: -log-level: %v", err)
+	}
 	st, err := studies.Build(*study, *nx, *ny, *cells, *timesteps)
 	if err != nil {
 		log.Fatalf("melissa-launcher: %v", err)
@@ -78,6 +86,7 @@ func main() {
 		GroupNodes:        *groupNodes,
 		GroupTimeout:      *groupTimeout,
 		ConvergenceTarget: *convergence,
+		MetricsAddr:       *metricsAddr,
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir

@@ -22,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"melissa"
 	"melissa/internal/core"
 	"melissa/internal/quantiles"
 	"melissa/internal/server"
@@ -54,7 +55,23 @@ func main() {
 	quantileEps := flag.Float64("quantile-eps", quantiles.DefaultEpsilon, "quantile sketch rank error ε")
 	quantileBudget := flag.Float64("quantile-memory-budget", 0,
 		"per-cell-per-timestep sketch memory budget in bytes; derives ε (overrides -quantile-eps)")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry (/metrics, /status, /debug/pprof) on this address (empty = off)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
 	flag.Parse()
+
+	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
+		log.Fatalf("melissa-server: -log-level: %v", err)
+	}
+	if *metricsAddr != "" {
+		ep, err := melissa.ServeTelemetry(*metricsAddr)
+		if err != nil {
+			log.Fatalf("melissa-server: -metrics-addr: %v", err)
+		}
+		defer ep.Close()
+		log.Printf("melissa-server: telemetry at http://%s/metrics", ep.Addr())
+	}
 
 	eps := *quantileEps
 	if *quantileBudget > 0 {

@@ -49,6 +49,10 @@ type statOptions struct {
 	ckptDir   string
 	ckptEvery time.Duration
 	syncCkpt  bool
+
+	// metricsAddr serves the live telemetry endpoint for the study's
+	// duration (empty = off).
+	metricsAddr string
 }
 
 func main() {
@@ -77,7 +81,15 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-interval", 2*time.Second, "live-study checkpoint period")
 	syncCkpt := flag.Bool("sync-checkpoints", false,
 		"use the legacy quiesced checkpoint path (blocks ingest for the whole write) instead of the two-phase snapshot+background-write pipeline")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve live telemetry (/metrics, /status, /debug/pprof) on this address during the live study (empty = off)")
+	logLevel := flag.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
 	flag.Parse()
+
+	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
+		log.Fatalf("melissa-study: -log-level: %v", err)
+	}
 
 	eps := *quantileEps
 	if *quantileBudget > 0 {
@@ -92,6 +104,7 @@ func main() {
 		ckptDir:       *ckptDir,
 		ckptEvery:     *ckptEvery,
 		syncCkpt:      *syncCkpt,
+		metricsAddr:   *metricsAddr,
 	}
 	if *threshold != "" {
 		th, err := strconv.ParseFloat(*threshold, 64)
@@ -269,6 +282,7 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 		study.CheckpointInterval = opts.ckptEvery
 		study.SyncCheckpoints = opts.syncCkpt
 	}
+	study.MetricsAddr = opts.metricsAddr
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {

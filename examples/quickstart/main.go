@@ -9,9 +9,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"time"
 
 	"melissa"
 )
@@ -61,7 +64,47 @@ func main() {
 		}),
 		ServerProcs: 2,
 	}
+	// Live telemetry: every binary and RunStudy can expose /metrics
+	// (Prometheus), /status (JSON snapshot) and /debug/pprof while the study
+	// runs. Here we poll /status from a goroutine to watch progress.
+	ep, err := melissa.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	statusURL := "http://" + ep.Addr() + "/status"
+	stopPoll := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopPoll:
+				return
+			case <-tick.C:
+			}
+			resp, err := http.Get(statusURL)
+			if err != nil {
+				continue
+			}
+			var doc struct {
+				Study struct {
+					Running  int64 `json:"groups_running"`
+					Finished int64 `json:"groups_finished"`
+					Total    int64 `json:"groups_total"`
+				} `json:"study"`
+			}
+			json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if doc.Study.Total > 0 {
+				fmt.Printf("  [live /status] %d/%d groups finished, %d running\n",
+					doc.Study.Finished, doc.Study.Total, doc.Study.Running)
+			}
+		}
+	}()
+
 	field, stats, err := melissa.RunStudy(study)
+	close(stopPoll)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -202,6 +202,7 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 		}
 	}
 	c.effSteps = c.effectiveBatchSteps()
+	cBatchSteps.Observe(float64(c.effSteps))
 	if c.effSteps > 1 || c.MaxBatchSteps > 1 {
 		// Adaptive mode stays on the buffered path even at batch size 1 so
 		// a later growth decision needs no path switch mid-stream.
@@ -233,6 +234,8 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 			c.comp.EncodeTo(w, &c.oneStep, c.routeRangeLens(ri))
 			c.wireBytes += int64(w.Len())
 			c.rawBytes += wire.DataSizeBytes(len(cut), tr.Cells.Len())
+			cWireBytes.Add(int64(w.Len()))
+			cRawBytes.Add(wire.DataSizeBytes(len(cut), tr.Cells.Len()))
 		} else {
 			data := &wire.Data{
 				GroupID:  c.GroupID,
@@ -245,7 +248,10 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 			wire.EncodeTo(w, data)
 			c.wireBytes += int64(w.Len())
 			c.rawBytes += int64(w.Len())
+			cWireBytes.Add(int64(w.Len()))
+			cRawBytes.Add(int64(w.Len()))
 		}
+		cMessages.Inc()
 		err := c.senders[tr.ServerRank].Send(w.Bytes())
 		enc.PutWriter(w) // Send copied the payload
 		if err != nil {
@@ -326,6 +332,7 @@ func (c *Connection) effectiveBatchSteps() int {
 				}
 			}
 		}
+		cSendQueue.Set(worst)
 		c.local.Observe(worst)
 		ctl = &c.local
 	}
@@ -395,6 +402,9 @@ func (c *Connection) flushRoute(ri int) error {
 	}
 	c.wireBytes += int64(w.Len())
 	c.rawBytes += rawSize
+	cWireBytes.Add(int64(w.Len()))
+	cRawBytes.Add(rawSize)
+	cMessages.Inc()
 	err := c.senders[tr.ServerRank].Send(w.Bytes())
 	enc.PutWriter(w)
 	rb.steps = rb.steps[:0] // keep field storage for the next batch

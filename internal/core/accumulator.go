@@ -365,6 +365,22 @@ func (a *Accumulator) QuantileTupleCount() int64 {
 	return total
 }
 
+// QuantileTelemetry returns the retained sketch tuples and their byte
+// estimate across all cells and timesteps in one pass — the live mirror of
+// QuantileTupleCount/MemoryBytes surfaced as gauges while a study runs.
+// Must be called by the goroutine that owns the accumulator (a fold worker
+// for a shard): counting folds buffered inserts first.
+func (a *Accumulator) QuantileTelemetry() (tuples, bytes int64) {
+	for t := range a.steps {
+		if q := a.steps[t].quant; q != nil {
+			qt, qb := q.Telemetry()
+			tuples += qt
+			bytes += qb
+		}
+	}
+	return tuples, bytes
+}
+
 // CompactQuantiles runs the sketch compaction pass on every timestep's
 // quantile field (no-op when quantiles are disabled). Called before
 // checkpoint writes to shrink the encoded sketch state; see

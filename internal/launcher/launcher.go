@@ -9,13 +9,14 @@ package launcher
 
 import (
 	"fmt"
-	"log"
 	"math"
 	"time"
 
 	"melissa/internal/client"
 	"melissa/internal/core"
 	"melissa/internal/faults"
+	"melissa/internal/obs"
+	olog "melissa/internal/obs/log"
 	"melissa/internal/sampling"
 	"melissa/internal/scheduler"
 	"melissa/internal/server"
@@ -101,6 +102,10 @@ type Config struct {
 	TickInterval time.Duration
 	// ConnectTimeout bounds each group's handshake (default 5 s).
 	ConnectTimeout time.Duration
+	// MetricsAddr, when non-empty, serves the telemetry endpoint (/metrics,
+	// /status, /debug/pprof) on this address for the lifetime of Run.
+	// Use "127.0.0.1:0" to bind an ephemeral local port.
+	MetricsAddr string
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +177,7 @@ type groupState struct {
 	completedOK bool
 	givenUp     bool
 	abandoned   bool // replaced under the resample policy
+	loggedDone  bool // group-complete lifecycle event already emitted
 	lastRestart time.Time
 }
 
@@ -198,11 +204,14 @@ type Launcher struct {
 
 	lastHeartbeat time.Time
 	maxCI         map[int]float64 // per proc rank
+	// qtel holds each proc rank's last-reported {tuple count, sketch bytes}.
+	qtel map[int][2]int64
 	// batchCtl is the study-wide adaptive-batching controller (nil unless
 	// MaxBatchSteps > 1): reports feed it, group connections poll it.
 	batchCtl *client.BatchController
 	stats    Stats
 	start    time.Time
+	tel      studyTelemetry
 }
 
 // New validates the configuration and prepares a launcher.
@@ -229,6 +238,7 @@ func New(cfg Config) (*Launcher, error) {
 		groups:    make(map[int]*groupState),
 		done:      make(chan groupDone, 1024),
 		maxCI:     make(map[int]float64),
+		qtel:      make(map[int][2]int64),
 		reporters: reporters,
 	}
 	if cfg.MaxBatchSteps > 1 {
@@ -250,8 +260,23 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 	}
 	defer l.recv.Close()
 
+	if l.cfg.MetricsAddr != "" {
+		ep, err := obs.Serve(l.cfg.MetricsAddr, nil)
+		if err != nil {
+			return nil, l.stats, fmt.Errorf("launcher: telemetry endpoint: %w", err)
+		}
+		defer ep.Close()
+		olog.Infow("launcher.telemetry", "addr", ep.Addr())
+	}
+	obs.SetStatus("study", func() any { return l.snapshotStatus() })
+
 	l.start = time.Now()
+	l.tel.startNano.Store(l.start.UnixNano())
 	l.lastHeartbeat = l.start
+	olog.Infow("launcher.study_start",
+		"groups", l.cfg.Design.N(), "parameters", l.cfg.Design.P(),
+		"cells", l.cfg.Cells, "timesteps", l.cfg.Timesteps,
+		"server_procs", l.cfg.ServerProcs)
 	if err := l.startServer(false); err != nil {
 		return nil, l.stats, err
 	}
@@ -275,6 +300,7 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 			lastSample = now
 			l.sample(now)
 		}
+		l.publishStatus(now)
 		if l.convergedEarly() {
 			l.stats.Converged = true
 			l.cancelOutstanding(now)
@@ -291,6 +317,14 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 	l.srv.Stop(l.cfg.CheckpointDir != "")
 	l.stats.WallClock = time.Since(l.start)
 	l.stats.PeakNodes = l.cfg.Cluster.PeakUsedNodes()
+	l.publishStatus(time.Now())
+	olog.Infow("launcher.study_complete",
+		"wall_clock", l.stats.WallClock,
+		"groups_finished", l.stats.GroupsFinished,
+		"groups_given_up", l.stats.GroupsGivenUp,
+		"restarts", l.stats.Restarts,
+		"server_restarts", l.stats.ServerRestarts,
+		"converged", l.stats.Converged)
 	res := l.srv.Result()
 	return res, l.stats, nil
 }
@@ -375,7 +409,7 @@ func (l *Launcher) submitEligible(now time.Time) {
 			continue
 		}
 		if err := l.submitGroup(g, now); err != nil {
-			log.Printf("melissa launcher: submitting group %d: %v", id, err)
+			olog.Errorw("launcher.submit_failed", "group", id, "err", err)
 			g.givenUp = true
 			l.stats.GroupsGivenUp++
 			continue
@@ -489,7 +523,8 @@ func (l *Launcher) retryOrGiveUp(g *groupState, now time.Time, cause error) {
 	if g.attempts > l.cfg.MaxRetries {
 		g.givenUp = true
 		l.stats.GroupsGivenUp++
-		log.Printf("melissa launcher: giving up group %d after %d attempts (%v)", g.id, g.attempts, cause)
+		olog.Warnw("launcher.group_giveup",
+			"group", g.id, "attempts", g.attempts, "cause", cause)
 		return
 	}
 	if l.cfg.ResampleOnFailure {
@@ -538,6 +573,8 @@ func (l *Launcher) applyReport(rep *wire.Report) {
 		// occupancy steers every group's effective batch size.
 		l.batchCtl.Observe(rep.Backpressure)
 	}
+	l.tel.backpressure.Store(math.Float64bits(rep.Backpressure))
+	l.qtel[rep.ProcRank] = [2]int64{rep.TupleCount, rep.SketchBytes}
 	for _, id := range rep.Running {
 		if g := l.groups[id]; g != nil {
 			g.seen = true
@@ -547,6 +584,15 @@ func (l *Launcher) applyReport(rep *wire.Report) {
 		if g := l.groups[id]; g != nil {
 			g.seen = true
 			g.finishedBy[rep.ProcRank] = true
+			if !g.loggedDone && g.finished(l.reporters) {
+				g.loggedDone = true
+				// Debug: per-group cadence is too chatty for Info at
+				// paper scale (thousands of groups per study).
+				if olog.Default.Enabled(olog.Debug) {
+					olog.Debugw("launcher.group_complete",
+						"group", g.id, "attempts", g.attempts)
+				}
+			}
 		}
 	}
 	if rep.MaxCIWidth != 0 {
@@ -614,13 +660,14 @@ func (l *Launcher) checkServer(now time.Time) {
 	if l.cfg.HeartbeatTimeout <= 0 || now.Sub(l.lastHeartbeat) < l.cfg.HeartbeatTimeout {
 		return
 	}
-	log.Printf("melissa launcher: server heartbeat lost; restarting from checkpoint")
+	olog.Warnw("launcher.server_heartbeat_lost",
+		"silent_for", now.Sub(l.lastHeartbeat), "action", "restart from checkpoint")
 	l.restartServer(now)
 }
 
 func (l *Launcher) injectServerCrash(now time.Time) {
 	if l.cfg.Faults.ShouldCrashServer(now.Sub(l.start)) {
-		log.Printf("melissa launcher: injecting server crash")
+		olog.Infow("launcher.fault_server_crash", "elapsed", now.Sub(l.start))
 		l.srv.Stop(false) // crash: no final checkpoint
 		// Heartbeats cease; the next checkServer pass performs the restart.
 		// Speed it up by backdating the last heartbeat.
@@ -654,7 +701,7 @@ func (l *Launcher) restartServer(now time.Time) {
 		}
 	}
 	if err := l.startServer(true); err != nil {
-		log.Printf("melissa launcher: server restart failed: %v", err)
+		olog.Errorw("launcher.server_restart_failed", "err", err)
 	}
 }
 

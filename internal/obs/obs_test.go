@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("melissa_test_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // dropped: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("melissa_test_gauge", "level")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	// Get-or-create: same name returns the same metric.
+	if c2 := r.NewCounter("melissa_test_total", "events"); c2 != c {
+		t.Fatal("NewCounter with same name returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("melissa_test_seconds", "latency")
+	obs := []float64{0, 1e-9, 1e-6, 1.5e-3, 0.25, 3, 100}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != int64(len(obs)) {
+		t.Fatalf("count = %d, want %d", got, len(obs))
+	}
+	wantSum := 0.0
+	for _, v := range obs {
+		wantSum += v
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+	// Cumulative bucket counts must be non-decreasing and end at count.
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	lines := strings.Split(b.String(), "\n")
+	var bucketLines int
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "melissa_test_seconds_bucket") {
+			continue
+		}
+		bucketLines++
+		n, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative: %d after %d", n, prev)
+		}
+		prev = n
+	}
+	if bucketLines != histBuckets+1 {
+		t.Fatalf("bucket lines = %d, want %d", bucketLines, histBuckets+1)
+	}
+	if prev != int64(len(obs)) {
+		t.Fatalf("+Inf bucket = %d, want %d", prev, len(obs))
+	}
+}
+
+func TestVecSeries(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("melissa_test_drops_total", "drops", "reason")
+	v.With("decode").Add(3)
+	v.With("shape").Inc()
+	if v.With("decode") != v.With("decode") {
+		t.Fatal("With not stable for same label value")
+	}
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`melissa_test_drops_total{reason="decode"} 3`,
+		`melissa_test_drops_total{reason="shape"} 1`,
+		"# TYPE melissa_test_drops_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.NewGaugeFunc("melissa_test_live", "live value", func() float64 { return 1 })
+	r.NewGaugeFunc("melissa_test_live", "live value", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "melissa_test_live 2") {
+		t.Fatalf("gauge func not replaced:\n%s", b.String())
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("melissa_test_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge did not panic")
+		}
+	}()
+	r.NewGauge("melissa_test_conflict", "")
+}
+
+// TestExpositionFormat checks every sample line against the text-format
+// grammar: name{label="value"}... value.
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("melissa_a_total", "a\nmultiline \\help").Inc()
+	r.NewGauge("melissa_b", "").Set(math.Inf(1))
+	r.NewHistogram("melissa_c_seconds", "c").Observe(0.1)
+	r.NewGaugeVec("melissa_d", "d", "proc").With(`we"ird\`).Set(1)
+	var b strings.Builder
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("bad comment line %q", line)
+			}
+			if strings.Count(line, "\n") != 0 {
+				t.Fatalf("unescaped newline in %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		val := line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Fatalf("bad value %q in line %q", val, line)
+			}
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+			name = name[:i]
+		}
+		if strings.ContainsAny(name, " \t{}") {
+			t.Fatalf("bad metric name %q in line %q", name, line)
+		}
+	}
+}
+
+func TestEndpointServesMetricsStatusPprof(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("melissa_endpoint_total", "hits").Add(7)
+	r.SetStatus("study", func() any {
+		return map[string]any{"groups_finished": 3}
+	})
+	e, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	body := httpGet(t, "http://"+e.Addr()+"/metrics")
+	if !strings.Contains(body, "melissa_endpoint_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+e.Addr()+"/status")), &doc); err != nil {
+		t.Fatalf("/status is not JSON: %v", err)
+	}
+	study, ok := doc["study"].(map[string]any)
+	if !ok || study["groups_finished"] != float64(3) {
+		t.Fatalf("/status missing study section: %v", doc)
+	}
+	if _, ok := doc["process"].(map[string]any); !ok {
+		t.Fatalf("/status missing process section: %v", doc)
+	}
+
+	if body := httpGet(t, "http://"+e.Addr()+"/debug/pprof/cmdline"); body == "" {
+		t.Fatal("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+func TestEndpointConcurrentScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("melissa_concurrent_total", "")
+	h := r.NewHistogram("melissa_concurrent_seconds", "")
+	e, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer hammering the metrics while scrapes run
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				h.Observe(1e-6)
+			}
+		}
+	}()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				httpGet(t, "http://"+e.Addr()+"/metrics")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("melissa_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().NewHistogram("melissa_bench_seconds", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveSince(b *testing.B) {
+	h := NewRegistry().NewHistogram("melissa_bench_since_seconds", "")
+	t0 := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(t0)
+	}
+}
+
+func ExampleRegistry_WriteMetrics() {
+	r := NewRegistry()
+	r.NewCounter("melissa_example_total", "example events").Add(2)
+	var b strings.Builder
+	_ = r.WriteMetrics(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP melissa_example_total example events
+	// # TYPE melissa_example_total counter
+	// melissa_example_total 2
+}

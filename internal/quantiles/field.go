@@ -118,6 +118,18 @@ func (f *Field) TupleCount() int64 {
 	return total
 }
 
+// Telemetry returns TupleCount and MemoryBytes in one pass over the cells —
+// the live gauge pair surfaced while a study runs. Like TupleCount it must
+// only be called by the goroutine that owns the field (buffered inserts may
+// be folded).
+func (f *Field) Telemetry() (tuples, bytes int64) {
+	for i := range f.sketches {
+		tuples += int64(f.sketches[i].TupleCount())
+		bytes += f.sketches[i].MemoryBytes()
+	}
+	return tuples, bytes
+}
+
 // Compact runs the sketch compaction pass on every cell (see
 // Sketch.Compact): buffered inserts are folded, the summaries are compressed
 // to a fixpoint of the GK invariant, and working buffers are released.

@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"log"
 	"math"
 	"runtime"
 	"sync"
@@ -14,6 +13,7 @@ import (
 	"melissa/internal/core"
 	"melissa/internal/enc"
 	"melissa/internal/mesh"
+	olog "melissa/internal/obs/log"
 	"melissa/internal/transport"
 	"melissa/internal/wire"
 )
@@ -221,12 +221,14 @@ func (cc *codecCache) rangeWords(m *bulkMsg, r int) []uint64 {
 			cc.words[r] = make([]uint64, need)
 		}
 		cc.words[r] = cc.words[r][:need]
+		t0 := time.Now()
 		// Parse token-scanned every block (codec.Validate), so this cannot
 		// fail on a routed message; the check is pure defence in depth.
 		if err := m.cbatch.DecompressRange(r, &cc.dec, cc.words[r]); err != nil {
-			log.Printf("melissa server: validated block failed to decompress: %v", err)
+			olog.Errorw("server.codec_decompress_failed", "err", err)
 			clear(cc.words[r])
 		}
+		mCodecSeconds.ObserveSince(t0)
 		cc.ready[r] = true
 	}
 	return cc.words[r]
@@ -413,6 +415,23 @@ type Proc struct {
 	ciScansDone    atomic.Int64
 	ciScansStarted int64
 
+	// Quantile-sketch telemetry published by the same worker scans:
+	// qtelTuples[i]/qtelBytes[i] are shard i's retained tuples and byte
+	// estimate at its last scan. Summed into gauges, reports and /status —
+	// the live half of the PR-4 memory-governor plumbing.
+	qtelTuples []atomic.Int64
+	qtelBytes  []atomic.Int64
+
+	// Live status counters mirrored out of the inbox-owned tracker at the
+	// commit sites, so /status and the per-proc gauges can read group
+	// progress without touching the maps (which only the inbox may read).
+	statRunning  atomic.Int64
+	statFinished atomic.Int64
+
+	// met is this process's resolved per-rank gauge set and drop-log
+	// rate limiter.
+	met procMetrics
+
 	launcher     transport.Sender // lazily dialed
 	lastReport   time.Time
 	lastCkpt     time.Time
@@ -462,6 +481,7 @@ func newProc(cfg procConfig, recv transport.Receiver) *Proc {
 		timedOutSeen: make(map[int]bool),
 		ckptJobs:     make(chan *ckptJob, ckptJobBuffers),
 		ckptFree:     make(chan *ckptJob, ckptJobBuffers),
+		met:          newProcMetrics(cfg.Rank),
 	}
 }
 
@@ -549,7 +569,12 @@ func (p *Proc) run() {
 			p.lastReport = now
 			p.sendHeartbeat(now)
 			p.sendReport(false)
+			// Keep the convergence/sketch telemetry fresh even when no
+			// launcher consumes reports: the scan rides the fold pipeline
+			// and publishes the per-shard widths and sketch gauges.
+			p.enqueueScanIfIdle(p.cfg.CILevel)
 		}
+		p.publishStatus()
 		if p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval {
 			p.lastCkpt = now
 			p.startCheckpoint(false)
@@ -566,6 +591,8 @@ func (p *Proc) run() {
 func (p *Proc) startWorkers() {
 	p.workCh = make([]chan foldTask, p.workers)
 	p.ciWidths = make([]atomic.Uint64, p.workers)
+	p.qtelTuples = make([]atomic.Int64, p.workers)
+	p.qtelBytes = make([]atomic.Int64, p.workers)
 	p.scratch = make([][][]float64, p.workers)
 	for i := range p.workCh {
 		lo, hi := p.acc.ShardRange(i)
@@ -595,6 +622,52 @@ func (p *Proc) backpressure() float64 {
 		return 0
 	}
 	return float64(queued) / float64(capacity)
+}
+
+// publishStatus refreshes this process's per-rank gauges from the published
+// atomics. Called once per run-loop iteration; every update is an atomic
+// store over values already maintained elsewhere, so the inbox pays a few
+// tens of nanoseconds per pass and never allocates.
+func (p *Proc) publishStatus() {
+	p.met.backpressure.Set(p.backpressure())
+	p.met.groupsRunning.SetInt(p.statRunning.Load())
+	p.met.groupsFinished.SetInt(p.statFinished.Load())
+	p.met.maxCIWidth.Set(p.publishedCIWidth())
+}
+
+// quantileTelemetrySums aggregates the per-shard sketch telemetry published
+// by the worker scans. Safe from any goroutine.
+func (p *Proc) quantileTelemetrySums() (tuples, bytes int64) {
+	for i := range p.qtelTuples {
+		tuples += p.qtelTuples[i].Load()
+		bytes += p.qtelBytes[i].Load()
+	}
+	return tuples, bytes
+}
+
+// commitTracked is tracker.Commit plus the live status mirror: the
+// inbox-owned tracker stays the source of truth, while the atomic counters
+// let gauges and /status read group progress mid-study. Group completion is
+// a study lifecycle event (Sec. 4.2.2's "finished" list) — logged at Debug
+// here because every process sees it; the launcher owns the Info-level
+// study event.
+func (p *Proc) commitTracked(group, step int) {
+	before := p.tracker.State(group)
+	p.tracker.Commit(group, step)
+	after := p.tracker.State(group)
+	if after == before {
+		return
+	}
+	if before == core.GroupUnknown {
+		p.statRunning.Add(1)
+	}
+	if after == core.GroupFinished {
+		p.statRunning.Add(-1)
+		p.statFinished.Add(1)
+		if olog.Default.Enabled(olog.Debug) {
+			olog.Debugw("server.group_complete", "rank", p.cfg.Rank, "group", group)
+		}
+	}
 }
 
 // stopWorkers closes the work channels (workers drain what is queued —
@@ -630,10 +703,20 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 		case task.gate != nil:
 			<-task.gate
 		case task.scan != nil:
-			w := p.acc.ShardAccum(i).MaxCIWidth(task.scan.level)
+			a := p.acc.ShardAccum(i)
+			w := a.MaxCIWidth(task.scan.level)
 			p.ciWidths[i].Store(math.Float64bits(w))
+			qt, qb := a.QuantileTelemetry()
+			p.qtelTuples[i].Store(qt)
+			p.qtelBytes[i].Store(qb)
 			if task.scan.remaining.Add(-1) == 0 {
 				p.ciScansDone.Add(1)
+				// Last shard in: fold the per-shard telemetry into the
+				// process gauges (the scan already ordered every shard's
+				// numbers behind the same fold prefix).
+				tuples, bytes := p.quantileTelemetrySums()
+				p.met.quantileTuples.SetInt(tuples)
+				p.met.sketchBytes.SetInt(bytes)
 				p.foldWG.Done()
 			}
 		case task.ckpt != nil:
@@ -648,7 +731,9 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 			t0 := time.Now()
 			p.acc.ShardAccum(i).CompactQuantiles()
 			p.acc.SnapshotShard(i, job.snap)
-			job.noteStall(time.Since(t0))
+			d := time.Since(t0)
+			job.noteStall(d)
+			mCkptSnapshotSeconds.Observe(d.Seconds())
 			if task.ckpt.remaining.Add(-1) == 0 {
 				p.ckptJobs <- job
 				p.foldWG.Done()
@@ -674,14 +759,19 @@ func (p *Proc) runBulkTask(i, shardLo, shardHi int, cc *codecCache, task foldTas
 		// beyond the task channels is needed.
 		olo, ohi := max(plo, shardLo), min(phi, shardHi)
 		if olo < ohi {
+			t0 := time.Now()
 			for f := 0; f < nf; f++ {
 				m.decodeFieldRange(cc, task.step, f, olo-plo, ohi-plo, asm.fields[f][olo:ohi])
 			}
+			mDecodeSeconds.ObserveSince(t0)
 		}
 		if task.fold {
+			t0 := time.Now()
 			p.acc.UpdateGroupShard(i, asm.step, asm.fields[0], asm.fields[1], asm.fields[2:])
+			mFoldSeconds.ObserveSince(t0)
 			if asm.remaining.Add(-1) == 0 {
 				atomic.AddInt64(&p.folds, 1)
+				mFolds.Inc()
 				p.asmPool.Put(asm)
 				p.foldWG.Done()
 			}
@@ -690,10 +780,14 @@ func (p *Proc) runBulkTask(i, shardLo, shardHi int, cc *codecCache, task foldTas
 		// Direct path: the piece covers the whole partition, so the shard's
 		// cells go payload → worker scratch → fold with no assembly copy.
 		sc := p.scratch[i]
+		t0 := time.Now()
 		for f := 0; f < nf; f++ {
 			m.decodeFieldRange(cc, task.step, f, shardLo-plo, shardHi-plo, sc[f])
 		}
+		t1 := time.Now()
 		p.acc.ShardAccum(i).UpdateGroup(m.stepTimestep(task.step), sc[0], sc[1], sc[2:])
+		mDecodeSeconds.Observe(t1.Sub(t0).Seconds())
+		mFoldSeconds.ObserveSince(t1)
 	}
 	if m.Release() {
 		p.retireBulk(m)
@@ -706,6 +800,7 @@ func (p *Proc) runBulkTask(i, shardLo, shardHi int, cc *codecCache, task foldTas
 func (p *Proc) retireBulk(m *bulkMsg) {
 	if m.applied > 0 {
 		atomic.AddInt64(&p.folds, int64(m.applied))
+		mFolds.Add(int64(m.applied))
 	}
 	if m.tracked {
 		p.foldWG.Done()
@@ -825,7 +920,7 @@ func (p *Proc) dispatch(payload []byte) {
 	msg, err := wire.Decode(payload)
 	transport.Recycle(payload)
 	if err != nil {
-		log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+		p.dropFrame("undecodable", dropKeyNoGroup, "err", err)
 		return
 	}
 	switch m := msg.(type) {
@@ -836,7 +931,7 @@ func (p *Proc) dispatch(payload []byte) {
 	case *wire.Heartbeat:
 		// Clients may ping data endpoints; nothing to do.
 	default:
-		log.Printf("melissa server %d: unexpected message %T", p.cfg.Rank, msg)
+		p.dropFrame("unexpected_type", dropKeyNoGroup, "type", fmt.Sprintf("%T", msg))
 	}
 }
 
@@ -845,15 +940,18 @@ func (p *Proc) dispatch(payload []byte) {
 // open direct connections to every relevant server process.
 func (p *Proc) handleHello(m *wire.Hello) {
 	if p.cfg.Rank != 0 {
-		log.Printf("melissa server %d: Hello sent to non-main process", p.cfg.Rank)
+		olog.Warnw("server.hello_misrouted", "rank", p.cfg.Rank, "group", m.GroupID)
 		return
 	}
 	reply, err := p.cfg.Network.Dial(m.ReplyAddr)
 	if err != nil {
-		log.Printf("melissa server 0: cannot reach group %d at %s: %v", m.GroupID, m.ReplyAddr, err)
+		olog.Warnw("server.group_unreachable", "group", m.GroupID, "addr", m.ReplyAddr, "err", err)
 		return
 	}
 	defer reply.Close()
+	if olog.Default.Enabled(olog.Debug) {
+		olog.Debugw("server.group_connect", "group", m.GroupID, "addr", m.ReplyAddr, "caps", m.Caps)
+	}
 	w := &wire.Welcome{
 		Timesteps:  p.cfg.Timesteps,
 		Cells:      p.cfg.Cells,
@@ -868,7 +966,7 @@ func (p *Proc) handleHello(m *wire.Hello) {
 		w.Caps = m.Caps & wire.CapWireCodec
 	}
 	if err := reply.Send(wire.Encode(w)); err != nil {
-		log.Printf("melissa server 0: welcome to group %d failed: %v", m.GroupID, err)
+		olog.Warnw("server.welcome_failed", "group", m.GroupID, "err", err)
 	}
 }
 
@@ -889,6 +987,7 @@ func (p *Proc) getBulk() *bulkMsg {
 // (group, timestep) was already committed, and partial assemblies tolerate
 // replays by overwriting.
 func (p *Proc) handleBulk(payload []byte) {
+	t0 := time.Now()
 	m := p.getBulk()
 	var err error
 	switch wire.PayloadType(payload) {
@@ -905,7 +1004,7 @@ func (p *Proc) handleBulk(payload []byte) {
 	if err != nil {
 		p.bulkPool.Put(m)
 		transport.Recycle(payload)
-		log.Printf("melissa server %d: dropping undecodable message: %v", p.cfg.Rank, err)
+		p.dropFrame("undecodable", dropKeyNoGroup, "err", err)
 		return
 	}
 	m.Init(payload, 1) // the inbox's own reference
@@ -913,23 +1012,28 @@ func (p *Proc) handleBulk(payload []byte) {
 	p.bulkGen++
 	m.gen = p.bulkGen
 	atomic.AddInt64(&p.messages, 1)
+	mMessages.Inc()
 	atomic.AddInt64(&p.wireBytes, int64(len(payload)))
+	mWireBytes.Add(int64(len(payload)))
+	var raw int64
 	if m.kind == kindCBatch {
-		atomic.AddInt64(&p.rawBytes,
-			wire.DataBatchSizeBytes(m.numSteps(), m.numFields(), m.cellHi()-m.cellLo()))
+		raw = wire.DataBatchSizeBytes(m.numSteps(), m.numFields(), m.cellHi()-m.cellLo())
 	} else {
-		atomic.AddInt64(&p.rawBytes, int64(len(payload)))
+		raw = int64(len(payload))
 	}
-	p.lastMsg[m.groupID()] = time.Now()
+	atomic.AddInt64(&p.rawBytes, raw)
+	mRawBytes.Add(raw)
+	p.lastMsg[m.groupID()] = t0
 
 	part := p.cfg.Partition
 	switch {
 	case m.numFields() != p.cfg.P+2:
-		log.Printf("melissa server %d: group %d sent %d fields, want %d — dropped",
-			p.cfg.Rank, m.groupID(), m.numFields(), p.cfg.P+2)
+		p.dropFrame("field_count", uint64(m.groupID()),
+			"group", m.groupID(), "fields", m.numFields(), "want", p.cfg.P+2)
 	case m.cellLo() < part.Lo || m.cellHi() > part.Hi:
-		log.Printf("melissa server %d: group %d piece [%d,%d) outside partition [%d,%d) — dropped",
-			p.cfg.Rank, m.groupID(), m.cellLo(), m.cellHi(), part.Lo, part.Hi)
+		p.dropFrame("cell_bounds", uint64(m.groupID()),
+			"group", m.groupID(), "lo", m.cellLo(), "hi", m.cellHi(),
+			"part_lo", part.Lo, "part_hi", part.Hi)
 	default:
 		for s := 0; s < m.numSteps(); s++ {
 			p.routeStep(m, s)
@@ -938,6 +1042,7 @@ func (p *Proc) handleBulk(payload []byte) {
 	if m.Release() {
 		p.retireBulk(m)
 	}
+	mRouteSeconds.ObserveSince(t0)
 }
 
 // routeStep routes one (piece, timestep) of a retained bulk message. A
@@ -951,8 +1056,8 @@ func (p *Proc) routeStep(m *bulkMsg, s int) {
 	if step < 0 || step >= p.cfg.Timesteps {
 		// Out-of-range timesteps would panic the accumulator on a worker
 		// goroutine; reject them here with the rest of the shape checks.
-		log.Printf("melissa server %d: group %d timestep %d outside study [0,%d) — dropped",
-			p.cfg.Rank, group, step, p.cfg.Timesteps)
+		p.dropFrame("timestep_range", uint64(group),
+			"group", group, "timestep", step, "timesteps", p.cfg.Timesteps)
 		return
 	}
 	if !p.tracker.ShouldApply(group, step) {
@@ -963,7 +1068,7 @@ func (p *Proc) routeStep(m *bulkMsg, s int) {
 	key := groupStep{group, step}
 	asm, pending := p.pending[key]
 	if !pending && lo == 0 && hi == part.Len() {
-		p.tracker.Commit(group, step)
+		p.commitTracked(group, step)
 		m.applied++
 		p.enqueueBulk(m, foldTask{bulk: m, step: s, fold: true})
 		return
@@ -981,7 +1086,7 @@ func (p *Proc) routeStep(m *bulkMsg, s int) {
 	}
 	task := foldTask{bulk: m, step: s, asm: asm}
 	if asm.missing == 0 {
-		p.tracker.Commit(group, step)
+		p.commitTracked(group, step)
 		delete(p.pending, key)
 		task.fold = true
 		asm.remaining.Store(int32(len(p.workCh)))
@@ -1038,6 +1143,10 @@ func (p *Proc) sendReport(final bool) {
 		// fold-pipeline queues are right now (0 after the stop-path quiesce).
 		Backpressure: p.backpressure(),
 	}
+	// Live sketch telemetry from the last completed worker scan, so the
+	// launcher (and a future memory governor) sees quantile memory without
+	// quiescing the pool.
+	rep.TupleCount, rep.SketchBytes = p.quantileTelemetrySums()
 	if p.cfg.GroupTimeout > 0 {
 		cutoff := time.Now().Add(-p.cfg.GroupTimeout)
 		for _, g := range rep.Running {
@@ -1097,7 +1206,9 @@ func (p *Proc) beginCheckpoint(block bool) bool {
 		p.ckptMu.Lock()
 		p.ckpt.Skipped++
 		p.ckptMu.Unlock()
-		log.Printf("melissa server %d: checkpoint skipped: previous write still in flight", p.cfg.Rank)
+		mCkptSkips.Inc()
+		olog.Warnw("server.checkpoint_skip", "rank", p.cfg.Rank,
+			"reason", "previous write still in flight")
 		return false
 	}
 	job.start = time.Now()
@@ -1157,7 +1268,7 @@ func (p *Proc) writeSnapshot(job *ckptJob) {
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	sw, err := checkpoint.NewStreamWriter(path, checkpoint.Version)
 	if err != nil {
-		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+		olog.Errorw("server.checkpoint_failed", "rank", p.cfg.Rank, "err", err)
 		return
 	}
 	err = sw.Section(func(w *enc.Writer) {
@@ -1178,6 +1289,7 @@ func (p *Proc) writeSnapshot(job *ckptJob) {
 	} else {
 		sw.Abort()
 	}
+	elapsed := time.Since(job.start)
 	p.ckptMu.Lock()
 	// The snapshot copies stalled the fold pipeline whether or not the
 	// write then reached the disk; charge them unconditionally so a failing
@@ -1185,14 +1297,20 @@ func (p *Proc) writeSnapshot(job *ckptJob) {
 	p.ckpt.StallDuration += time.Duration(job.stallNs.Load())
 	if err == nil {
 		p.ckpt.Writes++
-		p.ckpt.WriteDuration += time.Since(job.start)
+		p.ckpt.WriteDuration += elapsed
 		p.ckpt.LastBytes = written
 		p.ckpt.BytesWritten += written
 	}
 	p.ckptMu.Unlock()
 	if err != nil {
-		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+		olog.Errorw("server.checkpoint_failed", "rank", p.cfg.Rank, "err", err)
+		return
 	}
+	mCkptWrites.Inc()
+	mCkptBytes.Add(written)
+	mCkptWriteSeconds.Observe(elapsed.Seconds())
+	olog.Infow("server.checkpoint_commit", "rank", p.cfg.Rank, "bytes", written,
+		"elapsed", elapsed, "stall", time.Duration(job.stallNs.Load()))
 }
 
 // writeCheckpointSync is the legacy quiesced checkpoint: the run loop blocks
@@ -1215,6 +1333,7 @@ func (p *Proc) writeCheckpointSync() {
 		p.tracker.Encode(w)
 	})
 	elapsed := time.Since(start)
+	var size int64
 	p.ckptMu.Lock()
 	// Like the pipelined path, the stall is charged whether or not the file
 	// reached the disk — the run loop was blocked either way.
@@ -1222,15 +1341,22 @@ func (p *Proc) writeCheckpointSync() {
 	if err == nil {
 		p.ckpt.Writes++
 		p.ckpt.WriteDuration += elapsed
-		if info := checkpointSize(path); info > 0 {
-			p.ckpt.LastBytes = info
-			p.ckpt.BytesWritten += info
+		if size = checkpointSize(path); size > 0 {
+			p.ckpt.LastBytes = size
+			p.ckpt.BytesWritten += size
 		}
 	}
 	p.ckptMu.Unlock()
 	if err != nil {
-		log.Printf("melissa server %d: checkpoint failed: %v", p.cfg.Rank, err)
+		olog.Errorw("server.checkpoint_failed", "rank", p.cfg.Rank, "err", err)
+		return
 	}
+	mCkptWrites.Inc()
+	mCkptBytes.Add(size)
+	mCkptWriteSeconds.Observe(elapsed.Seconds())
+	mCkptSnapshotSeconds.Observe(elapsed.Seconds()) // quiesced path: the stall is the write
+	olog.Infow("server.checkpoint_commit", "rank", p.cfg.Rank, "bytes", size,
+		"elapsed", elapsed, "stall", elapsed)
 }
 
 // restore loads the last checkpoint, if any (Sec. 4.2.3 server restart).
@@ -1240,10 +1366,10 @@ func (p *Proc) writeCheckpointSync() {
 func (p *Proc) restore() error {
 	if p.cfg.CheckpointDir != "" && p.cfg.Rank == 0 {
 		if removed, err := checkpoint.SweepTemps(p.cfg.CheckpointDir); err != nil {
-			log.Printf("melissa server %d: temp-file sweep: %v", p.cfg.Rank, err)
+			olog.Warnw("server.temp_sweep_failed", "rank", p.cfg.Rank, "err", err)
 		} else if len(removed) > 0 {
-			log.Printf("melissa server %d: swept %d stale checkpoint temp file(s): %v",
-				p.cfg.Rank, len(removed), removed)
+			olog.Infow("server.temp_sweep", "rank", p.cfg.Rank,
+				"count", len(removed), "files", removed)
 		}
 	}
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
@@ -1269,8 +1395,7 @@ func (p *Proc) restore() error {
 	if version < checkpoint.Version && len(p.cfg.Stats.Quantiles) > 0 {
 		// The restored accumulator adopts the checkpoint's statistics set;
 		// a pre-quantile file cannot resurrect sketch state mid-study.
-		log.Printf("melissa server %d: v%d checkpoint carries no quantile state; quantiles disabled after restore",
-			p.cfg.Rank, version)
+		olog.Warnw("server.restore_no_quantiles", "rank", p.cfg.Rank, "version", version)
 	}
 	tracker, err := core.DecodeGroupTracker(r)
 	if err != nil {
@@ -1279,6 +1404,8 @@ func (p *Proc) restore() error {
 	p.acc = acc
 	p.workers = acc.NumShards()
 	p.tracker = tracker
+	p.statRunning.Store(int64(len(tracker.Running())))
+	p.statFinished.Store(int64(len(tracker.Finished())))
 	p.ckpt.Reads++
 	p.ckpt.ReadDuration += time.Since(start)
 	return nil

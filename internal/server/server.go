@@ -292,6 +292,7 @@ func (s *Server) Start() {
 		panic("server: double Start")
 	}
 	s.started = true
+	s.RegisterStatus()
 	for _, p := range s.procs {
 		p.startWorkers()
 	}

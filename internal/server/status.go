@@ -1,0 +1,172 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+
+	"melissa/internal/obs"
+	"melissa/internal/transport"
+)
+
+// Status is the live study snapshot served at /status: every end-of-run
+// quantity of Result (wire stats, checkpoint stats, quantile memory,
+// convergence width) mirrored from atomics and mutex-guarded state, so it is
+// safe to assemble at scrape time while the fold pipeline runs at full
+// speed. Maps owned by the inbox goroutines are never touched.
+type Status struct {
+	// Shape of the study.
+	Cells     int `json:"cells"`
+	Timesteps int `json:"timesteps"`
+	P         int `json:"p"`
+	Procs     int `json:"procs"`
+
+	// Aggregate progress. Every process tracks groups independently, so the
+	// aggregate takes the conservative view: a group counts as finished only
+	// when the slowest process has finished it (min), and as running when any
+	// process still sees it running (max).
+	Messages       int64 `json:"messages"`
+	Folds          int64 `json:"folds"`
+	GroupsRunning  int64 `json:"groups_running"`
+	GroupsFinished int64 `json:"groups_finished"`
+
+	// MaxCIWidth is the worst published confidence-interval width across
+	// processes; null until a convergence scan has completed.
+	MaxCIWidth *float64 `json:"max_ci_width"`
+
+	// Backpressure is the worst fold-queue occupancy fraction [0,1] across
+	// processes (the adaptive-batching congestion hint).
+	Backpressure float64 `json:"backpressure"`
+
+	// Wire traffic and the compression ratio raw/wire (1 when the codec is
+	// off or no traffic arrived yet).
+	WireBytes        int64   `json:"wire_bytes"`
+	RawBytes         int64   `json:"raw_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+
+	// Quantile sketch memory from the last completed telemetry scan.
+	QuantileTuples      int64 `json:"quantile_tuples"`
+	QuantileSketchBytes int64 `json:"quantile_sketch_bytes"`
+
+	// Checkpoint pipeline counters (summed over processes).
+	CheckpointWrites       int     `json:"checkpoint_writes"`
+	CheckpointSkipped      int     `json:"checkpoint_skipped"`
+	CheckpointStallSeconds float64 `json:"checkpoint_stall_seconds"`
+	CheckpointWriteSeconds float64 `json:"checkpoint_write_seconds"`
+	CheckpointBytes        int64   `json:"checkpoint_bytes"`
+
+	// Payload pool balance (process-wide transport counters): buffers out
+	// vs returned, and live payload references.
+	PoolOutstanding int64 `json:"pool_outstanding"`
+	PoolRefsActive  int64 `json:"pool_refs_active"`
+
+	// Per-process detail.
+	ProcStatus []ProcStatus `json:"proc"`
+}
+
+// ProcStatus is one server process's slice of the snapshot.
+type ProcStatus struct {
+	Rank           int      `json:"rank"`
+	CellLo         int      `json:"cell_lo"`
+	CellHi         int      `json:"cell_hi"`
+	FoldWorkers    int      `json:"fold_workers"`
+	Messages       int64    `json:"messages"`
+	Folds          int64    `json:"folds"`
+	GroupsRunning  int64    `json:"groups_running"`
+	GroupsFinished int64    `json:"groups_finished"`
+	Backpressure   float64  `json:"backpressure"`
+	MaxCIWidth     *float64 `json:"max_ci_width"`
+	QuantileTuples int64    `json:"quantile_tuples"`
+	SketchBytes    int64    `json:"quantile_sketch_bytes"`
+}
+
+// finiteOrNil maps the pre-first-scan +Inf sentinel to a JSON null (Inf is
+// not representable in JSON).
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// Status assembles the live snapshot. Safe to call at any time, from any
+// goroutine, including while ingest runs.
+func (s *Server) Status() Status {
+	st := Status{
+		Cells:     s.cfg.Cells,
+		Timesteps: s.cfg.Timesteps,
+		P:         s.cfg.P,
+		Procs:     len(s.procs),
+	}
+	worstCI := math.Inf(-1)
+	anyScan := false
+	firstOwner := true
+	for _, p := range s.procs {
+		w := p.publishedCIWidth()
+		tuples, bytes := p.quantileTelemetrySums()
+		ps := ProcStatus{
+			Rank:           p.cfg.Rank,
+			CellLo:         p.cfg.Partition.Lo,
+			CellHi:         p.cfg.Partition.Hi,
+			FoldWorkers:    p.workers,
+			Messages:       p.Messages(),
+			Folds:          p.Folds(),
+			GroupsRunning:  p.statRunning.Load(),
+			GroupsFinished: p.statFinished.Load(),
+			Backpressure:   p.backpressure(),
+			MaxCIWidth:     finiteOrNil(w),
+			QuantileTuples: tuples,
+			SketchBytes:    bytes,
+		}
+		st.ProcStatus = append(st.ProcStatus, ps)
+
+		st.Messages += ps.Messages
+		st.Folds += ps.Folds
+		if p.cfg.Partition.Lo < p.cfg.Partition.Hi {
+			if ps.GroupsRunning > st.GroupsRunning {
+				st.GroupsRunning = ps.GroupsRunning
+			}
+			if firstOwner || ps.GroupsFinished < st.GroupsFinished {
+				st.GroupsFinished = ps.GroupsFinished
+			}
+			firstOwner = false
+		}
+		if ps.Backpressure > st.Backpressure {
+			st.Backpressure = ps.Backpressure
+		}
+		if !math.IsInf(w, 1) {
+			anyScan = true
+		}
+		if w > worstCI {
+			worstCI = w
+		}
+		st.QuantileTuples += tuples
+		st.QuantileSketchBytes += bytes
+		st.WireBytes += atomic.LoadInt64(&p.wireBytes)
+		st.RawBytes += atomic.LoadInt64(&p.rawBytes)
+
+		ck := p.Checkpoints()
+		st.CheckpointWrites += ck.Writes
+		st.CheckpointSkipped += ck.Skipped
+		st.CheckpointStallSeconds += ck.StallDuration.Seconds()
+		st.CheckpointWriteSeconds += ck.WriteDuration.Seconds()
+		st.CheckpointBytes += ck.BytesWritten
+	}
+	if anyScan {
+		st.MaxCIWidth = finiteOrNil(worstCI)
+	}
+	st.CompressionRatio = 1
+	if st.WireBytes > 0 {
+		st.CompressionRatio = float64(st.RawBytes) / float64(st.WireBytes)
+	}
+	pool := transport.ReadPoolStats()
+	st.PoolOutstanding = pool.Outstanding()
+	st.PoolRefsActive = pool.RefsActive()
+	return st
+}
+
+// RegisterStatus publishes this server's snapshot as the "server" section of
+// the process-wide /status document. Called from Start; a newer server
+// instance (e.g. a launcher-driven restart) simply takes the section over.
+func (s *Server) RegisterStatus() {
+	obs.SetStatus("server", func() any { return s.Status() })
+}

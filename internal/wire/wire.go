@@ -147,6 +147,13 @@ type Report struct {
 	// MaxBatchSteps while the server is congested and shrink it back as the
 	// backlog clears.
 	Backpressure float64
+	// TupleCount and SketchBytes are the sender's live quantile-sketch
+	// telemetry (retained GK tuples and their byte estimate, summed over
+	// cells and timesteps, from the last completed worker scan) — the memory
+	// quantity a future sketch-resizing governor steers on. Zero when
+	// quantiles are disabled or no scan has completed yet.
+	TupleCount  int64
+	SketchBytes int64
 }
 
 // Stop asks a server process to shut down cleanly.
@@ -256,6 +263,8 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.F64(m.MaxCIWidth)
 		w.I64(m.Messages)
 		w.F64(m.Backpressure)
+		w.I64(m.TupleCount)
+		w.I64(m.SketchBytes)
 	case *Stop:
 		w.U8(uint8(TypeStop))
 		w.Bool(m.Checkpoint)
@@ -381,6 +390,8 @@ func Decode(payload []byte) (any, error) {
 		m.MaxCIWidth = r.F64()
 		m.Messages = r.I64()
 		m.Backpressure = r.F64()
+		m.TupleCount = r.I64()
+		m.SketchBytes = r.I64()
 		msg = m
 	case TypeStop:
 		m := &Stop{}

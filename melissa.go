@@ -30,6 +30,8 @@ import (
 	"melissa/internal/client"
 	"melissa/internal/core"
 	"melissa/internal/launcher"
+	"melissa/internal/obs"
+	olog "melissa/internal/obs/log"
 	"melissa/internal/sampling"
 	"melissa/internal/scheduler"
 	"melissa/internal/server"
@@ -149,6 +151,11 @@ type StudyConfig struct {
 	// index is bracketed by a 95% confidence interval narrower than this
 	// (the loopback control of Sec. 3.4/4.1.5).
 	ConvergenceTarget float64
+
+	// MetricsAddr, when non-empty, serves the live telemetry endpoint
+	// (Prometheus /metrics, JSON /status, /debug/pprof) on this address for
+	// the duration of the study. "127.0.0.1:0" binds an ephemeral port.
+	MetricsAddr string
 }
 
 // StudyStats summarizes the execution of a study.
@@ -261,6 +268,31 @@ func (r *FieldResult) Checkpoints() CheckpointStats {
 	}
 }
 
+// TelemetryEndpoint is a live HTTP telemetry server: Prometheus text
+// exposition at /metrics, a JSON study snapshot at /status, and the standard
+// pprof handlers under /debug/pprof. Close shuts it down.
+type TelemetryEndpoint = obs.Endpoint
+
+// ServeTelemetry starts the process-wide telemetry endpoint outside of a
+// study (RunStudy starts one itself when StudyConfig.MetricsAddr is set; the
+// cmd/ binaries use this for standalone server and client processes).
+func ServeTelemetry(addr string) (*TelemetryEndpoint, error) {
+	return obs.Serve(addr, nil)
+}
+
+// SetLogging configures the process-wide structured logger: level is one of
+// "debug", "info", "warn", "error" or "off" (empty = info); jsonLines
+// switches the output from human-readable text to JSON lines.
+func SetLogging(level string, jsonLines bool) error {
+	lvl, err := olog.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	olog.Default.SetLevel(lvl)
+	olog.Default.SetJSON(jsonLines)
+	return nil
+}
+
 // RunStudy executes a complete study in-process: it builds the pick-freeze
 // design, starts the parallel server and the launcher, runs every
 // simulation group through the two-stage transfer path, and returns the
@@ -319,6 +351,7 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		SyncCheckpoints:    cfg.SyncCheckpoints,
 		ConvergenceTarget:  cfg.ConvergenceTarget,
+		MetricsAddr:        cfg.MetricsAddr,
 	}
 	l, err := launcher.New(lcfg)
 	if err != nil {
