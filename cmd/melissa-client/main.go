@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"melissa"
+	"melissa/internal/chaosflag"
 	"melissa/internal/client"
 	"melissa/internal/studies"
 	"melissa/internal/transport"
@@ -46,6 +47,8 @@ func main() {
 		"serve live telemetry (/metrics, /status, /debug/pprof) on this address (empty = off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
+	chaos := chaosflag.RegisterChaos()
+	retry := chaosflag.RegisterRetry()
 	flag.Parse()
 
 	if *serverAddr == "" {
@@ -74,8 +77,8 @@ func main() {
 	start := time.Now()
 	// Size the per-connection transport buffers from the study shape so a
 	// whole batched data frame fits the kernel and user-space buffers.
-	net := transport.NewTCPNetwork(transport.ForStudyCodec(
-		st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec))
+	net := chaos.Wrap(transport.NewTCPNetwork(transport.ForStudyCodec(
+		st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec)))
 	// A standalone client has no launcher feeding it server congestion
 	// hints; MaxBatchSteps without a controller falls back to the local
 	// send-queue signal, which backs up exactly when the server stalls.
@@ -88,6 +91,8 @@ func main() {
 		BatchSteps:     *batchSteps,
 		MaxBatchSteps:  *maxBatchSteps,
 		WireCodec:      *wireCodec,
+		Retry:          retry.Policy(),
+		ResendWindow:   retry.ResendWindow(),
 	})
 	if err != nil {
 		log.Fatalf("melissa-client: group %d failed: %v", *group, err)

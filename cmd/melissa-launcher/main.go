@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"melissa"
+	"melissa/internal/chaosflag"
 	"melissa/internal/core"
 	"melissa/internal/harness"
 	"melissa/internal/launcher"
@@ -55,6 +56,8 @@ func main() {
 		"serve live telemetry (/metrics, /status, /debug/pprof) on this address for the study's duration (empty = off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
+	chaos := chaosflag.RegisterChaos()
+	retry := chaosflag.RegisterRetry()
 	flag.Parse()
 
 	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
@@ -75,8 +78,8 @@ func main() {
 		Timesteps: st.Timesteps,
 		SimRanks:  *simRanks,
 		Stats:     core.Options{MinMax: true},
-		Network: transport.NewTCPNetwork(transport.ForStudyCodec(
-			st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec)),
+		Network: chaos.Wrap(transport.NewTCPNetwork(transport.ForStudyCodec(
+			st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec))),
 		Cluster:           cluster,
 		ServerProcs:       *serverProcs,
 		FoldWorkers:       *foldWorkers,
@@ -87,6 +90,8 @@ func main() {
 		GroupTimeout:      *groupTimeout,
 		ConvergenceTarget: *convergence,
 		MetricsAddr:       *metricsAddr,
+		Retry:             retry.Policy(),
+		ResendWindow:      retry.ResendWindow(),
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -107,8 +112,8 @@ func main() {
 	}
 
 	log.Printf("study complete in %v", stats.WallClock.Round(time.Millisecond))
-	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  timeout kills: %d  server restarts: %d",
-		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.TimeoutKills, stats.ServerRestarts)
+	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  reconnects: %d  timeout kills: %d  server restarts: %d",
+		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.Reconnects, stats.TimeoutKills, stats.ServerRestarts)
 	log.Printf("  messages folded: %d  server state: %.1f MB", res.Messages(), float64(res.MemoryBytes())/1e6)
 	if ws := res.WireStats(); ws.Messages > 0 {
 		log.Printf("  field traffic: %.1f MB on the wire vs %.1f MB raw (%.2fx, %.1f MB saved)",

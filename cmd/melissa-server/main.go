@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"melissa"
+	"melissa/internal/chaosflag"
 	"melissa/internal/core"
 	"melissa/internal/quantiles"
 	"melissa/internal/server"
@@ -59,6 +60,7 @@ func main() {
 		"serve live telemetry (/metrics, /status, /debug/pprof) on this address (empty = off)")
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error, off")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
+	chaos := chaosflag.RegisterChaos()
 	flag.Parse()
 
 	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
@@ -104,8 +106,8 @@ func main() {
 		Timesteps:   *timesteps,
 		P:           *p,
 		Stats:       stats,
-		Network: transport.NewTCPNetwork(transport.ForStudyCodec(
-			*cells, *p, max(*batchSteps, *maxBatchSteps), *wireCodec)),
+		Network: chaos.Wrap(transport.NewTCPNetwork(transport.ForStudyCodec(
+			*cells, *p, max(*batchSteps, *maxBatchSteps), *wireCodec))),
 		GroupTimeout: *groupTimeout,
 		LauncherAddr: *launcherAddr,
 		WireCodec:    *wireCodec,

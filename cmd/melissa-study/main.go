@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"melissa"
+	"melissa/internal/chaosflag"
 	"melissa/internal/checkpoint"
 	"melissa/internal/core"
 	"melissa/internal/des"
@@ -53,6 +54,12 @@ type statOptions struct {
 	// metricsAddr serves the live telemetry endpoint for the study's
 	// duration (empty = off).
 	metricsAddr string
+
+	// Connection resilience for the live study: an optional injected-fault
+	// plan and the client reconnect policy that must absorb it.
+	chaos        *melissa.ChaosPlan
+	retry        melissa.RetryPolicy
+	resendWindow int
 }
 
 func main() {
@@ -85,6 +92,8 @@ func main() {
 		"serve live telemetry (/metrics, /status, /debug/pprof) on this address during the live study (empty = off)")
 	logLevel := flag.String("log-level", "warn", "structured log level: debug, info, warn, error, off")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines")
+	chaosFlags := chaosflag.RegisterChaos()
+	retryFlags := chaosflag.RegisterRetry()
 	flag.Parse()
 
 	if err := melissa.SetLogging(*logLevel, *logJSON); err != nil {
@@ -105,6 +114,11 @@ func main() {
 		ckptEvery:     *ckptEvery,
 		syncCkpt:      *syncCkpt,
 		metricsAddr:   *metricsAddr,
+		retry:         retryFlags.Policy(),
+		resendWindow:  retryFlags.ResendWindow(),
+	}
+	if plan, ok := chaosFlags.Plan(); ok {
+		stats.chaos = &plan
 	}
 	if *threshold != "" {
 		th, err := strconv.ParseFloat(*threshold, 64)
@@ -283,10 +297,17 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 		study.SyncCheckpoints = opts.syncCkpt
 	}
 	study.MetricsAddr = opts.metricsAddr
+	study.Chaos = opts.chaos
+	study.Retry = opts.retry
+	study.ResendWindow = opts.resendWindow
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if opts.chaos != nil {
+		fmt.Printf("chaos plan absorbed: %d reconnects, %d group restarts, %d given up\n",
+			stats.Reconnects, stats.Restarts, stats.GroupsGivenUp)
 	}
 	fmt.Printf("live study: %dx%d cells, %d groups x 8 sims in %v (%d messages, %.1f GB avoided)\n\n",
 		nx, ny, groups, time.Since(start).Round(time.Millisecond),

@@ -4,6 +4,12 @@
 // statistics still match a clean reference run exactly, thanks to the
 // discard-on-replay policy.
 //
+// A third phase turns the faults on the network itself: a seeded chaos plan
+// cuts connections mid-stream (losing their unacknowledged tails), duplicates
+// frames and injects latency, and the client-side reconnect layer absorbs
+// every fault in place — reconnect, resume from the server's fold frontier,
+// resend only the lost window — with zero group restarts.
+//
 // Run with:
 //
 //	go run ./examples/faulttolerance
@@ -45,11 +51,14 @@ func sim(row []float64, emit func(step int, field []float64) bool) {
 	}
 }
 
-func run(plan *faults.Plan, ckptDir string) (*server.Result, launcher.Stats) {
+func run(plan *faults.Plan, ckptDir string, net transport.Network, retry client.RetryPolicy) (*server.Result, launcher.Stats) {
 	design := sampling.NewDesign([]sampling.Distribution{
 		sampling.Uniform{Low: -1, High: 1},
 		sampling.Uniform{Low: -1, High: 1},
 	}, nGroups, 7)
+	if net == nil {
+		net = transport.NewMemNetwork(transport.Options{})
+	}
 	cfg := launcher.Config{
 		Design:        design,
 		Sim:           client.SimFunc(sim),
@@ -57,11 +66,12 @@ func run(plan *faults.Plan, ckptDir string) (*server.Result, launcher.Stats) {
 		Timesteps:     timesteps,
 		SimRanks:      2,
 		Stats:         core.Options{MinMax: true},
-		Network:       transport.NewMemNetwork(transport.Options{}),
+		Network:       net,
 		ServerProcs:   2,
 		GroupTimeout:  250 * time.Millisecond,
 		ZombieTimeout: 250 * time.Millisecond,
 		Faults:        plan,
+		Retry:         retry,
 		TickInterval:  2 * time.Millisecond,
 	}
 	if ckptDir != "" {
@@ -80,29 +90,9 @@ func run(plan *faults.Plan, ckptDir string) (*server.Result, launcher.Stats) {
 	return res, stats
 }
 
-func main() {
-	fmt.Println("== reference run (no faults) ==")
-	clean, cleanStats := run(nil, "")
-	fmt.Printf("  %d groups finished in %v\n", cleanStats.GroupsFinished, cleanStats.WallClock.Round(time.Millisecond))
-
-	fmt.Println("\n== faulty run: crashes + straggler + zombie + server crash ==")
-	plan := faults.NewPlan(
-		faults.GroupFault{Group: 2, Attempt: 0, Kind: faults.Crash, AtStep: 1},
-		faults.GroupFault{Group: 5, Attempt: 0, Kind: faults.Crash, AtStep: 3},
-		faults.GroupFault{Group: 5, Attempt: 1, Kind: faults.Crash, AtStep: 0},
-		faults.GroupFault{Group: 9, Attempt: 0, Kind: faults.Hang, AtStep: 2, HangFor: 5 * time.Second},
-		faults.GroupFault{Group: 12, Attempt: 0, Kind: faults.Zombie},
-	).WithServerCrash(150 * time.Millisecond)
-
-	faulty, stats := run(plan, "out/faulttolerance-ckpt")
-	fmt.Printf("  groups finished:  %d\n", stats.GroupsFinished)
-	fmt.Printf("  group restarts:   %d (crash/hang retries)\n", stats.Restarts)
-	fmt.Printf("  timeout kills:    %d (straggler detection, Sec. 4.2.2)\n", stats.TimeoutKills)
-	fmt.Printf("  zombie kills:     %d (no-contact detection, Sec. 4.2.2)\n", stats.ZombieKills)
-	fmt.Printf("  server restarts:  %d (checkpoint recovery, Sec. 4.2.3)\n", stats.ServerRestarts)
-	fmt.Printf("  wall clock:       %v\n", stats.WallClock.Round(time.Millisecond))
-
-	fmt.Println("\n== exactness check: faulty statistics vs clean statistics ==")
+// compareToClean verifies the discard-on-replay exactness contract: same
+// group coverage per timestep, first-order Sobol' fields within tolerance.
+func compareToClean(clean, faulty *server.Result) float64 {
 	worst := 0.0
 	for step := 0; step < timesteps; step++ {
 		if clean.GroupsFolded(step) != faulty.GroupsFolded(step) {
@@ -119,10 +109,81 @@ func main() {
 			}
 		}
 	}
+	return worst
+}
+
+func main() {
+	fmt.Println("== reference run (no faults) ==")
+	clean, cleanStats := run(nil, "", nil, client.RetryPolicy{})
+	fmt.Printf("  %d groups finished in %v\n", cleanStats.GroupsFinished, cleanStats.WallClock.Round(time.Millisecond))
+
+	fmt.Println("\n== faulty run: crashes + straggler + zombie + server crash ==")
+	plan := faults.NewPlan(
+		faults.GroupFault{Group: 2, Attempt: 0, Kind: faults.Crash, AtStep: 1},
+		faults.GroupFault{Group: 5, Attempt: 0, Kind: faults.Crash, AtStep: 3},
+		faults.GroupFault{Group: 5, Attempt: 1, Kind: faults.Crash, AtStep: 0},
+		faults.GroupFault{Group: 9, Attempt: 0, Kind: faults.Hang, AtStep: 2, HangFor: 5 * time.Second},
+		faults.GroupFault{Group: 12, Attempt: 0, Kind: faults.Zombie},
+	).WithServerCrash(150 * time.Millisecond)
+
+	faulty, stats := run(plan, "out/faulttolerance-ckpt", nil, client.RetryPolicy{})
+	fmt.Printf("  groups finished:  %d\n", stats.GroupsFinished)
+	fmt.Printf("  group restarts:   %d (crash/hang retries)\n", stats.Restarts)
+	fmt.Printf("  timeout kills:    %d (straggler detection, Sec. 4.2.2)\n", stats.TimeoutKills)
+	fmt.Printf("  zombie kills:     %d (no-contact detection, Sec. 4.2.2)\n", stats.ZombieKills)
+	fmt.Printf("  server restarts:  %d (checkpoint recovery, Sec. 4.2.3)\n", stats.ServerRestarts)
+	fmt.Printf("  wall clock:       %v\n", stats.WallClock.Round(time.Millisecond))
+
+	fmt.Println("\n== exactness check: faulty statistics vs clean statistics ==")
+	worst := compareToClean(clean, faulty)
 	fmt.Printf("  every timestep folded all %d groups exactly once\n", nGroups)
 	fmt.Printf("  max |S_faulty - S_clean| over all cells/steps/params: %.2e\n", worst)
 	if worst > 1e-9 {
 		log.Fatal("  FAILED: replayed messages leaked into the statistics")
 	}
 	fmt.Println("  discard-on-replay kept the statistics exact despite every failure")
+
+	fmt.Println("\n== chaos run: network cuts, lost tails, duplicates and latency ==")
+	// A seeded chaos plan over the study's transport. Dial ordinals >= 2 only
+	// ever match client connections (the launcher report inbox is dialed once
+	// per server process, handshake reply inboxes exactly once), and every
+	// dial to the second server process is a data connection — so the cuts
+	// are guaranteed to break live field streams. The reconnect budget must
+	// absorb all of it: no group restart, no timeout kill, no give-up.
+	chaosNet := transport.NewChaosNetwork(transport.NewMemNetwork(transport.Options{}), transport.ChaosPlan{
+		Seed: 2017,
+		Rules: []transport.ChaosRule{
+			{Dial: 3, CutAfterFrames: 4, DropTailFrames: 1},
+			{Dial: 5, CutAfterFrames: 2},
+			{Dial: 8, DuplicateFrame: 3},
+			{Dial: 11, Latency: time.Millisecond},
+		},
+	})
+	chaotic, chaosStats := run(nil, "", chaosNet, client.RetryPolicy{
+		MaxReconnects: 4,
+		BaseDelay:     2 * time.Millisecond,
+		MaxDelay:      20 * time.Millisecond,
+		Seed:          1,
+	})
+	injected := chaosNet.Stats()
+	fmt.Printf("  faults injected:  %d cuts, %d frames dropped, %d duplicated, %d delayed\n",
+		injected.Cuts, injected.Dropped, injected.Duplicated, injected.Delayed)
+	fmt.Printf("  reconnects:       %d (resume + windowed resend, no replays)\n", chaosStats.Reconnects)
+	fmt.Printf("  group restarts:   %d\n", chaosStats.Restarts)
+	fmt.Printf("  wall clock:       %v\n", chaosStats.WallClock.Round(time.Millisecond))
+	if chaosStats.GroupsFinished != nGroups || chaosStats.GroupsGivenUp != 0 {
+		log.Fatalf("  FAILED: chaos study incomplete: %+v", chaosStats)
+	}
+	if chaosStats.Restarts != 0 || chaosStats.TimeoutKills != 0 {
+		log.Fatalf("  FAILED: recoverable network faults escalated to replays: %+v", chaosStats)
+	}
+	if chaosStats.Reconnects == 0 || injected.Cuts == 0 {
+		log.Fatal("  FAILED: chaos plan injected nothing — the test proved nothing")
+	}
+	worst = compareToClean(clean, chaotic)
+	fmt.Printf("  max |S_chaos - S_clean|: %.2e\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("  FAILED: reconnect resends leaked into the statistics")
+	}
+	fmt.Println("  the reconnect layer healed every network fault in place")
 }

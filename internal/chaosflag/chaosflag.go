@@ -1,0 +1,117 @@
+// Package chaosflag registers the -chaos-* and -reconnect-* command-line
+// flags shared by the melissa binaries, so every process in a distributed
+// study describes fault injection and connection resilience the same way.
+//
+// The chaos flags declare ONE fault rule (plus the plan seed and an optional
+// dial-ordinal scope) — enough for CLI smoke runs and CI chaos steps; studies
+// that need multi-rule plans build a transport.ChaosPlan in code.
+package chaosflag
+
+import (
+	"flag"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/transport"
+)
+
+// Chaos holds the registered -chaos-* flag values.
+type Chaos struct {
+	seed    *uint64
+	dial    *int
+	latency *time.Duration
+	cut     *int
+	drop    *int
+	corrupt *int
+	dup     *int
+	refuse  *bool
+}
+
+// RegisterChaos registers the -chaos-* flags on the default flag set.
+func RegisterChaos() *Chaos {
+	return &Chaos{
+		seed: flag.Uint64("chaos-seed", 0,
+			"seed for the injected-fault plan (reproduces the exact fault sequence)"),
+		dial: flag.Int("chaos-dial", -1,
+			"restrict injected faults to the n-th dial per address (-1 = every dial)"),
+		latency: flag.Duration("chaos-latency", 0,
+			"inject this much latency (plus up to 25% jitter) per frame"),
+		cut: flag.Int("chaos-cut-frames", 0,
+			"cut matched connections after this many frames (0 = off)"),
+		drop: flag.Int("chaos-drop-tail", 0,
+			"silently drop the last n frames before a cut (models a lost kernel-buffer tail)"),
+		corrupt: flag.Int("chaos-corrupt-frame", 0,
+			"clobber the n-th frame so the receiver rejects it (0 = off)"),
+		dup: flag.Int("chaos-dup-frame", 0,
+			"deliver the n-th frame twice (0 = off)"),
+		refuse: flag.Bool("chaos-refuse", false,
+			"refuse matched dials outright, as if the peer were down"),
+	}
+}
+
+// Plan assembles the declared fault plan; ok is false when no fault flag was
+// set and the transport should stay unwrapped.
+func (c *Chaos) Plan() (transport.ChaosPlan, bool) {
+	rule := transport.ChaosRule{
+		Dial:           *c.dial,
+		Refuse:         *c.refuse,
+		Latency:        *c.latency,
+		CutAfterFrames: *c.cut,
+		DropTailFrames: *c.drop,
+		CorruptFrame:   *c.corrupt,
+		DuplicateFrame: *c.dup,
+	}
+	if !*c.refuse && *c.latency == 0 && *c.cut == 0 && *c.corrupt == 0 && *c.dup == 0 {
+		return transport.ChaosPlan{}, false
+	}
+	return transport.ChaosPlan{Seed: *c.seed, Rules: []transport.ChaosRule{rule}}, true
+}
+
+// Wrap wraps net in a ChaosNetwork when any fault flag was set, and returns
+// it unchanged otherwise.
+func (c *Chaos) Wrap(net transport.Network) transport.Network {
+	plan, ok := c.Plan()
+	if !ok {
+		return net
+	}
+	return transport.NewChaosNetwork(net, plan)
+}
+
+// Retry holds the registered -reconnect-* / -resend-window flag values.
+type Retry struct {
+	budget *int
+	base   *time.Duration
+	max    *time.Duration
+	window *int
+}
+
+// RegisterRetry registers the connection-resilience flags on the default
+// flag set.
+func RegisterRetry() *Retry {
+	return &Retry{
+		budget: flag.Int("reconnect-budget", 0,
+			"per-group reconnect budget for broken server connections (0 = fail the attempt, the legacy behavior)"),
+		base: flag.Duration("reconnect-base", 5*time.Millisecond,
+			"first reconnect backoff delay"),
+		max: flag.Duration("reconnect-max", time.Second,
+			"reconnect backoff cap"),
+		window: flag.Int("resend-window", 0,
+			"per-route retention depth in timesteps for post-reconnect resends (0 = default)"),
+	}
+}
+
+// Policy assembles the client retry policy (zero value when -reconnect-budget
+// is 0, preserving the legacy fail-fast path).
+func (r *Retry) Policy() client.RetryPolicy {
+	if *r.budget <= 0 {
+		return client.RetryPolicy{}
+	}
+	return client.RetryPolicy{
+		MaxReconnects: *r.budget,
+		BaseDelay:     *r.base,
+		MaxDelay:      *r.max,
+	}
+}
+
+// ResendWindow returns the -resend-window value.
+func (r *Retry) ResendWindow() int { return *r.window }

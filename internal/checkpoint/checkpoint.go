@@ -29,11 +29,14 @@ const (
 	// V1 is the original payload format: Sobol' co-moments plus the
 	// optional min/max, exceedance and higher-moment trackers.
 	V1 = 1
-	// Version is the current (newest) format, written by Write: V2 appends
-	// the per-cell quantile-sketch state (core.LayoutV2). Read accepts
-	// every version from V1 up to Version and reports which one it found,
-	// so servers restart cleanly from checkpoints written by older builds.
-	Version = 2
+	// V2 appends the per-cell quantile-sketch state (core.LayoutV2).
+	V2 = 2
+	// Version is the current (newest) format, written by Write: V3 keeps
+	// the V2 accumulator block and changes the group-tracker block to the
+	// frontier+ahead layout (core.LayoutV3). Read accepts every version
+	// from V1 up to Version and reports which one it found, so servers
+	// restart cleanly from checkpoints written by older builds.
+	Version = 3
 )
 
 // Filename returns the canonical checkpoint path for a server process rank,

@@ -14,6 +14,7 @@ package client
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"melissa/internal/enc"
@@ -81,10 +82,38 @@ type Connection struct {
 	// decompresses exactly its own block.
 	WireCodec bool
 
+	// Retry is the connection-resilience policy (retry.go): with a non-zero
+	// reconnect budget, failed sends transparently redial the server process,
+	// perform the resume handshake and resend the retained unacked window.
+	// The zero value keeps the legacy fail-fast behavior. Set via
+	// ConnectOpts (the dial path honors it too).
+	Retry RetryPolicy
+
+	// ResendWindow is the per-route retention depth in timesteps backing
+	// reconnect resends (0 = a default deep enough for the transport's
+	// in-flight buffering). Only used when Retry is enabled.
+	ResendWindow int
+
+	// OnReconnect, when non-nil, is called after each consumed reconnect
+	// (serverRank is -1 for handshake-path retries; attempt counts budget
+	// used so far). The launcher uses it to grant in-progress reconnects
+	// grace against group timeouts.
+	OnReconnect func(serverRank, attempt int)
+
 	net      transport.Network
 	senders  []transport.Sender
 	routes   []mesh.Transfer
 	simParts []mesh.Partition
+
+	// Resilience state: budget consumed, the backoff/jitter stream, the
+	// per-route retention rings, the per-rank resume floors of a resumed
+	// attempt (-1 = nothing folded) and the per-rank skipped-piece counters
+	// driving liveness pings.
+	reconnects  int
+	rng         *rand.Rand
+	retain      []retainRing
+	resumeFloor []int
+	skipped     []int
 
 	// Compressed-path state: the per-connection compressor, the per-route
 	// shard-aligned sub-range lengths (computed on first use), the one-step
@@ -113,14 +142,78 @@ type routeBatch struct {
 	steps []wire.DataStep
 }
 
+// ConnectOpts parameterizes ConnectWith beyond the classic handshake
+// arguments: the retry policy covering the dial path, the retention window
+// and the resume flag of restarted attempts.
+type ConnectOpts struct {
+	GroupID  int
+	SimRanks int
+	// Timeout bounds each handshake attempt (Welcome wait).
+	Timeout time.Duration
+	// Retry covers dials, handshakes and later sends (see Connection.Retry).
+	Retry RetryPolicy
+	// ResendWindow see Connection.ResendWindow.
+	ResendWindow int
+	// Resume marks a (re)connection of a group whose data may already be
+	// partially folded — a restarted attempt. The handshake then asks every
+	// server process for its fold frontier, and SendTimestep skips the
+	// pieces each process already folded ("session resume without replay
+	// traffic"): the solver still recomputes, the network does not recarry.
+	Resume bool
+	// OnReconnect see Connection.OnReconnect.
+	OnReconnect func(serverRank, attempt int)
+}
+
 // Connect performs the dynamic-connection handshake of Sec. 4.1.3: it
 // contacts the server main process, retrieves the data partitioning and the
 // server process addresses, and opens direct connections to every server
 // process this group's ranks will feed.
 func Connect(net transport.Network, mainAddr string, groupID, simRanks int, timeout time.Duration) (*Connection, error) {
-	if simRanks < 1 {
-		return nil, fmt.Errorf("client: group %d needs at least one rank", groupID)
+	return ConnectWith(net, mainAddr, ConnectOpts{GroupID: groupID, SimRanks: simRanks, Timeout: timeout})
+}
+
+// ConnectWith is Connect with the resilience options: the handshake itself
+// is retried under the same backoff/budget policy as mid-study sends, and a
+// resumed attempt learns each server process's fold frontier so it does not
+// resend folded data.
+func ConnectWith(net transport.Network, mainAddr string, o ConnectOpts) (*Connection, error) {
+	if o.SimRanks < 1 {
+		return nil, fmt.Errorf("client: group %d needs at least one rank", o.GroupID)
 	}
+	retry := o.Retry
+	if retry.enabled() {
+		retry = retry.withDefaults()
+	}
+	rng := retryRNG(retry, o.GroupID)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > retry.MaxReconnects {
+				return nil, lastErr
+			}
+			time.Sleep(retry.delay(attempt-1, rng))
+			cReconnects.Inc()
+			if o.OnReconnect != nil {
+				o.OnReconnect(-1, attempt)
+			}
+		}
+		conn, err := connectOnce(net, mainAddr, o, retry, rng, o.Resume || attempt > 0)
+		if err != nil {
+			lastErr = err
+			if !retry.enabled() {
+				return nil, err
+			}
+			continue
+		}
+		// Handshake retries consume the same per-group budget as send-path
+		// reconnects.
+		conn.reconnects = attempt
+		return conn, nil
+	}
+}
+
+func connectOnce(net transport.Network, mainAddr string, o ConnectOpts, retry RetryPolicy, rng *rand.Rand, resume bool) (*Connection, error) {
+	groupID, simRanks, timeout := o.GroupID, o.SimRanks, o.Timeout
 	reply, err := net.Listen("")
 	if err != nil {
 		return nil, fmt.Errorf("client: group %d reply inbox: %w", groupID, err)
@@ -134,7 +227,7 @@ func Connect(net transport.Network, mainAddr string, groupID, simRanks int, time
 	// Caps always advertises the full capability set of this build — whether
 	// a capability is used is the server's call (echoed in Welcome.Caps) and
 	// the connection's knobs.
-	hello := &wire.Hello{GroupID: groupID, SimRanks: simRanks, ReplyAddr: reply.Addr(), Caps: wire.CapWireCodec}
+	hello := &wire.Hello{GroupID: groupID, SimRanks: simRanks, ReplyAddr: reply.Addr(), Caps: wire.CapWireCodec, Resume: resume}
 	if err := main.Send(wire.Encode(hello)); err != nil {
 		main.Close()
 		return nil, fmt.Errorf("client: group %d hello: %w", groupID, err)
@@ -159,12 +252,16 @@ func Connect(net transport.Network, mainAddr string, groupID, simRanks int, time
 	routes := mesh.Route(simParts, welcome.Partitions)
 
 	conn := &Connection{
-		GroupID:  groupID,
-		SimRanks: simRanks,
-		Layout:   welcome,
-		net:      net,
-		simParts: simParts,
-		routes:   routes,
+		GroupID:      groupID,
+		SimRanks:     simRanks,
+		Layout:       welcome,
+		Retry:        retry,
+		ResendWindow: o.ResendWindow,
+		OnReconnect:  o.OnReconnect,
+		net:          net,
+		simParts:     simParts,
+		routes:       routes,
+		rng:          rng,
 	}
 	// Open one connection per server process that appears in the routing
 	// ("each main simulation process opens individual communication
@@ -181,6 +278,27 @@ func Connect(net transport.Network, mainAddr string, groupID, simRanks int, time
 			return nil, fmt.Errorf("client: group %d dialing server %d: %w", groupID, rank, err)
 		}
 		conn.senders[rank] = s
+	}
+	if resume {
+		// Learn each process's fold frontier so the resumed attempt skips
+		// resending folded pieces. Rank 0's answer rode along in the Welcome;
+		// the others are queried over the fresh data connections.
+		conn.resumeFloor = make([]int, len(conn.senders))
+		for rank := range conn.resumeFloor {
+			conn.resumeFloor[rank] = -1
+		}
+		conn.resumeFloor[0] = welcome.LastStep
+		for rank, s := range conn.senders {
+			if s == nil || rank == 0 {
+				continue
+			}
+			ack, err := conn.resumeQueryOn(s, rank)
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			conn.resumeFloor[rank] = ack
+		}
 	}
 	return conn, nil
 }
@@ -214,9 +332,16 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 	cut := c.cutScratch
 	codecOn := c.codecNegotiated()
 	for ri, tr := range c.routes {
+		if skip, err := c.skipResumed(tr.ServerRank, step); skip || err != nil {
+			if err != nil {
+				return err
+			}
+			continue // the server already folded this piece (resume floor)
+		}
 		for fi, f := range fields {
 			cut[fi] = f[tr.Cells.Lo:tr.Cells.Hi]
 		}
+		c.retainStep(ri, step, cut)
 		var w *enc.Writer
 		if codecOn {
 			// A compressed single step is a one-step TypeDataBatchC frame —
@@ -252,7 +377,7 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 			cRawBytes.Add(int64(w.Len()))
 		}
 		cMessages.Inc()
-		err := c.senders[tr.ServerRank].Send(w.Bytes())
+		err := c.sendFrame(tr.ServerRank, w.Bytes())
 		enc.PutWriter(w) // Send copied the payload
 		if err != nil {
 			return fmt.Errorf("client: group %d step %d to server %d: %w",
@@ -346,6 +471,12 @@ func (c *Connection) bufferTimestep(step int, fields [][]float64) error {
 		c.pending = make([]routeBatch, len(c.routes))
 	}
 	for ri, tr := range c.routes {
+		if skip, err := c.skipResumed(tr.ServerRank, step); skip || err != nil {
+			if err != nil {
+				return err
+			}
+			continue // the server already folded this piece (resume floor)
+		}
 		rb := &c.pending[ri]
 		n := len(rb.steps)
 		if cap(rb.steps) > n {
@@ -405,7 +536,12 @@ func (c *Connection) flushRoute(ri int) error {
 	cWireBytes.Add(int64(w.Len()))
 	cRawBytes.Add(rawSize)
 	cMessages.Inc()
-	err := c.senders[tr.ServerRank].Send(w.Bytes())
+	if c.Retry.enabled() {
+		for i := range rb.steps {
+			c.retainStep(ri, rb.steps[i].Timestep, rb.steps[i].Fields)
+		}
+	}
+	err := c.sendFrame(tr.ServerRank, w.Bytes())
 	enc.PutWriter(w)
 	rb.steps = rb.steps[:0] // keep field storage for the next batch
 	if err != nil {

@@ -41,6 +41,17 @@ type RunConfig struct {
 	// StepDelay inserts an artificial pause per timestep (straggler
 	// injection for the timeout-detection tests).
 	StepDelay time.Duration
+	// Retry is the connection-resilience policy (see Connection.Retry);
+	// the zero value keeps the legacy fail-the-attempt behavior.
+	Retry RetryPolicy
+	// ResendWindow see Connection.ResendWindow.
+	ResendWindow int
+	// Resume marks a restarted attempt whose earlier data may already be
+	// folded: the handshake queries fold frontiers and the run skips
+	// resending folded pieces (see ConnectOpts.Resume).
+	Resume bool
+	// OnReconnect see Connection.OnReconnect.
+	OnReconnect func(serverRank, attempt int)
 }
 
 // stepResult carries one simulation's field for one step across the
@@ -71,7 +82,15 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 	if rc.SimRanks < 1 {
 		rc.SimRanks = 1
 	}
-	conn, err := Connect(netw, mainAddr, rc.GroupID, rc.SimRanks, rc.ConnectTimeout)
+	conn, err := ConnectWith(netw, mainAddr, ConnectOpts{
+		GroupID:      rc.GroupID,
+		SimRanks:     rc.SimRanks,
+		Timeout:      rc.ConnectTimeout,
+		Retry:        rc.Retry,
+		ResendWindow: rc.ResendWindow,
+		Resume:       rc.Resume,
+		OnReconnect:  rc.OnReconnect,
+	})
 	if err != nil {
 		return err
 	}

@@ -20,4 +20,16 @@ var (
 		"Effective timestep batch size each SendTimestep was routed with (adaptive batching).")
 	cSendQueue = obs.NewGauge("melissa_client_send_queue_occupancy",
 		"Worst transport send-queue occupancy fraction [0,1] across this process's server connections.")
+
+	// Connection-resilience counters: how often groups had to reconnect,
+	// what the resume handshake saved (pieces never resent) and what the
+	// retention window had to replay.
+	cReconnects = obs.NewCounter("melissa_client_reconnects_total",
+		"Server connections re-established after a dial or send failure.")
+	cResumeAcks = obs.NewCounter("melissa_client_resume_acks_total",
+		"Resume handshakes answered by server processes (fold-frontier queries).")
+	cResentFrames = obs.NewCounter("melissa_client_resent_frames_total",
+		"Retained frames re-sent after a reconnect (the unacked window).")
+	cSkippedPieces = obs.NewCounter("melissa_client_resume_skipped_pieces_total",
+		"Route pieces a resumed attempt skipped because the server had already folded them.")
 )

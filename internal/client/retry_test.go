@@ -1,0 +1,110 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"melissa/internal/mesh"
+)
+
+func TestRetryDelayBackoffAndCap(t *testing.T) {
+	p := RetryPolicy{
+		MaxReconnects: 5,
+		BaseDelay:     10 * time.Millisecond,
+		MaxDelay:      80 * time.Millisecond,
+		Multiplier:    2,
+		Jitter:        -1, // disable jitter: exact doubling
+	}.withDefaults()
+	rng := retryRNG(p, 0)
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for attempt, w := range want {
+		if got := p.delay(attempt, rng); got != w {
+			t.Fatalf("attempt %d: delay %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestRetryDelayDeterministicPerGroup(t *testing.T) {
+	p := RetryPolicy{MaxReconnects: 3, Seed: 42}.withDefaults()
+	seq := func(group int) []time.Duration {
+		rng := retryRNG(p, group)
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = p.delay(i, rng)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same group diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different groups drew identical jitter sequences")
+	}
+}
+
+func TestRetryDefaults(t *testing.T) {
+	p := RetryPolicy{MaxReconnects: 1}.withDefaults()
+	if p.BaseDelay <= 0 || p.MaxDelay <= 0 || p.Multiplier < 1 || p.Jitter <= 0 || p.AckTimeout <= 0 {
+		t.Fatalf("defaults not filled: %+v", p)
+	}
+	if (RetryPolicy{}).enabled() {
+		t.Fatal("zero policy must be disabled")
+	}
+	if !(RetryPolicy{MaxReconnects: 1}).enabled() {
+		t.Fatal("budget 1 must enable retries")
+	}
+}
+
+func TestRetainRingEvictsOldest(t *testing.T) {
+	var r retainRing
+	for step := 0; step < 7; step++ {
+		r.push(4, step, [][]float64{{float64(step)}})
+	}
+	if r.n != 4 {
+		t.Fatalf("ring holds %d, want 4", r.n)
+	}
+	// Steps 3..6 retained, oldest first.
+	for i := 0; i < r.n; i++ {
+		st := r.at(i)
+		if st.step != 3+i {
+			t.Fatalf("slot %d: step %d, want %d", i, st.step, 3+i)
+		}
+		if st.fields[0][0] != float64(3+i) {
+			t.Fatalf("slot %d carries stale field %v", i, st.fields[0][0])
+		}
+	}
+}
+
+func TestRetainRingCopiesFields(t *testing.T) {
+	var r retainRing
+	f := []float64{1, 2, 3}
+	r.push(2, 0, [][]float64{f})
+	f[0] = 99 // caller reuses its buffer
+	if got := r.at(0).fields[0][0]; got != 1 {
+		t.Fatalf("ring aliases the caller's buffer: %v", got)
+	}
+}
+
+// The legacy path (zero retry policy) must carry no retention cost and never
+// attempt recovery: retainStep is a no-op.
+func TestRetryDisabledNoRetention(t *testing.T) {
+	c := &Connection{routes: make([]mesh.Transfer, 1)}
+	c.retainStep(0, 0, [][]float64{{1}})
+	if c.retain != nil {
+		t.Fatal("disabled policy allocated retention state")
+	}
+}

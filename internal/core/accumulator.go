@@ -567,16 +567,19 @@ func (a *Accumulator) MemoryBytes() int64 {
 // checkpoint file versions of internal/checkpoint: LayoutV1 is the original
 // format (Sobol' co-moments plus the optional min/max, exceedance and
 // higher-moment trackers); LayoutV2 appends the quantile probe list, the
-// sketch ε and one per-cell quantile sketch field per timestep. Both layouts
-// store the Sobol' state as dense per-statistic arrays (meanA, m2A, ... then
-// per k: meanC, m2C, c2BC, c2AC); Encode/Decode transpose between that wire
-// form and the in-memory interleaved records, so files are byte-identical to
-// the ones written before the interleave and interchange freely with older
-// builds.
+// sketch ε and one per-cell quantile sketch field per timestep; LayoutV3
+// leaves the accumulator block unchanged from V2 and only changes the
+// GroupTracker block (contiguous frontier plus ahead-set instead of a single
+// last-step per group — see tracker.go). All layouts store the Sobol' state
+// as dense per-statistic arrays (meanA, m2A, ... then per k: meanC, m2C,
+// c2BC, c2AC); Encode/Decode transpose between that wire form and the
+// in-memory interleaved records, so files are byte-identical to the ones
+// written before the interleave and interchange freely with older builds.
 const (
 	LayoutV1      = 1
 	LayoutV2      = 2
-	LayoutCurrent = LayoutV2
+	LayoutV3      = 3
+	LayoutCurrent = LayoutV3
 )
 
 // gatherColumn copies the strided per-cell statistic at record offset `off`

@@ -20,12 +20,24 @@ const (
 )
 
 // GroupTracker implements the discard-on-replay policy of Sec. 4.2.1: every
-// server process records, per group, the last folded timestep; replayed
-// messages (timestep ≤ last) are discarded so a restarted group can never be
-// folded twice into the statistics.
+// server process records, per group, which timesteps it folded; a step is
+// folded at most once, so a restarted (or resumed) group can never be folded
+// twice into the statistics.
+//
+// The record per group is a contiguous frontier plus a sparse ahead-set:
+// `last` is the highest step with 0..last all folded, and `ahead` holds the
+// folded steps beyond it. Steps ahead of the frontier arrive legitimately —
+// with per-rank batching, one sim rank's frame for steps 0..3 lands before
+// the other ranks' pieces of step 0 complete — so they fold immediately; the
+// frontier only advances when the gap below them closes. The split is what
+// makes the frontier trustworthy as a *resume point*: everything ≤ last is
+// folded, everything after it is safe for a reconnecting group to (re)send,
+// and a transport-level frame loss can never be silently skipped — the
+// frontier stalls at the hole until a resend or a replay fills it.
 type GroupTracker struct {
-	finalStep int         // the last timestep id of a complete run
-	last      map[int]int // group id → last folded timestep
+	finalStep int                      // the last timestep id of a complete run
+	last      map[int]int              // group id → contiguous fold frontier
+	ahead     map[int]map[int]struct{} // group id → folded steps beyond the frontier
 }
 
 // NewGroupTracker returns a tracker for runs whose final timestep id is
@@ -34,41 +46,91 @@ func NewGroupTracker(finalStep int) *GroupTracker {
 	if finalStep < 0 {
 		panic("core: negative final timestep")
 	}
-	return &GroupTracker{finalStep: finalStep, last: make(map[int]int)}
+	return &GroupTracker{
+		finalStep: finalStep,
+		last:      make(map[int]int),
+		ahead:     make(map[int]map[int]struct{}),
+	}
 }
 
 // FinalStep returns the timestep id that marks a group as finished.
 func (g *GroupTracker) FinalStep() int { return g.finalStep }
 
 // ShouldApply reports whether a message from `group` carrying timestep
-// `step` must be folded (true) or discarded as a replay (false).
+// `step` must be folded (true) or discarded as already-folded (false): a
+// step is folded when it is neither at-or-below the contiguous frontier nor
+// in the ahead-set.
 func (g *GroupTracker) ShouldApply(group, step int) bool {
-	last, seen := g.last[group]
-	return !seen || step > last
+	if last, seen := g.last[group]; seen && step <= last {
+		return false
+	}
+	_, folded := g.ahead[group][step]
+	return !folded
 }
 
-// Commit records that timestep `step` of `group` has been folded.
+// Commit records that timestep `step` of `group` has been folded: the
+// frontier advances when the step closes the gap (absorbing any
+// contiguously-following ahead-steps), otherwise the step parks in the
+// ahead-set until the steps below it arrive.
 func (g *GroupTracker) Commit(group, step int) {
-	if last, seen := g.last[group]; !seen || step > last {
-		g.last[group] = step
+	last, seen := g.last[group]
+	if seen && step <= last {
+		return // replay of an already-contiguous step
+	}
+	next := 0
+	if seen {
+		next = last + 1
+	}
+	if step != next {
+		set := g.ahead[group]
+		if set == nil {
+			set = make(map[int]struct{})
+			g.ahead[group] = set
+		}
+		set[step] = struct{}{}
+		return
+	}
+	g.last[group] = step
+	g.drainAhead(group)
+}
+
+// drainAhead advances the frontier through contiguously-folded ahead-steps.
+func (g *GroupTracker) drainAhead(group int) {
+	set := g.ahead[group]
+	if set == nil {
+		return
+	}
+	last := g.last[group]
+	for {
+		if _, ok := set[last+1]; !ok {
+			break
+		}
+		delete(set, last+1)
+		last++
+	}
+	g.last[group] = last
+	if len(set) == 0 {
+		delete(g.ahead, group)
 	}
 }
 
-// State returns the lifecycle state of a group.
+// State returns the lifecycle state of a group. A group is finished only
+// when every step up to the final one is folded contiguously; folded steps
+// stranded beyond a hole keep it Running.
 func (g *GroupTracker) State(group int) GroupState {
 	last, seen := g.last[group]
 	switch {
-	case !seen:
-		return GroupUnknown
-	case last >= g.finalStep:
+	case seen && last >= g.finalStep:
 		return GroupFinished
-	default:
+	case seen || len(g.ahead[group]) > 0:
 		return GroupRunning
+	default:
+		return GroupUnknown
 	}
 }
 
-// LastStep returns the last folded timestep of a group and whether any
-// message was ever folded.
+// LastStep returns the contiguous fold frontier of a group — the resume
+// point: every step ≤ it is folded — and whether the group has one.
 func (g *GroupTracker) LastStep(group int) (int, bool) {
 	last, seen := g.last[group]
 	return last, seen
@@ -88,37 +150,150 @@ func (g *GroupTracker) byState(want GroupState) []int {
 			out = append(out, id)
 		}
 	}
+	for id := range g.ahead {
+		if _, seen := g.last[id]; !seen && g.State(id) == want {
+			out = append(out, id)
+		}
+	}
 	sort.Ints(out)
 	return out
 }
 
 // Merge folds another tracker (e.g. from a peer server process) keeping the
-// most advanced timestep per group.
+// union of folded steps per group.
 func (g *GroupTracker) Merge(other *GroupTracker) {
 	for id, last := range other.last {
-		if cur, seen := g.last[id]; !seen || last > cur {
-			g.last[id] = last
+		for s := 0; s <= last; s++ {
+			g.Commit(id, s)
+		}
+	}
+	for id, set := range other.ahead {
+		for s := range set {
+			g.Commit(id, s)
 		}
 	}
 }
 
-// Encode appends the tracker state to w (part of the server checkpoint).
-func (g *GroupTracker) Encode(w *enc.Writer) {
+// Encode appends the tracker state to w (part of the server checkpoint) in
+// the current layout.
+func (g *GroupTracker) Encode(w *enc.Writer) { g.EncodeVersion(w, LayoutCurrent) }
+
+// EncodeVersion appends the tracker state in the given checkpoint layout.
+// Layouts before LayoutV3 store one (id, last-folded-step) pair per group —
+// they predate the frontier/ahead split and cannot represent a hole, so a
+// downgrade encode flattens each group to its highest folded step (exactly
+// what a pre-V3 build, which assumed contiguous arrival, would have
+// recorded).
+func (g *GroupTracker) EncodeVersion(w *enc.Writer, version int) {
+	if version < LayoutV3 {
+		g.encodeLegacy(w)
+		return
+	}
 	w.Int(g.finalStep)
-	w.Int(len(g.last))
-	ids := make([]int, 0, len(g.last))
+	ids := make([]int, 0, len(g.last)+len(g.ahead))
 	for id := range g.last {
 		ids = append(ids, id)
 	}
+	for id := range g.ahead {
+		if _, seen := g.last[id]; !seen {
+			ids = append(ids, id)
+		}
+	}
 	sort.Ints(ids) // deterministic checkpoints
+	w.Int(len(ids))
 	for _, id := range ids {
 		w.Int(id)
-		w.Int(g.last[id])
+		last, seen := g.last[id]
+		if !seen {
+			last = -1
+		}
+		w.Int(last)
+		steps := make([]int, 0, len(g.ahead[id]))
+		for s := range g.ahead[id] {
+			steps = append(steps, s)
+		}
+		sort.Ints(steps)
+		w.Int(len(steps))
+		for _, s := range steps {
+			w.Int(s)
+		}
 	}
 }
 
-// DecodeGroupTracker reconstructs a tracker from r.
+func (g *GroupTracker) encodeLegacy(w *enc.Writer) {
+	w.Int(g.finalStep)
+	ids := make([]int, 0, len(g.last)+len(g.ahead))
+	for id := range g.last {
+		ids = append(ids, id)
+	}
+	for id := range g.ahead {
+		if _, seen := g.last[id]; !seen {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	w.Int(len(ids))
+	for _, id := range ids {
+		last, seen := g.last[id]
+		if !seen {
+			last = -1
+		}
+		for s := range g.ahead[id] {
+			if s > last {
+				last = s
+			}
+		}
+		w.Int(id)
+		w.Int(last)
+	}
+}
+
+// DecodeGroupTracker reconstructs a tracker encoded in the current layout.
 func DecodeGroupTracker(r *enc.Reader) (*GroupTracker, error) {
+	return DecodeGroupTrackerVersion(r, LayoutCurrent)
+}
+
+// DecodeGroupTrackerVersion reconstructs a tracker encoded in the given
+// checkpoint layout. Pre-V3 files carry one (id, last) pair per group; those
+// builds assumed contiguous arrival, so the pair is restored as a contiguous
+// frontier with an empty ahead-set.
+func DecodeGroupTrackerVersion(r *enc.Reader, version int) (*GroupTracker, error) {
+	if version < LayoutV3 {
+		return decodeLegacyTracker(r)
+	}
+	finalStep := r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	g := NewGroupTracker(finalStep)
+	for i := 0; i < count; i++ {
+		id := r.Int()
+		last := r.Int()
+		nahead := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if last >= 0 {
+			g.last[id] = last
+		}
+		for j := 0; j < nahead; j++ {
+			s := r.Int()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			set := g.ahead[id]
+			if set == nil {
+				set = make(map[int]struct{})
+				g.ahead[id] = set
+			}
+			set[s] = struct{}{}
+		}
+	}
+	return g, nil
+}
+
+func decodeLegacyTracker(r *enc.Reader) (*GroupTracker, error) {
 	finalStep := r.Int()
 	count := r.Int()
 	if err := r.Err(); err != nil {

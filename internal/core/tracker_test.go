@@ -19,13 +19,77 @@ func TestTrackerLifecycle(t *testing.T) {
 	if tr.State(7) != GroupRunning {
 		t.Fatal("group with one message should be running")
 	}
-	tr.Commit(7, 50)
-	if last, ok := tr.LastStep(7); !ok || last != 50 {
+	for step := 1; step <= 98; step++ {
+		tr.Commit(7, step)
+	}
+	if last, ok := tr.LastStep(7); !ok || last != 98 {
 		t.Fatalf("last step = %d/%v", last, ok)
+	}
+	if tr.State(7) != GroupRunning {
+		t.Fatal("group one step short of final should still be running")
 	}
 	tr.Commit(7, 99)
 	if tr.State(7) != GroupFinished {
 		t.Fatal("group at final step should be finished")
+	}
+}
+
+// A lost frame must stall the contiguous frontier, never be skipped: steps
+// folded beyond the hole park in the ahead-set (still replay-protected), and
+// the frontier jumps forward only when the hole is filled by a resend.
+func TestTrackerHoleStallsFrontier(t *testing.T) {
+	tr := NewGroupTracker(9)
+	tr.Commit(4, 0)
+	tr.Commit(4, 1)
+	// Step 2 is lost in transit; steps 3..5 still arrive and fold.
+	for step := 3; step <= 5; step++ {
+		if !tr.ShouldApply(4, step) {
+			t.Fatalf("ahead step %d rejected", step)
+		}
+		tr.Commit(4, step)
+	}
+	if last, _ := tr.LastStep(4); last != 1 {
+		t.Fatalf("frontier advanced over a hole: last = %d", last)
+	}
+	if tr.State(4) != GroupRunning {
+		t.Fatal("stalled group should stay running")
+	}
+	// Ahead-folded steps are replay-protected like contiguous ones.
+	for step := 3; step <= 5; step++ {
+		if tr.ShouldApply(4, step) {
+			t.Fatalf("ahead-folded step %d not discarded on replay", step)
+		}
+	}
+	// The reconnecting group resends its unacked window from last+1; only
+	// the hole actually folds, and the frontier drains through the ahead-set.
+	if !tr.ShouldApply(4, 2) {
+		t.Fatal("hole step must be applied")
+	}
+	tr.Commit(4, 2)
+	if last, _ := tr.LastStep(4); last != 5 {
+		t.Fatalf("frontier did not drain ahead-set: last = %d", last)
+	}
+	for step := 6; step <= 9; step++ {
+		tr.Commit(4, step)
+	}
+	if tr.State(4) != GroupFinished {
+		t.Fatal("group should finish after the hole was healed")
+	}
+}
+
+// A group whose only folded steps are ahead of a hole (e.g. its first frames
+// were lost) is still Running for reporting purposes, with no frontier.
+func TestTrackerAheadOnlyGroup(t *testing.T) {
+	tr := NewGroupTracker(9)
+	tr.Commit(2, 5)
+	if _, ok := tr.LastStep(2); ok {
+		t.Fatal("ahead-only group must not report a resume frontier")
+	}
+	if tr.State(2) != GroupRunning {
+		t.Fatal("ahead-only group should be running")
+	}
+	if got := tr.Running(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("running = %v", got)
 	}
 }
 
@@ -57,8 +121,12 @@ func TestTrackerDiscardOnReplay(t *testing.T) {
 
 func TestTrackerRunningFinishedLists(t *testing.T) {
 	tr := NewGroupTracker(4)
-	tr.Commit(3, 4) // finished
-	tr.Commit(1, 2) // running
+	for s := 0; s <= 4; s++ {
+		tr.Commit(3, s) // finished
+	}
+	for s := 0; s <= 2; s++ {
+		tr.Commit(1, s) // running
+	}
 	tr.Commit(5, 0) // running
 	running := tr.Running()
 	finished := tr.Finished()
@@ -73,9 +141,15 @@ func TestTrackerRunningFinishedLists(t *testing.T) {
 func TestTrackerMerge(t *testing.T) {
 	a := NewGroupTracker(9)
 	b := NewGroupTracker(9)
-	a.Commit(1, 3)
-	b.Commit(1, 7)
-	b.Commit(2, 9)
+	for s := 0; s <= 3; s++ {
+		a.Commit(1, s)
+	}
+	for s := 0; s <= 7; s++ {
+		b.Commit(1, s)
+	}
+	for s := 0; s <= 9; s++ {
+		b.Commit(2, s)
+	}
 	a.Merge(b)
 	if last, _ := a.LastStep(1); last != 7 {
 		t.Fatalf("merge kept stale step %d", last)
@@ -89,7 +163,14 @@ func TestTrackerEncodeDecode(t *testing.T) {
 	tr := NewGroupTracker(99)
 	rng := rand.New(rand.NewSource(50))
 	for g := 0; g < 200; g++ {
-		tr.Commit(g, rng.Intn(100))
+		// A contiguous prefix plus a few ahead-parked steps, so both halves
+		// of the tracker state round-trip.
+		for s := 0; s <= rng.Intn(50); s++ {
+			tr.Commit(g, s)
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			tr.Commit(g, 60+rng.Intn(40))
+		}
 	}
 	w := enc.NewWriter(1024)
 	tr.Encode(w)
@@ -106,12 +187,44 @@ func TestTrackerEncodeDecode(t *testing.T) {
 		if a != b || aok != bok {
 			t.Fatalf("group %d: %d/%v vs %d/%v", g, a, aok, b, bok)
 		}
+		for s := 0; s < 100; s++ {
+			if tr.ShouldApply(g, s) != got.ShouldApply(g, s) {
+				t.Fatalf("group %d step %d: apply decision lost in round trip", g, s)
+			}
+		}
 	}
 	// Deterministic encoding (sorted): two encodes are byte-identical.
 	w2 := enc.NewWriter(1024)
 	got.Encode(w2)
 	if string(w.Bytes()) != string(w2.Bytes()) {
 		t.Fatal("checkpoint encoding not deterministic")
+	}
+}
+
+// A pre-V3 checkpoint stores one (id, last) pair per group; it must restore
+// as a contiguous frontier, and a downgrade encode must flatten each group to
+// its highest folded step (what a pre-V3 build would have recorded).
+func TestTrackerLegacyLayoutRoundTrip(t *testing.T) {
+	tr := NewGroupTracker(99)
+	for s := 0; s <= 10; s++ {
+		tr.Commit(1, s)
+	}
+	tr.Commit(1, 15) // ahead of a hole at 11..14
+	tr.Commit(2, 7)  // ahead-only group, no frontier
+	w := enc.NewWriter(64)
+	tr.EncodeVersion(w, LayoutV1)
+	got, err := DecodeGroupTrackerVersion(enc.NewReader(w.Bytes()), LayoutV1)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	if last, ok := got.LastStep(1); !ok || last != 15 {
+		t.Fatalf("group 1 flattened to %d/%v, want 15", last, ok)
+	}
+	if last, ok := got.LastStep(2); !ok || last != 7 {
+		t.Fatalf("group 2 flattened to %d/%v, want 7", last, ok)
+	}
+	if got.State(1) != GroupRunning || got.State(2) != GroupRunning {
+		t.Fatal("legacy groups should restore as running")
 	}
 }
 

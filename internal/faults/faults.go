@@ -101,8 +101,11 @@ func (p *Plan) IsZombie(group, attempt int) bool {
 
 // BeforeStepHook builds the client.RunConfig.BeforeStep hook implementing
 // the planned fault for (group, attempt). It returns nil when the attempt
-// is clean.
-func (p *Plan) BeforeStepHook(group, attempt int) func(step int) error {
+// is clean. A Hang sleeps on a timer but aborts immediately when stop closes,
+// so a supervisor that kills the hung attempt reclaims its goroutine at once
+// instead of leaking it for the rest of the (unbounded) hang; a nil stop
+// keeps the plain bounded-sleep behavior.
+func (p *Plan) BeforeStepHook(group, attempt int, stop <-chan struct{}) func(step int) error {
 	f, ok := p.GroupFaultFor(group, attempt)
 	if !ok || f.Kind == Zombie {
 		return nil // zombies are handled before the group starts
@@ -123,7 +126,14 @@ func (p *Plan) BeforeStepHook(group, attempt int) func(step int) error {
 				if d <= 0 {
 					d = time.Hour // effectively forever at test scale
 				}
-				time.Sleep(d)
+				timer := time.NewTimer(d)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-stop:
+					return fmt.Errorf("%w: group %d attempt %d hang cancelled at step %d",
+						ErrInjected, group, attempt, step)
+				}
 				return fmt.Errorf("%w: group %d attempt %d hung at step %d",
 					ErrInjected, group, attempt, step)
 			}

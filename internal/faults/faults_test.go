@@ -28,7 +28,7 @@ func TestPlanLookup(t *testing.T) {
 
 func TestCrashHook(t *testing.T) {
 	p := NewPlan(GroupFault{Group: 1, Attempt: 0, Kind: Crash, AtStep: 3})
-	hook := p.BeforeStepHook(1, 0)
+	hook := p.BeforeStepHook(1, 0, nil)
 	if hook == nil {
 		t.Fatal("no hook for planned crash")
 	}
@@ -48,7 +48,7 @@ func TestCrashHook(t *testing.T) {
 
 func TestHangHookBounded(t *testing.T) {
 	p := NewPlan(GroupFault{Group: 2, Attempt: 1, Kind: Hang, AtStep: 0, HangFor: 20 * time.Millisecond})
-	hook := p.BeforeStepHook(2, 1)
+	hook := p.BeforeStepHook(2, 1, nil)
 	start := time.Now()
 	err := hook(0)
 	if err == nil {
@@ -59,17 +59,38 @@ func TestHangHookBounded(t *testing.T) {
 	}
 }
 
+func TestHangHookCancellable(t *testing.T) {
+	p := NewPlan(GroupFault{Group: 2, Attempt: 0, Kind: Hang, AtStep: 0}) // unbounded hang
+	stop := make(chan struct{})
+	hook := p.BeforeStepHook(2, 0, stop)
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- hook(0) }()
+	close(stop)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled hang returned no error")
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("cancelled hang not marked injected: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("hang did not cancel (waited %v)", time.Since(start))
+	}
+}
+
 func TestCleanAttemptsHaveNoHook(t *testing.T) {
 	p := NewPlan(GroupFault{Group: 1, Attempt: 0, Kind: Crash, AtStep: 0})
-	if p.BeforeStepHook(1, 1) != nil {
+	if p.BeforeStepHook(1, 1, nil) != nil {
 		t.Fatal("retry attempt should be clean")
 	}
-	if p.BeforeStepHook(2, 0) != nil {
+	if p.BeforeStepHook(2, 0, nil) != nil {
 		t.Fatal("unplanned group should be clean")
 	}
 	// Zombies have no step hook: they never start stepping.
 	z := NewPlan(GroupFault{Group: 4, Attempt: 0, Kind: Zombie})
-	if z.BeforeStepHook(4, 0) != nil {
+	if z.BeforeStepHook(4, 0, nil) != nil {
 		t.Fatal("zombie should have no step hook")
 	}
 }

@@ -71,6 +71,15 @@ type Config struct {
 	// (Sec. 4.2.2: "if it reaches a given threshold, the launcher gives up
 	// this simulation group").
 	MaxRetries int
+	// Retry is the per-group connection-resilience policy handed to every
+	// attempt: broken server connections are re-dialed with capped
+	// exponential backoff and healed by the resume handshake instead of
+	// failing the attempt (see client.RetryPolicy). The zero value keeps the
+	// legacy fail-the-attempt behavior exactly.
+	Retry client.RetryPolicy
+	// ResendWindow is the per-route retention depth (in timesteps) backing
+	// reconnect resends (see client.Connection.ResendWindow; 0 = default).
+	ResendWindow int
 	// MaxInFlight caps submitted-but-unfinished group jobs (the paper was
 	// limited to 500 simultaneous submissions).
 	MaxInFlight int
@@ -154,6 +163,7 @@ type Stats struct {
 	GroupsGivenUp   int
 	GroupsResampled int
 	Restarts        int
+	Reconnects      int
 	TimeoutKills    int
 	ZombieKills     int
 	ServerRestarts  int
@@ -179,6 +189,19 @@ type groupState struct {
 	abandoned   bool // replaced under the resample policy
 	loggedDone  bool // group-complete lifecycle event already emitted
 	lastRestart time.Time
+	// lastReconnect is when this group last reported a connection-recovery
+	// attempt; timeout kills hold off while a reconnect is in progress.
+	lastReconnect time.Time
+	// stop cancels the current attempt's injected hang (closed when the
+	// attempt is killed or done, so hung hook goroutines unwind promptly).
+	stop chan struct{}
+}
+
+// reconnectEvent is one group's report of a connection-recovery attempt,
+// handed from the group goroutine to the tick loop.
+type reconnectEvent struct {
+	group int
+	when  time.Time
 }
 
 type groupDone struct {
@@ -197,7 +220,15 @@ type Launcher struct {
 
 	groups map[int]*groupState
 	order  []int
-	done   chan groupDone
+	// jobIndex maps live scheduler job ids to their group, replacing the
+	// per-tick linear scan over all groups.
+	jobIndex map[scheduler.JobID]*groupState
+	done     chan groupDone
+	reconns  chan reconnectEvent
+	// groupTimeout is the batch-scaled liveness timeout actually configured
+	// on the server (see startServer); the timeout-kill grace period must
+	// compare against the same scaled value.
+	groupTimeout time.Duration
 	// reporters is the number of server processes that own a non-empty
 	// partition; only those ever report groups as finished.
 	reporters int
@@ -236,7 +267,9 @@ func New(cfg Config) (*Launcher, error) {
 	l := &Launcher{
 		cfg:       cfg,
 		groups:    make(map[int]*groupState),
+		jobIndex:  make(map[scheduler.JobID]*groupState),
 		done:      make(chan groupDone, 1024),
+		reconns:   make(chan reconnectEvent, 1024),
 		maxCI:     make(map[int]float64),
 		qtel:      make(map[int][2]int64),
 		reporters: reporters,
@@ -287,6 +320,7 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 
 	for {
 		now := time.Now()
+		l.drainReconnects()
 		l.drainMessages()
 		l.drainDone(now)
 		l.injectServerCrash(now)
@@ -312,6 +346,7 @@ func (l *Launcher) Run() (*server.Result, Stats, error) {
 		<-ticker.C
 	}
 	l.sample(time.Now())
+	l.drainReconnects()
 
 	// Final drain so in-flight messages reach the statistics, then stop.
 	l.srv.Stop(l.cfg.CheckpointDir != "")
@@ -340,6 +375,7 @@ func (l *Launcher) startServer(restore bool) error {
 	if factor := max(l.cfg.BatchSteps, l.cfg.MaxBatchSteps); factor > 1 {
 		groupTimeout *= time.Duration(factor)
 	}
+	l.groupTimeout = groupTimeout
 	srv, err := server.New(server.Config{
 		Procs:              l.cfg.ServerProcs,
 		FoldWorkers:        l.cfg.FoldWorkers,
@@ -426,7 +462,22 @@ func (l *Launcher) submitGroup(g *groupState, now time.Time) error {
 	}
 	g.job = job.ID
 	g.jobRunning = false
+	l.jobIndex[job.ID] = g
 	return nil
+}
+
+// clearJob detaches a group from its scheduler job (index entry included)
+// and cancels the attempt's injected hang, if one is still sleeping.
+func (l *Launcher) clearJob(g *groupState) {
+	if g.job != 0 {
+		delete(l.jobIndex, g.job)
+	}
+	g.job = 0
+	g.jobRunning = false
+	if g.stop != nil {
+		close(g.stop)
+		g.stop = nil
+	}
 }
 
 // tickCluster advances the scheduler and launches the jobs it started.
@@ -466,8 +517,15 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 		return
 	}
 	rows := l.cfg.Design.GroupRows(id)
-	hook := l.cfg.Faults.BeforeStepHook(id, attempt)
+	g.stop = make(chan struct{})
+	hook := l.cfg.Faults.BeforeStepHook(id, attempt, g.stop)
 	mainAddr := l.srv.MainAddr()
+	onReconnect := func(serverRank, n int) {
+		select { // non-blocking: a full channel only costs grace accuracy
+		case l.reconns <- reconnectEvent{group: id, when: time.Now()}:
+		default:
+		}
+	}
 	go func() {
 		err := client.RunGroup(l.cfg.Network, mainAddr, client.RunConfig{
 			GroupID:        id,
@@ -480,9 +538,31 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 			Congestion:     l.batchCtl,
 			WireCodec:      l.cfg.WireCodec,
 			BeforeStep:     hook,
+			Retry:          l.cfg.Retry,
+			ResendWindow:   l.cfg.ResendWindow,
+			// A restarted attempt recomputes steps the server may already
+			// have folded; the resume handshake lets it skip resending them.
+			Resume:      l.cfg.Retry.MaxReconnects > 0 && attempt > 0,
+			OnReconnect: onReconnect,
 		})
 		l.done <- groupDone{group: id, attempt: attempt, job: job, err: err}
 	}()
+}
+
+// drainReconnects applies queued reconnect reports: the grace clock that
+// keeps handleTimeout from killing a group mid-backoff, plus study stats.
+func (l *Launcher) drainReconnects() {
+	for {
+		select {
+		case ev := <-l.reconns:
+			l.stats.Reconnects++
+			if g := l.groups[ev.group]; g != nil && ev.when.After(g.lastReconnect) {
+				g.lastReconnect = ev.when
+			}
+		default:
+			return
+		}
+	}
 }
 
 // drainDone processes finished group attempts.
@@ -502,8 +582,7 @@ func (l *Launcher) handleDone(d groupDone, now time.Time) {
 	if g == nil || g.job != d.job {
 		return // stale completion from a killed/restarted attempt
 	}
-	g.jobRunning = false
-	g.job = 0
+	l.clearJob(g)
 	if job := l.cfg.Cluster.Job(d.job); job != nil && job.State == scheduler.Running {
 		if d.err == nil {
 			l.cfg.Cluster.Complete(d.job, now)
@@ -612,14 +691,22 @@ func (l *Launcher) handleTimeout(id int) {
 	}
 	now := time.Now()
 	// Grace period: ignore stale timeout reports about an attempt we just
-	// restarted (its first message may not have arrived yet).
-	if now.Sub(g.lastRestart) < l.cfg.GroupTimeout {
+	// restarted (its first message may not have arrived yet). The server's
+	// timeout is the batch-scaled value, so the grace must be too — with the
+	// raw timeout, a batched study's stale reports would outlive the grace
+	// and kill freshly restarted groups.
+	if now.Sub(g.lastRestart) < l.groupTimeout {
+		return
+	}
+	// A group mid-reconnect is alive: its retry backoff is what silenced the
+	// message stream. Only after the budget is exhausted (the attempt then
+	// fails and groupDone fires) may the timeout protocol kill it.
+	if now.Sub(g.lastReconnect) < l.groupTimeout {
 		return
 	}
 	if g.job != 0 {
 		l.cfg.Cluster.Cancel(g.job, now)
-		g.job = 0
-		g.jobRunning = false
+		l.clearJob(g)
 	}
 	l.stats.TimeoutKills++
 	l.retryOrGiveUp(g, now, fmt.Errorf("group %d timed out", id))
@@ -645,8 +732,7 @@ func (l *Launcher) checkZombies(now time.Time) {
 		}
 		if now.Sub(job.StartTime) >= l.cfg.ZombieTimeout {
 			l.cfg.Cluster.Cancel(g.job, now)
-			g.job = 0
-			g.jobRunning = false
+			l.clearJob(g)
 			l.stats.ZombieKills++
 			l.retryOrGiveUp(g, now, fmt.Errorf("group %d is a zombie", g.id))
 		}
@@ -688,8 +774,7 @@ func (l *Launcher) restartServer(now time.Time) {
 				(job.State == scheduler.Running || job.State == scheduler.Pending) {
 				l.cfg.Cluster.Cancel(g.job, now)
 			}
-			g.job = 0
-			g.jobRunning = false
+			l.clearJob(g)
 		}
 		// Forget pre-crash completion claims not backed by the checkpoint:
 		// the restored server re-reports Finished lists after restart, and
@@ -705,14 +790,7 @@ func (l *Launcher) restartServer(now time.Time) {
 	}
 }
 
-func (l *Launcher) groupByJob(id scheduler.JobID) *groupState {
-	for _, g := range l.groups {
-		if g.job == id {
-			return g
-		}
-	}
-	return nil
-}
+func (l *Launcher) groupByJob(id scheduler.JobID) *groupState { return l.jobIndex[id] }
 
 func (g *groupState) finished(procs int) bool { return len(g.finishedBy) >= procs }
 
@@ -767,8 +845,7 @@ func (l *Launcher) cancelOutstanding(now time.Time) {
 				(job.State == scheduler.Running || job.State == scheduler.Pending) {
 				l.cfg.Cluster.Cancel(g.job, now)
 			}
-			g.job = 0
-			g.jobRunning = false
+			l.clearJob(g)
 		}
 	}
 	l.studyComplete() // refresh the finished count

@@ -19,6 +19,7 @@ type studyTelemetry struct {
 	groupsGivenUp   atomic.Int64
 	groupsResampled atomic.Int64
 	restarts        atomic.Int64
+	reconnects      atomic.Int64
 	timeoutKills    atomic.Int64
 	zombieKills     atomic.Int64
 	serverRestarts  atomic.Int64
@@ -44,6 +45,8 @@ var (
 		"Simulation groups abandoned after exhausting the retry budget.")
 	lRestarts = obs.NewGauge("melissa_study_group_restarts",
 		"Group attempts resubmitted after a failure.")
+	lReconnects = obs.NewGauge("melissa_study_group_reconnects",
+		"Server connections groups re-established in place instead of failing the attempt.")
 	lServerRestarts = obs.NewGauge("melissa_study_server_restarts",
 		"Server restarts from checkpoint after heartbeat loss.")
 	lUsedNodes = obs.NewGauge("melissa_study_used_nodes",
@@ -64,6 +67,7 @@ type StudyStatus struct {
 	GroupsGivenUp   int64 `json:"groups_given_up"`
 	GroupsResampled int64 `json:"groups_resampled"`
 	Restarts        int64 `json:"group_restarts"`
+	Reconnects      int64 `json:"group_reconnects"`
 	TimeoutKills    int64 `json:"timeout_kills"`
 	ZombieKills     int64 `json:"zombie_kills"`
 	ServerRestarts  int64 `json:"server_restarts"`
@@ -94,6 +98,7 @@ func (l *Launcher) publishStatus(now time.Time) {
 	l.tel.groupsGivenUp.Store(int64(l.stats.GroupsGivenUp))
 	l.tel.groupsResampled.Store(int64(l.stats.GroupsResampled))
 	l.tel.restarts.Store(int64(l.stats.Restarts))
+	l.tel.reconnects.Store(int64(l.stats.Reconnects))
 	l.tel.timeoutKills.Store(int64(l.stats.TimeoutKills))
 	l.tel.zombieKills.Store(int64(l.stats.ZombieKills))
 	l.tel.serverRestarts.Store(int64(l.stats.ServerRestarts))
@@ -120,6 +125,7 @@ func (l *Launcher) publishStatus(now time.Time) {
 	lGroupsFinished.SetInt(int64(l.stats.GroupsFinished))
 	lGroupsGivenUp.SetInt(int64(l.stats.GroupsGivenUp))
 	lRestarts.SetInt(int64(l.stats.Restarts))
+	lReconnects.SetInt(int64(l.stats.Reconnects))
 	lServerRestarts.SetInt(int64(l.stats.ServerRestarts))
 	lUsedNodes.Set(float64(l.cfg.Cluster.UsedNodes()))
 	lTupleCount.SetInt(tuples)
@@ -135,6 +141,7 @@ func (l *Launcher) snapshotStatus() StudyStatus {
 		GroupsGivenUp:       l.tel.groupsGivenUp.Load(),
 		GroupsResampled:     l.tel.groupsResampled.Load(),
 		Restarts:            l.tel.restarts.Load(),
+		Reconnects:          l.tel.reconnects.Load(),
 		TimeoutKills:        l.tel.timeoutKills.Load(),
 		ZombieKills:         l.tel.zombieKills.Load(),
 		ServerRestarts:      l.tel.serverRestarts.Load(),

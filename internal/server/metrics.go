@@ -51,6 +51,8 @@ var (
 		"Bytes the same field content costs in the uncompressed framing.")
 	mDrops = obs.NewCounterVec("melissa_server_dropped_frames_total",
 		"Malformed or out-of-contract frames dropped before folding, by reason.", "reason")
+	mResumes = obs.NewCounter("melissa_server_resume_queries_total",
+		"Resume messages handled (fold-frontier queries and liveness pings from reconnecting groups).")
 	mCkptWrites = obs.NewCounter("melissa_server_checkpoint_writes_total",
 		"Durable checkpoint writes committed.")
 	mCkptSkips = obs.NewCounter("melissa_server_checkpoint_skipped_total",

@@ -926,6 +926,8 @@ func (p *Proc) dispatch(payload []byte) {
 	switch m := msg.(type) {
 	case *wire.Hello:
 		p.handleHello(m)
+	case *wire.Resume:
+		p.handleResume(m)
 	case *wire.Stop:
 		p.requestStop(m.Checkpoint)
 	case *wire.Heartbeat:
@@ -965,8 +967,49 @@ func (p *Proc) handleHello(m *wire.Hello) {
 	if p.cfg.WireCodec {
 		w.Caps = m.Caps & wire.CapWireCodec
 	}
+	// A resuming group gets this process's contiguous fold frontier so it can
+	// skip recomputed-and-already-folded steps (the client queries the other
+	// ranks' frontiers itself, over the direct connections it opens next).
+	w.LastStep = -1
+	if m.Resume {
+		if last, ok := p.tracker.LastStep(m.GroupID); ok {
+			w.LastStep = last
+		}
+	}
 	if err := reply.Send(wire.Encode(w)); err != nil {
 		olog.Warnw("server.welcome_failed", "group", m.GroupID, "err", err)
+	}
+}
+
+// handleResume answers a resume query from a reconnecting group: any rank
+// (not just process zero) reports its contiguous fold frontier, so the
+// client resends only the unacked window on the re-established connection. A
+// Resume without a reply address is a liveness ping — it refreshes the
+// group's message clock (a resumed attempt recomputing already-folded steps
+// produces no data traffic) and gets no reply.
+func (p *Proc) handleResume(m *wire.Resume) {
+	mResumes.Inc()
+	p.lastMsg[m.GroupID] = time.Now()
+	if m.ReplyAddr == "" {
+		return
+	}
+	last, ok := p.tracker.LastStep(m.GroupID)
+	if !ok {
+		last = -1
+	}
+	reply, err := p.cfg.Network.Dial(m.ReplyAddr)
+	if err != nil {
+		olog.Warnw("server.resume_unreachable", "rank", p.cfg.Rank,
+			"group", m.GroupID, "addr", m.ReplyAddr, "err", err)
+		return
+	}
+	defer reply.Close()
+	if olog.Default.Enabled(olog.Debug) {
+		olog.Debugw("server.group_resume", "rank", p.cfg.Rank, "group", m.GroupID, "last_step", last)
+	}
+	ack := &wire.ResumeAck{ProcRank: p.cfg.Rank, GroupID: m.GroupID, LastStep: last}
+	if err := reply.Send(wire.Encode(ack)); err != nil {
+		olog.Warnw("server.resume_ack_failed", "rank", p.cfg.Rank, "group", m.GroupID, "err", err)
 	}
 }
 
@@ -1023,7 +1066,6 @@ func (p *Proc) handleBulk(payload []byte) {
 	}
 	atomic.AddInt64(&p.rawBytes, raw)
 	mRawBytes.Add(raw)
-	p.lastMsg[m.groupID()] = t0
 
 	part := p.cfg.Partition
 	switch {
@@ -1035,6 +1077,7 @@ func (p *Proc) handleBulk(payload []byte) {
 			"group", m.groupID(), "lo", m.cellLo(), "hi", m.cellHi(),
 			"part_lo", part.Lo, "part_hi", part.Hi)
 	default:
+		p.refreshClock(m, t0)
 		for s := 0; s < m.numSteps(); s++ {
 			p.routeStep(m, s)
 		}
@@ -1043,6 +1086,28 @@ func (p *Proc) handleBulk(payload []byte) {
 		p.retireBulk(m)
 	}
 	mRouteSeconds.ObserveSince(t0)
+}
+
+// refreshClock advances the group's liveness clock only when the frame can
+// touch the contiguous fold frontier (it carries some step ≤ frontier+1). A
+// group whose frontier is stalled on a lost frame keeps streaming ahead-steps
+// that fold fine, but those must not count as progress — the stall has to
+// trip the group timeout so the launcher replays and the hole is filled.
+// Well-formed traffic refreshes as before: in-order frames always carry the
+// next frontier step, and a sim rank whose pieces feed a pending assembly
+// carries steps at the frontier until the assembly completes.
+func (p *Proc) refreshClock(m *bulkMsg, t0 time.Time) {
+	group := m.groupID()
+	next := 0
+	if last, ok := p.tracker.LastStep(group); ok {
+		next = last + 1
+	}
+	for s := 0; s < m.numSteps(); s++ {
+		if m.stepTimestep(s) <= next {
+			p.lastMsg[group] = t0
+			return
+		}
+	}
 }
 
 // routeStep routes one (piece, timestep) of a retained bulk message. A
@@ -1392,12 +1457,12 @@ func (p *Proc) restore() error {
 	if err != nil {
 		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
 	}
-	if version < checkpoint.Version && len(p.cfg.Stats.Quantiles) > 0 {
+	if version < checkpoint.V2 && len(p.cfg.Stats.Quantiles) > 0 {
 		// The restored accumulator adopts the checkpoint's statistics set;
 		// a pre-quantile file cannot resurrect sketch state mid-study.
 		olog.Warnw("server.restore_no_quantiles", "rank", p.cfg.Rank, "version", version)
 	}
-	tracker, err := core.DecodeGroupTracker(r)
+	tracker, err := core.DecodeGroupTrackerVersion(r, version)
 	if err != nil {
 		return fmt.Errorf("server: process %d: %w", p.cfg.Rank, err)
 	}

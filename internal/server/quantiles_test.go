@@ -109,7 +109,7 @@ func writeCheckpointFile(t *testing.T, dir string, version int, part mesh.Partit
 		w.Int(part.Hi)
 		w.I64(7) // messages
 		acc.EncodeVersion(w, version)
-		tracker.Encode(w)
+		tracker.EncodeVersion(w, version)
 	})
 	if err != nil {
 		t.Fatal(err)

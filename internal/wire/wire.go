@@ -46,6 +46,18 @@ const (
 	// and entropy-coded per shard-aligned cell sub-range. Only sent after
 	// both sides advertised CapWireCodec in the Hello/Welcome exchange.
 	TypeDataBatchC
+	// TypeResume is a group → server-process query on a fresh connection:
+	// "what is the last contiguous timestep you folded for my group?". The
+	// addressed process dials ReplyAddr back with a ResumeAck. An empty
+	// ReplyAddr turns the message into a pure liveness ping (it refreshes
+	// the server's per-group message clock without requesting an answer),
+	// which a resuming group emits while it recomputes already-folded steps
+	// it will never resend.
+	TypeResume
+	// TypeResumeAck answers a Resume with the process's contiguous fold
+	// frontier for the group; the reconnecting client resends only the
+	// retained steps after LastStep.
+	TypeResumeAck
 )
 
 // Capability bits exchanged in Hello.Caps/Welcome.Caps. A capability takes
@@ -65,6 +77,11 @@ type Hello struct {
 	SimRanks  int // parallel ranks per simulation (N of the N×M pattern)
 	ReplyAddr string
 	Caps      uint32
+	// Resume marks a re-connection of a group that may already have folded
+	// data on the server (a retried dial or a restarted attempt). The server
+	// then fills Welcome.LastStep so the group can skip resending what is
+	// already folded.
+	Resume bool
 }
 
 // Welcome describes the server layout to a freshly connected group: the
@@ -84,6 +101,11 @@ type Welcome struct {
 	Partitions []mesh.Partition
 	Caps       uint32
 	FoldShards []int
+	// LastStep is the answering process's (rank 0's) last contiguous folded
+	// timestep for the group, or -1 when nothing was folded or the Hello did
+	// not set Resume. Other ranks are queried individually with Resume
+	// messages; rank 0's answer rides along in the handshake for free.
+	LastStep int
 }
 
 // Data is the bulk payload: the fields of all p+2 simulations of one group
@@ -162,6 +184,21 @@ type Stop struct {
 	Checkpoint bool
 }
 
+// Resume asks one server process for its fold frontier of a group (see
+// TypeResume). With an empty ReplyAddr it is a liveness ping only.
+type Resume struct {
+	GroupID   int
+	ReplyAddr string
+}
+
+// ResumeAck answers a Resume: LastStep is the process's last contiguous
+// folded timestep for the group, -1 if it never folded anything.
+type ResumeAck struct {
+	ProcRank int
+	GroupID  int
+	LastStep int
+}
+
 // Encode serializes any supported message with its type tag into a fresh
 // buffer. Hot paths should prefer EncodeTo with a pooled enc.Writer.
 func Encode(msg any) []byte {
@@ -199,6 +236,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.Int(m.SimRanks)
 		w.String(m.ReplyAddr)
 		w.U32(m.Caps)
+		w.Bool(m.Resume)
 	case *Welcome:
 		w.U8(uint8(TypeWelcome))
 		w.Int(m.Timesteps)
@@ -218,6 +256,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		for _, s := range m.FoldShards {
 			w.Int(s)
 		}
+		w.Int(m.LastStep)
 	case *Data:
 		w.U8(uint8(TypeData))
 		w.Int(m.GroupID)
@@ -268,6 +307,15 @@ func EncodeTo(w *enc.Writer, msg any) {
 	case *Stop:
 		w.U8(uint8(TypeStop))
 		w.Bool(m.Checkpoint)
+	case *Resume:
+		w.U8(uint8(TypeResume))
+		w.Int(m.GroupID)
+		w.String(m.ReplyAddr)
+	case *ResumeAck:
+		w.U8(uint8(TypeResumeAck))
+		w.Int(m.ProcRank)
+		w.Int(m.GroupID)
+		w.Int(m.LastStep)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
@@ -288,6 +336,7 @@ func Decode(payload []byte) (any, error) {
 		m.SimRanks = r.Int()
 		m.ReplyAddr = r.String()
 		m.Caps = r.U32()
+		m.Resume = r.Bool()
 		msg = m
 	case TypeWelcome:
 		m := &Welcome{}
@@ -317,6 +366,7 @@ func Decode(payload []byte) (any, error) {
 				m.FoldShards[i] = r.Int()
 			}
 		}
+		m.LastStep = r.Int()
 		msg = m
 	case TypeData:
 		m := &Data{}
@@ -396,6 +446,17 @@ func Decode(payload []byte) (any, error) {
 	case TypeStop:
 		m := &Stop{}
 		m.Checkpoint = r.Bool()
+		msg = m
+	case TypeResume:
+		m := &Resume{}
+		m.GroupID = r.Int()
+		m.ReplyAddr = r.String()
+		msg = m
+	case TypeResumeAck:
+		m := &ResumeAck{}
+		m.ProcRank = r.Int()
+		m.GroupID = r.Int()
+		m.LastStep = r.Int()
 		msg = m
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)

@@ -19,10 +19,34 @@ func roundTrip(t *testing.T, msg any) any {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	in := &Hello{GroupID: 42, SimRanks: 4, ReplyAddr: "mem://17", Caps: CapWireCodec}
+	in := &Hello{GroupID: 42, SimRanks: 4, ReplyAddr: "mem://17", Caps: CapWireCodec, Resume: true}
 	got := roundTrip(t, in)
 	if !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	in := &Resume{GroupID: 17, ReplyAddr: "mem://42"}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+	// A liveness ping has no reply address.
+	ping := &Resume{GroupID: 3}
+	if got := roundTrip(t, ping); !reflect.DeepEqual(got, ping) {
+		t.Fatalf("ping: %+v", got)
+	}
+}
+
+func TestResumeAckRoundTrip(t *testing.T) {
+	in := &ResumeAck{ProcRank: 2, GroupID: 17, LastStep: 41}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+	// A process that never folded this group acks -1.
+	fresh := &ResumeAck{ProcRank: 0, GroupID: 5, LastStep: -1}
+	if got := roundTrip(t, fresh); !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("fresh ack: %+v", got)
 	}
 }
 
@@ -35,9 +59,15 @@ func TestWelcomeRoundTrip(t *testing.T) {
 		Partitions: []mesh.Partition{{Lo: 0, Hi: 3201280}, {Lo: 3201280, Hi: 6402560}, {Lo: 6402560, Hi: 9603840}},
 		Caps:       CapWireCodec,
 		FoldShards: []int{8, 8, 8},
+		LastStep:   37,
 	}
 	got := roundTrip(t, in)
 	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+	// Non-resume handshakes carry -1 (no frontier).
+	in.LastStep = -1
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
 	}
 }

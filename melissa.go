@@ -156,7 +156,33 @@ type StudyConfig struct {
 	// (Prometheus /metrics, JSON /status, /debug/pprof) on this address for
 	// the duration of the study. "127.0.0.1:0" binds an ephemeral port.
 	MetricsAddr string
+
+	// Retry enables in-place recovery of broken server connections: each
+	// group may re-establish a dead connection up to Retry.MaxReconnects
+	// times (capped exponential backoff), resume from the server's fold
+	// frontier, and resend only its unacknowledged window. The zero value
+	// keeps the legacy behavior — any connection failure fails the attempt
+	// and the launcher replays the whole group.
+	Retry RetryPolicy
+	// ResendWindow is the per-route retention depth in timesteps backing
+	// post-reconnect resends (0 = a deep default).
+	ResendWindow int
+	// Chaos, when non-nil, wraps the study's transport in a deterministic
+	// fault-injecting ChaosNetwork — connection refusals, mid-stream cuts
+	// with lost tails, latency, duplicated and corrupted frames, scheduled
+	// declaratively and reproduced exactly by the plan seed.
+	Chaos *ChaosPlan
 }
+
+// RetryPolicy configures client connection recovery (see StudyConfig.Retry).
+type RetryPolicy = client.RetryPolicy
+
+// ChaosPlan declares deterministic transport faults for resilience testing;
+// ChaosRule is one declarative fault.
+type (
+	ChaosPlan = transport.ChaosPlan
+	ChaosRule = transport.ChaosRule
+)
 
 // StudyStats summarizes the execution of a study.
 type StudyStats struct {
@@ -171,6 +197,9 @@ type StudyStats struct {
 	MessagesFolded   int64
 	ServerMemory     int64
 	DataAvoidedBytes int64
+	// Reconnects counts server connections groups re-established in place
+	// (resume + windowed resend) instead of failing the attempt.
+	Reconnects int
 }
 
 // FieldResult exposes the assembled ubiquitous statistics of a study.
@@ -293,6 +322,17 @@ func SetLogging(level string, jsonLines bool) error {
 	return nil
 }
 
+// studyNetwork builds the in-process transport for a study, wrapped in the
+// configured chaos plan when one is declared.
+func studyNetwork(cfg StudyConfig) transport.Network {
+	var net transport.Network = transport.NewMemNetwork(transport.ForStudyCodec(
+		cfg.Cells, len(cfg.Parameters), max(cfg.BatchSteps, cfg.MaxBatchSteps), cfg.WireCodec))
+	if cfg.Chaos != nil {
+		net = transport.NewChaosNetwork(net, *cfg.Chaos)
+	}
+	return net
+}
+
 // RunStudy executes a complete study in-process: it builds the pick-freeze
 // design, starts the parallel server and the launcher, runs every
 // simulation group through the two-stage transfer path, and returns the
@@ -335,8 +375,7 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 			Quantiles:     cfg.Quantiles,
 			QuantileEps:   cfg.QuantileEps,
 		},
-		Network: transport.NewMemNetwork(transport.ForStudyCodec(
-			cfg.Cells, len(cfg.Parameters), max(cfg.BatchSteps, cfg.MaxBatchSteps), cfg.WireCodec)),
+		Network:            studyNetwork(cfg),
 		Cluster:            cluster,
 		ServerProcs:        cfg.ServerProcs,
 		FoldWorkers:        cfg.FoldWorkers,
@@ -352,6 +391,8 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		SyncCheckpoints:    cfg.SyncCheckpoints,
 		ConvergenceTarget:  cfg.ConvergenceTarget,
 		MetricsAddr:        cfg.MetricsAddr,
+		Retry:              cfg.Retry,
+		ResendWindow:       cfg.ResendWindow,
 	}
 	l, err := launcher.New(lcfg)
 	if err != nil {
@@ -372,6 +413,7 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		PeakNodes:      lstats.PeakNodes,
 		MessagesFolded: res.Messages(),
 		ServerMemory:   res.MemoryBytes(),
+		Reconnects:     lstats.Reconnects,
 	}
 	// Data volume the study avoided writing: every simulation's every
 	// timestep at 8 bytes per cell.

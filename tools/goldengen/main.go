@@ -64,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	a2 := build(v2opts)
-	if err := checkpoint.WriteVersioned("internal/core/testdata/accumulator_v2.ckpt", checkpoint.Version,
+	if err := checkpoint.WriteVersioned("internal/core/testdata/accumulator_v2.ckpt", checkpoint.V2,
 		func(w *enc.Writer) { a2.EncodeVersion(w, core.LayoutV2) }); err != nil {
 		log.Fatal(err)
 	}
