@@ -83,16 +83,18 @@ func main() {
 	// hints; MaxBatchSteps without a controller falls back to the local
 	// send-queue signal, which backs up exactly when the server stalls.
 	err = client.RunGroup(net, *serverAddr, client.RunConfig{
-		GroupID:        *group,
-		SimRanks:       *simRanks,
-		Rows:           design.GroupRows(*group),
-		Sim:            st.Sim,
-		ConnectTimeout: *connectTimeout,
-		BatchSteps:     *batchSteps,
-		MaxBatchSteps:  *maxBatchSteps,
-		WireCodec:      *wireCodec,
-		Retry:          retry.Policy(),
-		ResendWindow:   retry.ResendWindow(),
+		GroupID:             *group,
+		SimRanks:            *simRanks,
+		Rows:                design.GroupRows(*group),
+		Sim:                 st.Sim,
+		ConnectTimeout:      *connectTimeout,
+		BatchSteps:          *batchSteps,
+		MaxBatchSteps:       *maxBatchSteps,
+		WireCodec:           *wireCodec,
+		Retry:               retry.Policy(),
+		ResendWindow:        retry.ResendWindow(),
+		CheckpointHighWater: retry.CheckpointHighWater(),
+		DurableDrainTimeout: retry.DurableDrainTimeout(),
 	})
 	if err != nil {
 		log.Fatalf("melissa-client: group %d failed: %v", *group, err)

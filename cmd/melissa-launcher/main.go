@@ -80,18 +80,20 @@ func main() {
 		Stats:     core.Options{MinMax: true},
 		Network: chaos.Wrap(transport.NewTCPNetwork(transport.ForStudyCodec(
 			st.Cells, st.P(), max(*batchSteps, *maxBatchSteps), *wireCodec))),
-		Cluster:           cluster,
-		ServerProcs:       *serverProcs,
-		FoldWorkers:       *foldWorkers,
-		BatchSteps:        *batchSteps,
-		MaxBatchSteps:     *maxBatchSteps,
-		WireCodec:         *wireCodec,
-		GroupNodes:        *groupNodes,
-		GroupTimeout:      *groupTimeout,
-		ConvergenceTarget: *convergence,
-		MetricsAddr:       *metricsAddr,
-		Retry:             retry.Policy(),
-		ResendWindow:      retry.ResendWindow(),
+		Cluster:             cluster,
+		ServerProcs:         *serverProcs,
+		FoldWorkers:         *foldWorkers,
+		BatchSteps:          *batchSteps,
+		MaxBatchSteps:       *maxBatchSteps,
+		WireCodec:           *wireCodec,
+		GroupNodes:          *groupNodes,
+		GroupTimeout:        *groupTimeout,
+		ConvergenceTarget:   *convergence,
+		MetricsAddr:         *metricsAddr,
+		Retry:               retry.Policy(),
+		ResendWindow:        retry.ResendWindow(),
+		CheckpointHighWater: retry.CheckpointHighWater(),
+		DurableDrainTimeout: retry.DurableDrainTimeout(),
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -112,8 +114,8 @@ func main() {
 	}
 
 	log.Printf("study complete in %v", stats.WallClock.Round(time.Millisecond))
-	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  reconnects: %d  timeout kills: %d  server restarts: %d",
-		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.Reconnects, stats.TimeoutKills, stats.ServerRestarts)
+	log.Printf("  groups finished/given-up: %d/%d  restarts: %d  reconnects: %d  timeout kills: %d  server restarts: %d  resumed across restarts: %d",
+		stats.GroupsFinished, stats.GroupsGivenUp, stats.Restarts, stats.Reconnects, stats.TimeoutKills, stats.ServerRestarts, stats.ResumesAfterServerRestart)
 	log.Printf("  messages folded: %d  server state: %.1f MB", res.Messages(), float64(res.MemoryBytes())/1e6)
 	if ws := res.WireStats(); ws.Messages > 0 {
 		log.Printf("  field traffic: %.1f MB on the wire vs %.1f MB raw (%.2fx, %.1f MB saved)",

@@ -56,10 +56,13 @@ type statOptions struct {
 	metricsAddr string
 
 	// Connection resilience for the live study: an optional injected-fault
-	// plan and the client reconnect policy that must absorb it.
+	// plan and the client reconnect policy that must absorb it, plus the
+	// durable-frontier knobs (early-checkpoint high-water, completion drain).
 	chaos        *melissa.ChaosPlan
 	retry        melissa.RetryPolicy
 	resendWindow int
+	ckptHW       int
+	drainTimeout time.Duration
 }
 
 func main() {
@@ -116,6 +119,8 @@ func main() {
 		metricsAddr:   *metricsAddr,
 		retry:         retryFlags.Policy(),
 		resendWindow:  retryFlags.ResendWindow(),
+		ckptHW:        retryFlags.CheckpointHighWater(),
+		drainTimeout:  retryFlags.DurableDrainTimeout(),
 	}
 	if plan, ok := chaosFlags.Plan(); ok {
 		stats.chaos = &plan
@@ -300,6 +305,8 @@ func runFig7(out string, nx, ny, groups, foldWorkers, batchSteps, maxBatchSteps 
 	study.Chaos = opts.chaos
 	study.Retry = opts.retry
 	study.ResendWindow = opts.resendWindow
+	study.CheckpointHighWater = opts.ckptHW
+	study.DurableDrainTimeout = opts.drainTimeout
 	start := time.Now()
 	res, stats, err := melissa.RunStudy(study)
 	if err != nil {

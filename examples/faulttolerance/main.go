@@ -143,6 +143,46 @@ func main() {
 	}
 	fmt.Println("  discard-on-replay kept the statistics exact despite every failure")
 
+	fmt.Println("\n== durable-resume run: server crash resumes groups, no replay ==")
+	// Same server kill as above, but now every group carries a reconnect
+	// budget. Instead of killing and replaying the survivors, the launcher
+	// keeps their jobs alive across the restart: each one reconnects to the
+	// rebound addresses, aligns with the restored durable frontier, and
+	// resends only the retained steps past it.
+	// The crash must land while the streams are live: without the replay
+	// stragglers of the phase above this study is over in ~50 ms.
+	durable, durStats := run(faults.NewPlan().WithServerCrash(25*time.Millisecond),
+		"out/faulttolerance-durable", nil, client.RetryPolicy{
+			MaxReconnects: 16,
+			BaseDelay:     2 * time.Millisecond,
+			MaxDelay:      20 * time.Millisecond,
+			AckTimeout:    100 * time.Millisecond,
+			Seed:          3,
+		})
+	fmt.Printf("  server restarts:  %d\n", durStats.ServerRestarts)
+	fmt.Printf("  groups resumed:   %d (kept alive across the restart)\n", durStats.ResumesAfterServerRestart)
+	fmt.Printf("  group restarts:   %d (full replays)\n", durStats.Restarts)
+	fmt.Printf("  reconnects:       %d\n", durStats.Reconnects)
+	fmt.Printf("  wall clock:       %v\n", durStats.WallClock.Round(time.Millisecond))
+	if durStats.ServerRestarts < 1 {
+		log.Fatalf("  FAILED: the server crash never fired: %+v", durStats)
+	}
+	if durStats.GroupsFinished != nGroups || durStats.GroupsGivenUp != 0 {
+		log.Fatalf("  FAILED: durable-resume study incomplete: %+v", durStats)
+	}
+	if durStats.Restarts != 0 || durStats.TimeoutKills != 0 {
+		log.Fatalf("  FAILED: the server crash escalated to group replays: %+v", durStats)
+	}
+	if durStats.ResumesAfterServerRestart < 1 {
+		log.Fatalf("  FAILED: no group was kept alive across the restart: %+v", durStats)
+	}
+	worst = compareToClean(clean, durable)
+	fmt.Printf("  max |S_durable - S_clean|: %.2e\n", worst)
+	if worst > 1e-9 {
+		log.Fatal("  FAILED: resumed groups leaked duplicate folds into the statistics")
+	}
+	fmt.Println("  the crash cost a resume, not a replay — statistics still exact")
+
 	fmt.Println("\n== chaos run: network cuts, lost tails, duplicates and latency ==")
 	// A seeded chaos plan over the study's transport. Dial ordinals >= 2 only
 	// ever match client connections (the launcher report inbox is dialed once

@@ -77,12 +77,15 @@ func (c *Chaos) Wrap(net transport.Network) transport.Network {
 	return transport.NewChaosNetwork(net, plan)
 }
 
-// Retry holds the registered -reconnect-* / -resend-window flag values.
+// Retry holds the registered -reconnect-* / -resend-window / durable-frontier
+// flag values.
 type Retry struct {
-	budget *int
-	base   *time.Duration
-	max    *time.Duration
-	window *int
+	budget    *int
+	base      *time.Duration
+	max       *time.Duration
+	window    *int
+	highWater *int
+	drain     *time.Duration
 }
 
 // RegisterRetry registers the connection-resilience flags on the default
@@ -97,6 +100,10 @@ func RegisterRetry() *Retry {
 			"reconnect backoff cap"),
 		window: flag.Int("resend-window", 0,
 			"per-route retention depth in timesteps for post-reconnect resends (0 = default)"),
+		highWater: flag.Int("checkpoint-high-water", 0,
+			"retained-but-not-durable steps per route that trigger an early-checkpoint request (0 = 3/4 of the resend window)"),
+		drain: flag.Duration("durable-drain-timeout", 0,
+			"bound on each group's completion-time durable drain (0 = 30s default, negative = off)"),
 	}
 }
 
@@ -115,3 +122,9 @@ func (r *Retry) Policy() client.RetryPolicy {
 
 // ResendWindow returns the -resend-window value.
 func (r *Retry) ResendWindow() int { return *r.window }
+
+// CheckpointHighWater returns the -checkpoint-high-water value.
+func (r *Retry) CheckpointHighWater() int { return *r.highWater }
+
+// DurableDrainTimeout returns the -durable-drain-timeout value.
+func (r *Retry) DurableDrainTimeout() time.Duration { return *r.drain }

@@ -103,11 +103,12 @@ func TestConnectionAdaptiveBatching(t *testing.T) {
 			return
 		}
 		s.Send(wire.Encode(&wire.Welcome{
-			Timesteps:  timesteps,
-			Cells:      cells,
-			P:          p,
-			ServerAddr: []string{dataRecv.Addr()},
-			Partitions: mesh.BlockPartition(cells, 1),
+			Timesteps:   timesteps,
+			Cells:       cells,
+			P:           p,
+			ServerAddr:  []string{dataRecv.Addr()},
+			Partitions:  mesh.BlockPartition(cells, 1),
+			DurableStep: wire.NoDurability, // no checkpointing in the fake
 		}))
 		s.Close()
 	}()

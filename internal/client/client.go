@@ -100,6 +100,21 @@ type Connection struct {
 	// grace against group timeouts.
 	OnReconnect func(serverRank, attempt int)
 
+	// CheckpointHighWater caps how many acked-but-not-durable steps a route
+	// may accumulate before the connection asks the server for an early
+	// checkpoint (wire.CheckpointReq — fire-and-forget advice, never an
+	// ingest blocker). 0 picks 3/4 of the retention window. Only meaningful
+	// when the server checkpoints (Welcome.DurableStep != wire.NoDurability)
+	// and Retry is enabled.
+	CheckpointHighWater int
+
+	// DurableDrainTimeout bounds the completion-time durable drain: after the
+	// final Flush, WaitDurable polls each server process until its durable
+	// frontier covers every sent step, so a server crash after this group
+	// finished cannot roll its contribution back. 0 uses a 30 s default;
+	// negative disables the drain.
+	DurableDrainTimeout time.Duration
+
 	net      transport.Network
 	senders  []transport.Sender
 	routes   []mesh.Transfer
@@ -114,6 +129,18 @@ type Connection struct {
 	retain      []retainRing
 	resumeFloor []int
 	skipped     []int
+
+	// Durable-frontier state: durability reports whether the server
+	// checkpoints at all (Welcome.DurableStep != wire.NoDurability); when it
+	// does, durable[rank] is that process's last known checkpoint-committed
+	// step for this group (-1 = nothing durable), refreshed by every
+	// ResumeAck. maxStep is the highest timestep handed to SendTimestep — the
+	// durable-drain target. ckptReqAt[rank] is the step the last
+	// early-checkpoint request went out at (rate limiting).
+	durability bool
+	durable    []int
+	maxStep    int
+	ckptReqAt  []int
 
 	// Compressed-path state: the per-connection compressor, the per-route
 	// shard-aligned sub-range lengths (computed on first use), the one-step
@@ -162,6 +189,10 @@ type ConnectOpts struct {
 	Resume bool
 	// OnReconnect see Connection.OnReconnect.
 	OnReconnect func(serverRank, attempt int)
+	// CheckpointHighWater see Connection.CheckpointHighWater.
+	CheckpointHighWater int
+	// DurableDrainTimeout see Connection.DurableDrainTimeout.
+	DurableDrainTimeout time.Duration
 }
 
 // Connect performs the dynamic-connection handshake of Sec. 4.1.3: it
@@ -252,16 +283,32 @@ func connectOnce(net transport.Network, mainAddr string, o ConnectOpts, retry Re
 	routes := mesh.Route(simParts, welcome.Partitions)
 
 	conn := &Connection{
-		GroupID:      groupID,
-		SimRanks:     simRanks,
-		Layout:       welcome,
-		Retry:        retry,
-		ResendWindow: o.ResendWindow,
-		OnReconnect:  o.OnReconnect,
-		net:          net,
-		simParts:     simParts,
-		routes:       routes,
-		rng:          rng,
+		GroupID:             groupID,
+		SimRanks:            simRanks,
+		Layout:              welcome,
+		Retry:               retry,
+		ResendWindow:        o.ResendWindow,
+		OnReconnect:         o.OnReconnect,
+		CheckpointHighWater: o.CheckpointHighWater,
+		DurableDrainTimeout: o.DurableDrainTimeout,
+		net:                 net,
+		simParts:            simParts,
+		routes:              routes,
+		rng:                 rng,
+		maxStep:             -1,
+	}
+	// The Welcome reveals whether this server checkpoints: a NoDurability
+	// sentinel means nothing ever becomes durable (retention then only
+	// covers reconnects within this server's life).
+	conn.durability = welcome.DurableStep != wire.NoDurability
+	if conn.durability {
+		conn.durable = make([]int, len(welcome.ServerAddr))
+		conn.ckptReqAt = make([]int, len(welcome.ServerAddr))
+		for i := range conn.durable {
+			conn.durable[i] = -1
+			conn.ckptReqAt[i] = -1
+		}
+		conn.durable[0] = welcome.DurableStep
 	}
 	// Open one connection per server process that appears in the routing
 	// ("each main simulation process opens individual communication
@@ -297,7 +344,8 @@ func connectOnce(net transport.Network, mainAddr string, o ConnectOpts, retry Re
 				conn.Close()
 				return nil, err
 			}
-			conn.resumeFloor[rank] = ack
+			conn.resumeFloor[rank] = ack.LastStep
+			conn.noteAck(ack)
 		}
 	}
 	return conn, nil
@@ -318,6 +366,9 @@ func (c *Connection) SendTimestep(step int, fields [][]float64) error {
 			return fmt.Errorf("client: group %d field %d has %d cells, want %d",
 				c.GroupID, i, len(f), c.Layout.Cells)
 		}
+	}
+	if step > c.maxStep {
+		c.maxStep = step
 	}
 	c.effSteps = c.effectiveBatchSteps()
 	cBatchSteps.Observe(float64(c.effSteps))

@@ -31,10 +31,11 @@ func newFakeServer(t *testing.T, procs, cells, timesteps, p int) *fakeServer {
 		t.Fatal(err)
 	}
 	f.welcome = wire.Welcome{
-		Timesteps:  timesteps,
-		Cells:      cells,
-		P:          p,
-		Partitions: mesh.BlockPartition(cells, procs),
+		Timesteps:   timesteps,
+		Cells:       cells,
+		P:           p,
+		Partitions:  mesh.BlockPartition(cells, procs),
+		DurableStep: wire.NoDurability, // no checkpointing in the fake
 	}
 	for i := 0; i < procs; i++ {
 		r, err := f.net.Listen("")

@@ -1,9 +1,11 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	olog "melissa/internal/obs/log"
 	"melissa/internal/transport"
 )
 
@@ -52,6 +54,13 @@ type RunConfig struct {
 	Resume bool
 	// OnReconnect see Connection.OnReconnect.
 	OnReconnect func(serverRank, attempt int)
+	// CheckpointHighWater see Connection.CheckpointHighWater.
+	CheckpointHighWater int
+	// DurableDrainTimeout see Connection.DurableDrainTimeout. The drain runs
+	// after the final Flush; on timeout the group completes anyway (legacy
+	// at-risk window), while connection failures during the drain fail the
+	// attempt so the launcher replays it.
+	DurableDrainTimeout time.Duration
 }
 
 // stepResult carries one simulation's field for one step across the
@@ -83,13 +92,15 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 		rc.SimRanks = 1
 	}
 	conn, err := ConnectWith(netw, mainAddr, ConnectOpts{
-		GroupID:      rc.GroupID,
-		SimRanks:     rc.SimRanks,
-		Timeout:      rc.ConnectTimeout,
-		Retry:        rc.Retry,
-		ResendWindow: rc.ResendWindow,
-		Resume:       rc.Resume,
-		OnReconnect:  rc.OnReconnect,
+		GroupID:             rc.GroupID,
+		SimRanks:            rc.SimRanks,
+		Timeout:             rc.ConnectTimeout,
+		Retry:               rc.Retry,
+		ResendWindow:        rc.ResendWindow,
+		Resume:              rc.Resume,
+		OnReconnect:         rc.OnReconnect,
+		CheckpointHighWater: rc.CheckpointHighWater,
+		DurableDrainTimeout: rc.DurableDrainTimeout,
 	})
 	if err != nil {
 		return err
@@ -152,5 +163,18 @@ func RunGroup(netw transport.Network, mainAddr string, rc RunConfig) error {
 			return err
 		}
 	}
-	return conn.Flush()
+	if err := conn.Flush(); err != nil {
+		return err
+	}
+	// Durable drain: a finished group has no one left to resend its window,
+	// so wait (bounded) for the server to checkpoint past its last step. A
+	// timeout keeps the group complete with the legacy at-risk window; a
+	// connection failure fails the attempt so the launcher replays it.
+	if err := conn.WaitDurable(rc.DurableDrainTimeout); err != nil {
+		if !errors.Is(err, errDurableDrain) {
+			return err
+		}
+		olog.Warnw("client.durable_drain_timeout", "group", rc.GroupID, "err", err)
+	}
+	return nil
 }

@@ -32,4 +32,6 @@ var (
 		"Retained frames re-sent after a reconnect (the unacked window).")
 	cSkippedPieces = obs.NewCounter("melissa_client_resume_skipped_pieces_total",
 		"Route pieces a resumed attempt skipped because the server had already folded them.")
+	cCkptReqs = obs.NewCounter("melissa_client_checkpoint_requests_total",
+		"Early-checkpoint requests sent because retained-but-not-durable steps crossed the high-water mark (or a completion drain was waiting).")
 )

@@ -7,9 +7,22 @@ import (
 	"time"
 
 	"melissa/internal/enc"
+	olog "melissa/internal/obs/log"
 	"melissa/internal/transport"
 	"melissa/internal/wire"
 )
+
+// reconnLim and pingLim rate-limit the reconnect and resume-ping study-log
+// lines per (group, server rank): a long server outage produces backoff
+// attempts and liveness pings by the thousand, and the log should carry one
+// line per interval with a suppressed count while the counters stay exact.
+var (
+	reconnLim = olog.Limiter{Interval: 5 * time.Second}
+	pingLim   = olog.Limiter{Interval: 5 * time.Second}
+)
+
+// limKey packs (group, server rank) into one rate-limiter key.
+func limKey(group, rank int) uint64 { return uint64(uint32(group))<<16 | uint64(uint16(rank)) }
 
 // RetryPolicy configures the connection-resilience layer: how often a group
 // may re-establish a broken server connection (dial and send paths both
@@ -159,6 +172,7 @@ func (c *Connection) retainStep(ri, step int, fields [][]float64) {
 		w = defaultResendWindow
 	}
 	c.retain[ri].push(w, step, fields)
+	c.noteRetained(c.routes[ri].ServerRank, step)
 }
 
 // sendFrame sends one encoded frame to a server rank, transparently
@@ -191,6 +205,14 @@ func (c *Connection) recoverRank(rank int, cause error) error {
 		c.reconnects++
 		time.Sleep(c.Retry.delay(attempt, c.rng))
 		cReconnects.Inc()
+		if ok, suppressed := reconnLim.Allow(limKey(c.GroupID, rank)); ok {
+			kv := []any{"group", c.GroupID, "server", rank,
+				"used", c.reconnects, "budget", c.Retry.MaxReconnects, "cause", cause}
+			if suppressed > 0 {
+				kv = append(kv, "suppressed", suppressed)
+			}
+			olog.Infow("client.reconnect", kv...)
+		}
 		if c.OnReconnect != nil {
 			c.OnReconnect(rank, c.reconnects)
 		}
@@ -209,8 +231,11 @@ func (c *Connection) recoverRank(rank int, cause error) error {
 			old.Close()
 		}
 		c.senders[rank] = s
-		err = c.resendRank(rank, ack)
+		c.noteAck(ack)
+		err = c.resendRank(rank, ack.LastStep)
 		if err == nil {
+			olog.Debugw("client.reconnected", "group", c.GroupID, "server", rank,
+				"acked_step", ack.LastStep, "durable_step", ack.DurableStep, "used", c.reconnects)
 			return nil
 		}
 		if errors.Is(err, errResumeGap) {
@@ -222,15 +247,16 @@ func (c *Connection) recoverRank(rank int, cause error) error {
 
 // resumeQueryOn performs the resume handshake on a fresh connection: it asks
 // the server process for its contiguous fold frontier of this group and
-// waits for the dialed-back ResumeAck.
-func (c *Connection) resumeQueryOn(s transport.Sender, rank int) (int, error) {
+// waits for the dialed-back ResumeAck (which also carries the durable
+// frontier — the caller feeds it to noteAck).
+func (c *Connection) resumeQueryOn(s transport.Sender, rank int) (*wire.ResumeAck, error) {
 	inbox, err := c.net.Listen("")
 	if err != nil {
-		return 0, fmt.Errorf("client: group %d resume inbox: %w", c.GroupID, err)
+		return nil, fmt.Errorf("client: group %d resume inbox: %w", c.GroupID, err)
 	}
 	defer inbox.Close()
 	if err := s.Send(wire.Encode(&wire.Resume{GroupID: c.GroupID, ReplyAddr: inbox.Addr()})); err != nil {
-		return 0, fmt.Errorf("client: group %d resume query to server %d: %w", c.GroupID, rank, err)
+		return nil, fmt.Errorf("client: group %d resume query to server %d: %w", c.GroupID, rank, err)
 	}
 	ackTimeout := c.Retry.AckTimeout
 	if ackTimeout <= 0 {
@@ -238,19 +264,19 @@ func (c *Connection) resumeQueryOn(s transport.Sender, rank int) (int, error) {
 	}
 	msg, err := inbox.Recv(ackTimeout)
 	if err != nil {
-		return 0, fmt.Errorf("client: group %d resume ack from server %d: %w", c.GroupID, rank, err)
+		return nil, fmt.Errorf("client: group %d resume ack from server %d: %w", c.GroupID, rank, err)
 	}
 	decoded, err := wire.Decode(msg.Payload)
 	transport.Recycle(msg.Payload)
 	if err != nil {
-		return 0, fmt.Errorf("client: group %d resume ack: %w", c.GroupID, err)
+		return nil, fmt.Errorf("client: group %d resume ack: %w", c.GroupID, err)
 	}
 	ack, ok := decoded.(*wire.ResumeAck)
 	if !ok || ack.GroupID != c.GroupID {
-		return 0, fmt.Errorf("client: group %d: unexpected resume reply %T", c.GroupID, decoded)
+		return nil, fmt.Errorf("client: group %d: unexpected resume reply %T", c.GroupID, decoded)
 	}
 	cResumeAcks.Inc()
-	return ack.LastStep, nil
+	return ack, nil
 }
 
 // resendRank replays the retained steps beyond the server's acknowledged
@@ -337,6 +363,13 @@ func (c *Connection) skipResumed(rank, step int) (bool, error) {
 	}
 	c.skipped[rank]++
 	if c.skipped[rank]%resumePingEvery == 1 && c.senders[rank] != nil {
+		if ok, suppressed := pingLim.Allow(limKey(c.GroupID, rank)); ok {
+			kv := []any{"group", c.GroupID, "server", rank, "skipped", c.skipped[rank]}
+			if suppressed > 0 {
+				kv = append(kv, "suppressed", suppressed)
+			}
+			olog.Debugw("client.resume_ping", kv...)
+		}
 		if err := c.sendFrame(rank, wire.Encode(&wire.Resume{GroupID: c.GroupID})); err != nil {
 			return true, fmt.Errorf("client: group %d liveness ping to server %d: %w", c.GroupID, rank, err)
 		}

@@ -1,10 +1,13 @@
 package client
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"melissa/internal/mesh"
+	"melissa/internal/transport"
+	"melissa/internal/wire"
 )
 
 func TestRetryDelayBackoffAndCap(t *testing.T) {
@@ -106,5 +109,61 @@ func TestRetryDisabledNoRetention(t *testing.T) {
 	c.retainStep(0, 0, [][]float64{{1}})
 	if c.retain != nil {
 		t.Fatal("disabled policy allocated retention state")
+	}
+}
+
+// A restored server whose frontier rolled back past the retention window
+// cannot be healed by resending — the discontiguity would leave a silent
+// hole in the statistics. resendRank must refuse with errResumeGap (the
+// reconnect loop's signal to abort, which escalates the group to the legacy
+// full-replay path) exactly when the oldest retained step is beyond ack+1,
+// and resend normally at the boundary.
+func TestResendRankResumeGap(t *testing.T) {
+	net := transport.NewMemNetwork(transport.Options{})
+	inbox, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inbox.Close()
+	s, err := net.Dial(inbox.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	c := &Connection{
+		routes:  []mesh.Transfer{{ServerRank: 0, Cells: mesh.Partition{Lo: 0, Hi: 1}}},
+		senders: []transport.Sender{s},
+		retain:  make([]retainRing, 1),
+	}
+	// Retained window: steps 5 and 6 (everything older evicted).
+	c.retain[0].push(2, 5, [][]float64{{5}})
+	c.retain[0].push(2, 6, [][]float64{{6}})
+
+	// Server rolled back to step 2: steps 3-4 are gone from both sides.
+	err = c.resendRank(0, 2)
+	if !errors.Is(err, errResumeGap) {
+		t.Fatalf("rollback past retention returned %v, want errResumeGap", err)
+	}
+	// Boundary: ack+1 == oldest retained — contiguous, both steps resend.
+	if err := c.resendRank(0, 4); err != nil {
+		t.Fatalf("contiguous resend failed: %v", err)
+	}
+	for _, want := range []int{5, 6} {
+		m, err := inbox.Recv(time.Second)
+		if err != nil {
+			t.Fatalf("resent step %d never arrived: %v", want, err)
+		}
+		decoded, err := wire.Decode(m.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := decoded.(*wire.Data)
+		if !ok || d.Timestep != want {
+			t.Fatalf("resent frame %T %+v, want Data step %d", decoded, decoded, want)
+		}
+		if d.Fields[0][0] != float64(want) {
+			t.Fatalf("resent step %d carries field %v", want, d.Fields[0][0])
+		}
 	}
 }

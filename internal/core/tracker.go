@@ -136,6 +136,18 @@ func (g *GroupTracker) LastStep(group int) (int, bool) {
 	return last, seen
 }
 
+// Frontiers returns a copy of every group's contiguous fold frontier. A
+// checkpoint captures it alongside the encoded tracker: once the checkpoint
+// commits, the copy *is* the durable frontier — the steps a restored server
+// is guaranteed to still have folded.
+func (g *GroupTracker) Frontiers() map[int]int {
+	out := make(map[int]int, len(g.last))
+	for id, last := range g.last {
+		out[id] = last
+	}
+	return out
+}
+
 // Running returns the sorted ids of started-but-unfinished groups — the list
 // every server process periodically reports to the launcher (Sec. 4.2.2).
 func (g *GroupTracker) Running() []int { return g.byState(GroupRunning) }

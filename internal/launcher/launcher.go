@@ -80,6 +80,15 @@ type Config struct {
 	// ResendWindow is the per-route retention depth (in timesteps) backing
 	// reconnect resends (see client.Connection.ResendWindow; 0 = default).
 	ResendWindow int
+	// CheckpointHighWater caps how many retained-but-not-durable steps a
+	// group route accumulates before it asks the server for an early
+	// checkpoint (see client.Connection.CheckpointHighWater; 0 = 3/4 of the
+	// retention window). Only meaningful with CheckpointDir set.
+	CheckpointHighWater int
+	// DurableDrainTimeout bounds each group's completion-time durable drain
+	// (see client.Connection.DurableDrainTimeout; 0 = 30 s default, negative
+	// disables).
+	DurableDrainTimeout time.Duration
 	// MaxInFlight caps submitted-but-unfinished group jobs (the paper was
 	// limited to 500 simultaneous submissions).
 	MaxInFlight int
@@ -167,9 +176,18 @@ type Stats struct {
 	TimeoutKills    int
 	ZombieKills     int
 	ServerRestarts  int
-	Converged       bool
-	PeakNodes       int
-	Series          []Sample
+	// ResumesAfterServerRestart counts group jobs kept alive across a server
+	// restart to reconnect and resume against the restored durable frontier
+	// (the durable-recovery path; the legacy path kills and replays them all,
+	// counting into Restarts instead).
+	ResumesAfterServerRestart int
+	// StaleReportsDropped counts server reports discarded because they were
+	// stamped with a previous server incarnation's epoch (the stop drain of a
+	// crashed server racing its own replacement).
+	StaleReportsDropped int
+	Converged           bool
+	PeakNodes           int
+	Series              []Sample
 }
 
 // groupState tracks one simulation group across attempts.
@@ -217,6 +235,18 @@ type Launcher struct {
 	recv   transport.Receiver
 	srv    *server.Server
 	srvJob scheduler.JobID
+	// srvAddrs pins the per-process data addresses across server restarts:
+	// live groups recover broken connections by redialing the address they
+	// already hold, so a restarted server must listen where its predecessor
+	// did.
+	srvAddrs []string
+	// srvEpoch is the incarnation number of the current server instance,
+	// bumped on every startServer. A stopping server keeps draining (and
+	// reporting) for a short window; its trailing heartbeats and reports are
+	// stamped with the old epoch and discarded, so they cannot refresh the
+	// new incarnation's liveness clock or mark groups finished whose folds
+	// were rolled back to the durable frontier.
+	srvEpoch int
 
 	groups map[int]*groupState
 	order  []int
@@ -376,7 +406,16 @@ func (l *Launcher) startServer(restore bool) error {
 		groupTimeout *= time.Duration(factor)
 	}
 	l.groupTimeout = groupTimeout
+	// On a restart, rebind the previous per-process data addresses so the
+	// connections live groups are retrying become valid again the moment the
+	// new server listens.
+	var addrs []string
+	if restore {
+		addrs = l.srvAddrs
+	}
+	l.srvEpoch++
 	srv, err := server.New(server.Config{
+		Epoch:              l.srvEpoch,
 		Procs:              l.cfg.ServerProcs,
 		FoldWorkers:        l.cfg.FoldWorkers,
 		Cells:              l.cfg.Cells,
@@ -384,6 +423,7 @@ func (l *Launcher) startServer(restore bool) error {
 		P:                  l.cfg.Design.P(),
 		Stats:              l.cfg.Stats,
 		Network:            l.cfg.Network,
+		Addrs:              addrs,
 		GroupTimeout:       groupTimeout,
 		CheckpointInterval: l.cfg.CheckpointInterval,
 		CheckpointDir:      l.cfg.CheckpointDir,
@@ -407,6 +447,7 @@ func (l *Launcher) startServer(restore bool) error {
 	}
 	l.srv = srv
 	l.srvJob = job.ID
+	l.srvAddrs = srv.Addrs()
 	l.lastHeartbeat = time.Now()
 	srv.Start()
 	return nil
@@ -528,18 +569,20 @@ func (l *Launcher) launchGroup(g *groupState, job scheduler.JobID, attempt int) 
 	}
 	go func() {
 		err := client.RunGroup(l.cfg.Network, mainAddr, client.RunConfig{
-			GroupID:        id,
-			SimRanks:       l.cfg.SimRanks,
-			Rows:           rows,
-			Sim:            l.cfg.Sim,
-			ConnectTimeout: l.cfg.ConnectTimeout,
-			BatchSteps:     l.cfg.BatchSteps,
-			MaxBatchSteps:  l.cfg.MaxBatchSteps,
-			Congestion:     l.batchCtl,
-			WireCodec:      l.cfg.WireCodec,
-			BeforeStep:     hook,
-			Retry:          l.cfg.Retry,
-			ResendWindow:   l.cfg.ResendWindow,
+			GroupID:             id,
+			SimRanks:            l.cfg.SimRanks,
+			Rows:                rows,
+			Sim:                 l.cfg.Sim,
+			ConnectTimeout:      l.cfg.ConnectTimeout,
+			BatchSteps:          l.cfg.BatchSteps,
+			MaxBatchSteps:       l.cfg.MaxBatchSteps,
+			Congestion:          l.batchCtl,
+			WireCodec:           l.cfg.WireCodec,
+			BeforeStep:          hook,
+			Retry:               l.cfg.Retry,
+			ResendWindow:        l.cfg.ResendWindow,
+			CheckpointHighWater: l.cfg.CheckpointHighWater,
+			DurableDrainTimeout: l.cfg.DurableDrainTimeout,
 			// A restarted attempt recomputes steps the server may already
 			// have folded; the resume handshake lets it skip resending them.
 			Resume:      l.cfg.Retry.MaxReconnects > 0 && attempt > 0,
@@ -638,8 +681,20 @@ func (l *Launcher) drainMessages() {
 		}
 		switch m := decoded.(type) {
 		case *wire.Heartbeat:
+			if m.Epoch != l.srvEpoch {
+				continue // trailing beacon from a dead incarnation
+			}
 			l.lastHeartbeat = time.Now()
 		case *wire.Report:
+			if m.Epoch != l.srvEpoch {
+				// A crashed server's stop drain keeps folding its inbound
+				// backlog and reporting progress that the restart rolled back
+				// to the durable frontier. Applying it would mark still-running
+				// groups finished (breaking MaxInFlight pacing and, worse,
+				// letting the study complete without their re-sent folds).
+				l.stats.StaleReportsDropped++
+				continue
+			}
 			l.lastHeartbeat = time.Now()
 			l.applyReport(m)
 		}
@@ -767,26 +822,53 @@ func (l *Launcher) restartServer(now time.Time) {
 	if job := l.cfg.Cluster.Job(l.srvJob); job != nil && job.State == scheduler.Running {
 		l.cfg.Cluster.Cancel(l.srvJob, now)
 	}
-	// Kill all running group jobs; they will be resubmitted and replay.
+	// Durable resume — available when there is a checkpoint to restore AND
+	// the groups carry a reconnect budget: leave group jobs alive. Their
+	// broken connections recover against the restarted server (same data
+	// addresses), the resume handshake aligns them with the restored durable
+	// frontier, and only the retained steps past it are resent — a server
+	// crash costs seconds of re-sent window, not full replays. A group whose
+	// retention cannot bridge the rollback fails its attempt (resume gap) and
+	// takes the legacy replay path individually. Without budget or
+	// checkpoints: the legacy protocol, kill everything running and replay.
+	resume := l.cfg.Retry.MaxReconnects > 0 && l.cfg.CheckpointDir != ""
+	resumed := 0
 	for _, g := range l.groups {
-		if g.job != 0 {
+		if g.job != 0 && !resume {
 			if job := l.cfg.Cluster.Job(g.job); job != nil &&
 				(job.State == scheduler.Running || job.State == scheduler.Pending) {
 				l.cfg.Cluster.Cancel(g.job, now)
 			}
 			l.clearJob(g)
+		} else if g.job != 0 && g.jobRunning {
+			// Satellite of the recovery protocol: restart the liveness grace
+			// clock — the group is mid-backoff against the dead server, and
+			// stale timeout reports must not kill it while it reconnects.
+			g.lastRestart = now
+			resumed++
 		}
-		// Forget pre-crash completion claims not backed by the checkpoint:
-		// the restored server re-reports Finished lists after restart, and
-		// completed-but-unconfirmed groups must rerun (their queued data
-		// died with the old server).
+		// Forget pre-crash completion reports: the restored server re-reports
+		// its Finished lists from the checkpointed trackers.
 		if !g.givenUp && !g.abandoned {
 			g.finishedBy = make(map[int]bool)
-			g.completedOK = false
+			// Legacy path: completed-but-unconfirmed groups must rerun (their
+			// queued data died with the old server). Durable path: completion
+			// implied a durable drain, so the restored frontier covers them;
+			// if a drain had timed out, the restored server's group timeout
+			// re-reports the group and the replay fallback heals it.
+			if !resume {
+				g.completedOK = false
+			}
 		}
 	}
+	l.stats.ResumesAfterServerRestart += resumed
 	if err := l.startServer(true); err != nil {
 		olog.Errorw("launcher.server_restart_failed", "err", err)
+		return
+	}
+	if resume {
+		olog.Infow("launcher.server_resumed",
+			"groups_kept", resumed, "addrs", len(l.srvAddrs))
 	}
 }
 

@@ -303,6 +303,11 @@ func TestLauncherServerCrashRecovery(t *testing.T) {
 	if stats.ServerRestarts < 1 {
 		t.Fatalf("server never restarted: %+v", stats)
 	}
+	// Legacy contract, pinned: with no reconnect budget a server crash kills
+	// and replays every running group — nothing resumes in place.
+	if stats.ResumesAfterServerRestart != 0 {
+		t.Fatalf("legacy path resumed %d groups without a reconnect budget", stats.ResumesAfterServerRestart)
+	}
 	if stats.GroupsFinished != nGroups {
 		t.Fatalf("finished %d of %d (%+v)", stats.GroupsFinished, nGroups, stats)
 	}

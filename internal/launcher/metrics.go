@@ -23,6 +23,7 @@ type studyTelemetry struct {
 	timeoutKills    atomic.Int64
 	zombieKills     atomic.Int64
 	serverRestarts  atomic.Int64
+	serverResumes   atomic.Int64
 	usedNodes       atomic.Int64
 	converged       atomic.Bool
 	startNano       atomic.Int64
@@ -49,6 +50,8 @@ var (
 		"Server connections groups re-established in place instead of failing the attempt.")
 	lServerRestarts = obs.NewGauge("melissa_study_server_restarts",
 		"Server restarts from checkpoint after heartbeat loss.")
+	lServerResumes = obs.NewGauge("melissa_study_resumes_after_server_restart",
+		"Group jobs kept alive across server restarts to resume against the restored durable frontier (instead of replaying).")
 	lUsedNodes = obs.NewGauge("melissa_study_used_nodes",
 		"Cluster nodes currently occupied by study jobs.")
 	lTupleCount = obs.NewGauge("melissa_study_quantile_tuples",
@@ -71,8 +74,11 @@ type StudyStatus struct {
 	TimeoutKills    int64 `json:"timeout_kills"`
 	ZombieKills     int64 `json:"zombie_kills"`
 	ServerRestarts  int64 `json:"server_restarts"`
-	UsedNodes       int64 `json:"used_nodes"`
-	Converged       bool  `json:"converged"`
+	// ResumesAfterServerRestart counts group jobs kept alive across server
+	// restarts (the durable-recovery path; zero under the legacy protocol).
+	ResumesAfterServerRestart int64 `json:"resumes_after_server_restart"`
+	UsedNodes                 int64 `json:"used_nodes"`
+	Converged                 bool  `json:"converged"`
 
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 
@@ -102,6 +108,7 @@ func (l *Launcher) publishStatus(now time.Time) {
 	l.tel.timeoutKills.Store(int64(l.stats.TimeoutKills))
 	l.tel.zombieKills.Store(int64(l.stats.ZombieKills))
 	l.tel.serverRestarts.Store(int64(l.stats.ServerRestarts))
+	l.tel.serverResumes.Store(int64(l.stats.ResumesAfterServerRestart))
 	l.tel.usedNodes.Store(int64(l.cfg.Cluster.UsedNodes()))
 	l.tel.converged.Store(l.stats.Converged)
 
@@ -127,6 +134,7 @@ func (l *Launcher) publishStatus(now time.Time) {
 	lRestarts.SetInt(int64(l.stats.Restarts))
 	lReconnects.SetInt(int64(l.stats.Reconnects))
 	lServerRestarts.SetInt(int64(l.stats.ServerRestarts))
+	lServerResumes.SetInt(int64(l.stats.ResumesAfterServerRestart))
 	lUsedNodes.Set(float64(l.cfg.Cluster.UsedNodes()))
 	lTupleCount.SetInt(tuples)
 	lSketchBytes.SetInt(bytes)
@@ -135,21 +143,22 @@ func (l *Launcher) publishStatus(now time.Time) {
 // snapshotStatus assembles the scrape-safe StudyStatus from the mirror.
 func (l *Launcher) snapshotStatus() StudyStatus {
 	st := StudyStatus{
-		GroupsTotal:         l.tel.groupsTotal.Load(),
-		GroupsRunning:       l.tel.groupsRunning.Load(),
-		GroupsFinished:      l.tel.groupsFinished.Load(),
-		GroupsGivenUp:       l.tel.groupsGivenUp.Load(),
-		GroupsResampled:     l.tel.groupsResampled.Load(),
-		Restarts:            l.tel.restarts.Load(),
-		Reconnects:          l.tel.reconnects.Load(),
-		TimeoutKills:        l.tel.timeoutKills.Load(),
-		ZombieKills:         l.tel.zombieKills.Load(),
-		ServerRestarts:      l.tel.serverRestarts.Load(),
-		UsedNodes:           l.tel.usedNodes.Load(),
-		Converged:           l.tel.converged.Load(),
-		Backpressure:        math.Float64frombits(l.tel.backpressure.Load()),
-		QuantileTuples:      l.tel.tupleCount.Load(),
-		QuantileSketchBytes: l.tel.sketchBytes.Load(),
+		GroupsTotal:               l.tel.groupsTotal.Load(),
+		GroupsRunning:             l.tel.groupsRunning.Load(),
+		GroupsFinished:            l.tel.groupsFinished.Load(),
+		GroupsGivenUp:             l.tel.groupsGivenUp.Load(),
+		GroupsResampled:           l.tel.groupsResampled.Load(),
+		Restarts:                  l.tel.restarts.Load(),
+		Reconnects:                l.tel.reconnects.Load(),
+		TimeoutKills:              l.tel.timeoutKills.Load(),
+		ZombieKills:               l.tel.zombieKills.Load(),
+		ServerRestarts:            l.tel.serverRestarts.Load(),
+		ResumesAfterServerRestart: l.tel.serverResumes.Load(),
+		UsedNodes:                 l.tel.usedNodes.Load(),
+		Converged:                 l.tel.converged.Load(),
+		Backpressure:              math.Float64frombits(l.tel.backpressure.Load()),
+		QuantileTuples:            l.tel.tupleCount.Load(),
+		QuantileSketchBytes:       l.tel.sketchBytes.Load(),
 	}
 	if start := l.tel.startNano.Load(); start > 0 {
 		st.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()

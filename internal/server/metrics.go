@@ -59,6 +59,8 @@ var (
 		"Checkpoint intervals skipped because the previous write was still in flight.")
 	mCkptBytes = obs.NewCounter("melissa_server_checkpoint_bytes_total",
 		"Checkpoint bytes made durable.")
+	mCkptReqs = obs.NewCounter("melissa_server_checkpoint_requests_total",
+		"Early-checkpoint requests from clients whose retention ring crossed its durable high-water mark.")
 
 	// Per-process gauges, labeled by server process rank. Updated from the
 	// inbox goroutine (reports/status ticks) and the fold workers
@@ -75,6 +77,10 @@ var (
 		"Retained quantile-sketch tuples across all cells and timesteps (the O(cells/eps) memory quantity).", "proc")
 	mSketchBytes = obs.NewGaugeVec("melissa_server_quantile_sketch_bytes",
 		"Quantile-sketch state bytes across all cells and timesteps.", "proc")
+	mCkptAge = obs.NewGaugeVec("melissa_server_checkpoint_age_seconds",
+		"Seconds since this process's last committed checkpoint (0 until the first commit; durability lag upper bound).", "proc")
+	mDurableGap = obs.NewGaugeVec("melissa_server_durable_gap_steps",
+		"Worst per-group gap between the fold frontier and the durable (checkpoint-committed) frontier, in timesteps.", "proc")
 )
 
 // dropLogInterval spaces the malformed-frame drop log lines per offending
@@ -96,6 +102,8 @@ type procMetrics struct {
 	maxCIWidth     *obs.Gauge
 	quantileTuples *obs.Gauge
 	sketchBytes    *obs.Gauge
+	ckptAge        *obs.Gauge
+	durableGap     *obs.Gauge
 	dropLim        olog.Limiter
 }
 
@@ -108,6 +116,8 @@ func newProcMetrics(rank int) procMetrics {
 		maxCIWidth:     mMaxCIWidth.With(r),
 		quantileTuples: mQuantileTuples.With(r),
 		sketchBytes:    mSketchBytes.With(r),
+		ckptAge:        mCkptAge.With(r),
+		durableGap:     mDurableGap.With(r),
 		dropLim:        olog.Limiter{Interval: dropLogInterval},
 	}
 }

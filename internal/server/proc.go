@@ -290,7 +290,12 @@ type ckptJob struct {
 	lo, hi   int
 	messages int64
 	tracker  *enc.Writer // tracker state serialized at initiation
-	start    time.Time
+	// frontiers is the per-group contiguous fold frontier at initiation —
+	// the same state the tracker bytes encode. Once this job's file commits
+	// (fsync + rename), the copy is published as the process's durable
+	// frontier: exactly the steps a restart from this checkpoint preserves.
+	frontiers map[int]int
+	start     time.Time
 	// stallNs records the longest per-shard snapshot copy — the
 	// fold-pipeline blockage attributable to this checkpoint: every lane
 	// must pass its snapshot task before its next fold, and the lanes copy
@@ -427,6 +432,23 @@ type Proc struct {
 	// progress without touching the maps (which only the inbox may read).
 	statRunning  atomic.Int64
 	statFinished atomic.Int64
+
+	// Durable frontier: the per-group contiguous fold frontier as of the
+	// last *committed* checkpoint — the only fold state a restarted process
+	// is guaranteed to still have. The checkpoint writer (and restore)
+	// publish it under durMu; the inbox reads it to answer Welcome and
+	// ResumeAck, scrape goroutines read it for /status. durableAtNs is the
+	// commit wall clock (unix nanos, 0 = nothing durable yet) feeding the
+	// checkpoint-age gauge. statDurableGap mirrors the worst fold-vs-durable
+	// gap for lock-free scrapes.
+	durMu          sync.Mutex
+	durable        map[int]int
+	durableAtNs    atomic.Int64
+	statDurableGap atomic.Int64
+	// ckptReq is set by a client CheckpointReq frame (inbox-owned): the next
+	// run-loop pass starts an early, skippable checkpoint instead of waiting
+	// out the rest of the interval.
+	ckptReq bool
 
 	// met is this process's resolved per-rank gauge set and drop-log
 	// rate limiter.
@@ -573,11 +595,31 @@ func (p *Proc) run() {
 			// launcher consumes reports: the scan rides the fold pipeline
 			// and publishes the per-shard widths and sketch gauges.
 			p.enqueueScanIfIdle(p.cfg.CILevel)
+			p.publishDurability(now)
 		}
 		p.publishStatus()
-		if p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval {
-			p.lastCkpt = now
-			p.startCheckpoint(false)
+		if p.cfg.CheckpointDir != "" {
+			due := p.cfg.CheckpointInterval > 0 && now.Sub(p.lastCkpt) >= p.cfg.CheckpointInterval
+			if !due && p.ckptReq {
+				// An early-checkpoint request fires ahead of the interval,
+				// but never more often than a quarter interval — requests
+				// advance the schedule, they cannot turn it into a busy
+				// loop. The spacing is clamped to 250ms so completion-time
+				// durable drains stay fast even under production intervals
+				// of many minutes (50ms floor when no interval is set).
+				minGap := p.cfg.CheckpointInterval / 4
+				if minGap <= 0 {
+					minGap = 50 * time.Millisecond
+				} else if minGap > 250*time.Millisecond {
+					minGap = 250 * time.Millisecond
+				}
+				due = now.Sub(p.lastCkpt) >= minGap
+			}
+			if due {
+				p.ckptReq = false
+				p.lastCkpt = now
+				p.startCheckpoint(false)
+			}
 		}
 	}
 }
@@ -643,6 +685,63 @@ func (p *Proc) quantileTelemetrySums() (tuples, bytes int64) {
 		bytes += p.qtelBytes[i].Load()
 	}
 	return tuples, bytes
+}
+
+// durableStep answers the durable frontier of one group: the last contiguous
+// timestep whose fold state survived a checkpoint Commit. -1 when nothing of
+// the group is durable yet; wire.NoDurability when this process runs without
+// checkpointing (then nothing ever becomes durable, and clients should not
+// hold frames past the fold ack). Safe from any goroutine.
+func (p *Proc) durableStep(group int) int {
+	if p.cfg.CheckpointDir == "" {
+		return wire.NoDurability
+	}
+	p.durMu.Lock()
+	defer p.durMu.Unlock()
+	s, ok := p.durable[group]
+	if !ok {
+		return -1
+	}
+	return s
+}
+
+// publishDurable installs a committed checkpoint's frontier copy as the
+// process's durable frontier. Called by the background writer after Commit,
+// by the inbox after a sync write, and by restore.
+func (p *Proc) publishDurable(frontiers map[int]int, at time.Time) {
+	p.durMu.Lock()
+	p.durable = frontiers
+	p.durMu.Unlock()
+	p.durableAtNs.Store(at.UnixNano())
+}
+
+// publishDurability refreshes the durability telemetry: the checkpoint age
+// gauge and the worst per-group fold-vs-durable frontier gap. Runs on the
+// inbox at report cadence (it walks the inbox-owned tracker).
+func (p *Proc) publishDurability(now time.Time) {
+	if p.cfg.CheckpointDir == "" {
+		return
+	}
+	age := 0.0
+	if at := p.durableAtNs.Load(); at > 0 {
+		age = now.Sub(time.Unix(0, at)).Seconds()
+	}
+	p.met.ckptAge.Set(age)
+	gap := 0
+	frontiers := p.tracker.Frontiers()
+	p.durMu.Lock()
+	for g, last := range frontiers {
+		d, ok := p.durable[g]
+		if !ok {
+			d = -1
+		}
+		if last-d > gap {
+			gap = last - d
+		}
+	}
+	p.durMu.Unlock()
+	p.statDurableGap.Store(int64(gap))
+	p.met.durableGap.SetInt(int64(gap))
 }
 
 // commitTracked is tracker.Commit plus the live status mirror: the
@@ -928,6 +1027,8 @@ func (p *Proc) dispatch(payload []byte) {
 		p.handleHello(m)
 	case *wire.Resume:
 		p.handleResume(m)
+	case *wire.CheckpointReq:
+		p.handleCheckpointReq(m)
 	case *wire.Stop:
 		p.requestStop(m.Checkpoint)
 	case *wire.Heartbeat:
@@ -970,12 +1071,16 @@ func (p *Proc) handleHello(m *wire.Hello) {
 	// A resuming group gets this process's contiguous fold frontier so it can
 	// skip recomputed-and-already-folded steps (the client queries the other
 	// ranks' frontiers itself, over the direct connections it opens next).
+	// The durable frontier rides along unconditionally: it tells the client
+	// whether this server checkpoints at all, and up to which step retained
+	// frames may be discarded.
 	w.LastStep = -1
 	if m.Resume {
 		if last, ok := p.tracker.LastStep(m.GroupID); ok {
 			w.LastStep = last
 		}
 	}
+	w.DurableStep = p.durableStep(m.GroupID)
 	if err := reply.Send(wire.Encode(w)); err != nil {
 		olog.Warnw("server.welcome_failed", "group", m.GroupID, "err", err)
 	}
@@ -1007,10 +1112,26 @@ func (p *Proc) handleResume(m *wire.Resume) {
 	if olog.Default.Enabled(olog.Debug) {
 		olog.Debugw("server.group_resume", "rank", p.cfg.Rank, "group", m.GroupID, "last_step", last)
 	}
-	ack := &wire.ResumeAck{ProcRank: p.cfg.Rank, GroupID: m.GroupID, LastStep: last}
+	ack := &wire.ResumeAck{ProcRank: p.cfg.Rank, GroupID: m.GroupID,
+		LastStep: last, DurableStep: p.durableStep(m.GroupID)}
 	if err := reply.Send(wire.Encode(ack)); err != nil {
 		olog.Warnw("server.resume_ack_failed", "rank", p.cfg.Rank, "group", m.GroupID, "err", err)
 	}
+}
+
+// handleCheckpointReq notes a client's early-checkpoint request (its
+// retention ring crossed the durable high-water mark): the checkpoint starts
+// on the next run-loop pass, never inline — a flood of requests cannot block
+// the inbox, and the run loop's spacing guard keeps the writer out of a busy
+// loop. It also refreshes the group's liveness clock: a group throttled by
+// its own retention ring is alive and waiting on us.
+func (p *Proc) handleCheckpointReq(m *wire.CheckpointReq) {
+	mCkptReqs.Inc()
+	p.lastMsg[m.GroupID] = time.Now()
+	if p.cfg.CheckpointDir == "" {
+		return
+	}
+	p.ckptReq = true
 }
 
 // getBulk returns a pooled bulk-message shell ready for parsing.
@@ -1182,6 +1303,7 @@ func (p *Proc) sendHeartbeat(now time.Time) {
 	hb := &wire.Heartbeat{
 		Sender:     fmt.Sprintf("server-%d", p.cfg.Rank),
 		TimeMillis: now.UnixMilli(),
+		Epoch:      p.cfg.Epoch,
 	}
 	if err := s.Send(wire.Encode(hb)); err != nil {
 		p.launcher = nil // reconnect next time
@@ -1201,6 +1323,7 @@ func (p *Proc) sendReport(final bool) {
 	}
 	rep := &wire.Report{
 		ProcRank: p.cfg.Rank,
+		Epoch:    p.cfg.Epoch,
 		Running:  p.tracker.Running(),
 		Finished: p.tracker.Finished(),
 		Messages: atomic.LoadInt64(&p.messages),
@@ -1282,6 +1405,7 @@ func (p *Proc) beginCheckpoint(block bool) bool {
 	job.messages = atomic.LoadInt64(&p.messages)
 	job.tracker.Reset()
 	p.tracker.Encode(job.tracker)
+	job.frontiers = p.tracker.Frontiers()
 	snap := &ckptSnap{job: job}
 	snap.remaining.Store(int32(len(p.workCh)))
 	p.ckptWG.Add(1)
@@ -1371,6 +1495,11 @@ func (p *Proc) writeSnapshot(job *ckptJob) {
 		olog.Errorw("server.checkpoint_failed", "rank", p.cfg.Rank, "err", err)
 		return
 	}
+	// The file is durable: the frontier captured at initiation is now the
+	// process's durable frontier (the job keeps no reference — the map is
+	// handed over, not reused).
+	p.publishDurable(job.frontiers, time.Now())
+	job.frontiers = nil
 	mCkptWrites.Inc()
 	mCkptBytes.Add(written)
 	mCkptWriteSeconds.Observe(elapsed.Seconds())
@@ -1389,6 +1518,7 @@ func (p *Proc) writeCheckpointSync() {
 	start := time.Now()
 	p.quiesce()
 	p.acc.CompactQuantiles()
+	frontiers := p.tracker.Frontiers()
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	err := checkpoint.Write(path, func(w *enc.Writer) {
 		w.Int(p.cfg.Partition.Lo)
@@ -1416,6 +1546,7 @@ func (p *Proc) writeCheckpointSync() {
 		olog.Errorw("server.checkpoint_failed", "rank", p.cfg.Rank, "err", err)
 		return
 	}
+	p.publishDurable(frontiers, time.Now())
 	mCkptWrites.Inc()
 	mCkptBytes.Add(size)
 	mCkptWriteSeconds.Observe(elapsed.Seconds())
@@ -1471,6 +1602,18 @@ func (p *Proc) restore() error {
 	p.tracker = tracker
 	p.statRunning.Store(int64(len(tracker.Running())))
 	p.statFinished.Store(int64(len(tracker.Finished())))
+	// After a restore the fold frontier *is* the durable frontier: the whole
+	// restored state came from the committed file. Reconnecting groups get it
+	// as both the resend point and the retention floor.
+	p.publishDurable(tracker.Frontiers(), time.Now())
+	// Arm the liveness clock of every restored running group: it grants full
+	// grace for the reconnect storm after a server restart, and — crucially —
+	// makes a group that never comes back (its data rolled back past what it
+	// had drained) trip the group timeout so the launcher replays it instead
+	// of hanging the study.
+	for _, g := range tracker.Running() {
+		p.lastMsg[g] = time.Now()
+	}
 	p.ckpt.Reads++
 	p.ckpt.ReadDuration += time.Since(start)
 	return nil

@@ -134,6 +134,12 @@ type Config struct {
 	Stats core.Options
 	// Network provides the endpoints (in-memory or TCP).
 	Network transport.Network
+	// Addrs, when non-empty, requests a specific listen address per process
+	// rank (len must be Procs). A restarted server passes the previous
+	// instance's addresses so clients that retained the old layout can
+	// reconnect and resume instead of replaying; an empty slice (or empty
+	// entries) lets the transport pick.
+	Addrs []string
 	// GroupTimeout is the maximum inter-message gap before a running group
 	// is declared unresponsive (the paper sets 300 s; tests use shorter).
 	// Zero disables detection.
@@ -164,6 +170,13 @@ type Config struct {
 	// reported values lag the stream by at most one report interval. Off by
 	// default.
 	ConvergenceReports bool
+	// Epoch is the incarnation number of this server instance. The launcher
+	// increments it on every (re)start and stamps it into heartbeats and
+	// reports, so stale messages queued by a dying incarnation's stop drain
+	// cannot corrupt the launcher's liveness or completion bookkeeping after
+	// a restart. Zero is a valid epoch (single-incarnation embedders need not
+	// set it).
+	Epoch int
 	// WireCodec opts this server into the negotiated wire codec: Welcome
 	// replies grant wire.CapWireCodec to clients that advertised it, inviting
 	// them to ship field payloads as delta-XOR + entropy-coded frames cut on
@@ -194,6 +207,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("server: nil network")
 	case c.CheckpointInterval > 0 && c.CheckpointDir == "":
 		return fmt.Errorf("server: checkpointing enabled without a directory")
+	case len(c.Addrs) != 0 && len(c.Addrs) != c.Procs:
+		return fmt.Errorf("server: %d requested addresses for %d processes", len(c.Addrs), c.Procs)
 	}
 	return nil
 }
@@ -224,7 +239,11 @@ func New(cfg Config) (*Server, error) {
 	addrs := make([]string, cfg.Procs)
 	recvs := make([]transport.Receiver, cfg.Procs)
 	for rank := 0; rank < cfg.Procs; rank++ {
-		r, err := cfg.Network.Listen("")
+		hint := ""
+		if len(cfg.Addrs) > rank {
+			hint = cfg.Addrs[rank]
+		}
+		r, err := cfg.Network.Listen(hint)
 		if err != nil {
 			for _, rr := range recvs[:rank] {
 				rr.Close()

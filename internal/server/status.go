@@ -3,6 +3,7 @@ package server
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"melissa/internal/obs"
 	"melissa/internal/transport"
@@ -59,8 +60,42 @@ type Status struct {
 	PoolOutstanding int64 `json:"pool_outstanding"`
 	PoolRefsActive  int64 `json:"pool_refs_active"`
 
+	// Durability is the durable-frontier protocol state: checkpoint
+	// staleness and how far the fold frontiers run ahead of the last
+	// committed checkpoint (the window a server crash would roll back).
+	Durability DurabilityStatus `json:"durability"`
+
 	// Per-process detail.
 	ProcStatus []ProcStatus `json:"proc"`
+}
+
+// DurabilityStatus summarizes the durable frontier across processes.
+type DurabilityStatus struct {
+	// Enabled is false when the server runs without a checkpoint directory —
+	// nothing ever becomes durable and clients fall back to fold-frontier
+	// retention.
+	Enabled bool `json:"enabled"`
+	// MaxGapSteps is the worst per-group fold-vs-durable frontier gap across
+	// processes (timesteps a crash right now would roll back).
+	MaxGapSteps int64 `json:"max_gap_steps"`
+	// OldestCheckpointAgeSeconds is the staleness of the least recently
+	// committed per-process checkpoint (0 until every process committed one).
+	OldestCheckpointAgeSeconds float64 `json:"oldest_checkpoint_age_seconds"`
+	// Procs is the per-process detail.
+	Procs []ProcDurability `json:"proc"`
+}
+
+// ProcDurability is one process's durability detail.
+type ProcDurability struct {
+	Rank int `json:"rank"`
+	// DurableGroups counts groups with any durable fold state.
+	DurableGroups int `json:"durable_groups"`
+	// GapSteps is the worst per-group fold-vs-durable gap at the last
+	// durability publish.
+	GapSteps int64 `json:"gap_steps"`
+	// CheckpointAgeSeconds is the time since this process's last committed
+	// checkpoint (0 before the first commit).
+	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
 }
 
 // ProcStatus is one server process's slice of the snapshot.
@@ -154,6 +189,7 @@ func (s *Server) Status() Status {
 	if anyScan {
 		st.MaxCIWidth = finiteOrNil(worstCI)
 	}
+	st.Durability = s.durabilityStatus()
 	st.CompressionRatio = 1
 	if st.WireBytes > 0 {
 		st.CompressionRatio = float64(st.RawBytes) / float64(st.WireBytes)
@@ -162,6 +198,33 @@ func (s *Server) Status() Status {
 	st.PoolOutstanding = pool.Outstanding()
 	st.PoolRefsActive = pool.RefsActive()
 	return st
+}
+
+// durabilityStatus assembles the durable-frontier snapshot. Reads only
+// atomics and the durMu-guarded maps, so it is scrape-safe mid-ingest.
+func (s *Server) durabilityStatus() DurabilityStatus {
+	d := DurabilityStatus{Enabled: s.cfg.CheckpointDir != ""}
+	if !d.Enabled {
+		return d
+	}
+	now := time.Now()
+	for _, p := range s.procs {
+		pd := ProcDurability{Rank: p.cfg.Rank, GapSteps: p.statDurableGap.Load()}
+		if at := p.durableAtNs.Load(); at > 0 {
+			pd.CheckpointAgeSeconds = now.Sub(time.Unix(0, at)).Seconds()
+		}
+		p.durMu.Lock()
+		pd.DurableGroups = len(p.durable)
+		p.durMu.Unlock()
+		d.Procs = append(d.Procs, pd)
+		if pd.GapSteps > d.MaxGapSteps {
+			d.MaxGapSteps = pd.GapSteps
+		}
+		if pd.CheckpointAgeSeconds > d.OldestCheckpointAgeSeconds {
+			d.OldestCheckpointAgeSeconds = pd.CheckpointAgeSeconds
+		}
+	}
+	return d
 }
 
 // RegisterStatus publishes this server's snapshot as the "server" section of

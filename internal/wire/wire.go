@@ -58,6 +58,12 @@ const (
 	// frontier for the group; the reconnecting client resends only the
 	// retained steps after LastStep.
 	TypeResumeAck
+	// TypeCheckpointReq is a client → server-process nudge: "my retention
+	// ring for your rank is filling with acked-but-not-durable frames —
+	// please checkpoint soon so the durable frontier advances". It is
+	// fire-and-forget advice, never an ingest blocker: the process folds it
+	// into its next run-loop pass and starts an early (skippable) checkpoint.
+	TypeCheckpointReq
 )
 
 // Capability bits exchanged in Hello.Caps/Welcome.Caps. A capability takes
@@ -106,7 +112,20 @@ type Welcome struct {
 	// not set Resume. Other ranks are queried individually with Resume
 	// messages; rank 0's answer rides along in the handshake for free.
 	LastStep int
+	// DurableStep is rank 0's durable frontier for the group: the last
+	// contiguous timestep whose fold state survived a checkpoint Commit
+	// (fsync + atomic rename). -1 when nothing is durable yet,
+	// NoDurability when the server runs without checkpointing — then the
+	// client must fall back to treating the fold frontier as final, since
+	// a restarted server would have no state to resume from anyway.
+	DurableStep int
 }
+
+// NoDurability in Welcome.DurableStep/ResumeAck.DurableStep marks a server
+// running without a checkpoint directory: no frontier is ever durable and
+// clients should not retain frames past the fold ack (a crashed server
+// loses everything regardless).
+const NoDurability = -2
 
 // Data is the bulk payload: the fields of all p+2 simulations of one group
 // restricted to [CellLo, CellHi), at one timestep. Fields[0] is f(A_i),
@@ -143,6 +162,11 @@ type Heartbeat struct {
 	Sender string
 	// TimeMillis is the sender's clock (for launcher-side staleness checks).
 	TimeMillis int64
+	// Epoch is the server incarnation that emitted this beacon. The launcher
+	// bumps the epoch on every server (re)start and discards beacons from
+	// earlier incarnations, so a dying server's backlog cannot refresh the
+	// liveness clock of its replacement.
+	Epoch int
 }
 
 // Report is the periodic server→launcher status message: which groups this
@@ -169,6 +193,13 @@ type Report struct {
 	// MaxBatchSteps while the server is congested and shrink it back as the
 	// backlog clears.
 	Backpressure float64
+	// Epoch is the server incarnation that produced this report. A stopping
+	// server keeps folding its inbound backlog (and keeps reporting) for a
+	// short drain window; after a crash+restart those trailing reports can
+	// claim groups finished whose folds were rolled back to the durable
+	// frontier. The launcher only applies reports whose epoch matches the
+	// current incarnation.
+	Epoch int
 	// TupleCount and SketchBytes are the sender's live quantile-sketch
 	// telemetry (retained GK tuples and their byte estimate, summed over
 	// cells and timesteps, from the last completed worker scan) — the memory
@@ -193,10 +224,25 @@ type Resume struct {
 
 // ResumeAck answers a Resume: LastStep is the process's last contiguous
 // folded timestep for the group, -1 if it never folded anything.
+// DurableStep is the process's durable frontier for the group — the last
+// contiguous timestep committed by a checkpoint (NoDurability when the
+// process runs without checkpointing). A reconnecting client resends from
+// LastStep+1 but may only discard retained frames at or below DurableStep:
+// after a server crash the restored fold frontier rolls back exactly to the
+// durable one.
 type ResumeAck struct {
-	ProcRank int
-	GroupID  int
-	LastStep int
+	ProcRank    int
+	GroupID     int
+	LastStep    int
+	DurableStep int
+}
+
+// CheckpointReq asks one server process for an early checkpoint (see
+// TypeCheckpointReq). GroupID identifies the requesting group for logging
+// and liveness accounting only; the resulting checkpoint covers the whole
+// process state as usual.
+type CheckpointReq struct {
+	GroupID int
 }
 
 // Encode serializes any supported message with its type tag into a fresh
@@ -257,6 +303,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 			w.Int(s)
 		}
 		w.Int(m.LastStep)
+		w.Int(m.DurableStep)
 	case *Data:
 		w.U8(uint8(TypeData))
 		w.Int(m.GroupID)
@@ -284,6 +331,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.U8(uint8(TypeHeartbeat))
 		w.String(m.Sender)
 		w.I64(m.TimeMillis)
+		w.Int(m.Epoch)
 	case *Report:
 		w.U8(uint8(TypeReport))
 		w.Int(m.ProcRank)
@@ -304,6 +352,7 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.F64(m.Backpressure)
 		w.I64(m.TupleCount)
 		w.I64(m.SketchBytes)
+		w.Int(m.Epoch)
 	case *Stop:
 		w.U8(uint8(TypeStop))
 		w.Bool(m.Checkpoint)
@@ -316,6 +365,10 @@ func EncodeTo(w *enc.Writer, msg any) {
 		w.Int(m.ProcRank)
 		w.Int(m.GroupID)
 		w.Int(m.LastStep)
+		w.Int(m.DurableStep)
+	case *CheckpointReq:
+		w.U8(uint8(TypeCheckpointReq))
+		w.Int(m.GroupID)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", msg))
 	}
@@ -367,6 +420,7 @@ func Decode(payload []byte) (any, error) {
 			}
 		}
 		m.LastStep = r.Int()
+		m.DurableStep = r.Int()
 		msg = m
 	case TypeData:
 		m := &Data{}
@@ -412,6 +466,7 @@ func Decode(payload []byte) (any, error) {
 		m := &Heartbeat{}
 		m.Sender = r.String()
 		m.TimeMillis = r.I64()
+		m.Epoch = r.Int()
 		msg = m
 	case TypeReport:
 		m := &Report{}
@@ -442,6 +497,7 @@ func Decode(payload []byte) (any, error) {
 		m.Backpressure = r.F64()
 		m.TupleCount = r.I64()
 		m.SketchBytes = r.I64()
+		m.Epoch = r.Int()
 		msg = m
 	case TypeStop:
 		m := &Stop{}
@@ -457,6 +513,11 @@ func Decode(payload []byte) (any, error) {
 		m.ProcRank = r.Int()
 		m.GroupID = r.Int()
 		m.LastStep = r.Int()
+		m.DurableStep = r.Int()
+		msg = m
+	case TypeCheckpointReq:
+		m := &CheckpointReq{}
+		m.GroupID = r.Int()
 		msg = m
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", typ)

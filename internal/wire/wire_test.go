@@ -39,34 +39,45 @@ func TestResumeRoundTrip(t *testing.T) {
 }
 
 func TestResumeAckRoundTrip(t *testing.T) {
-	in := &ResumeAck{ProcRank: 2, GroupID: 17, LastStep: 41}
+	in := &ResumeAck{ProcRank: 2, GroupID: 17, LastStep: 41, DurableStep: 30}
 	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
 	}
-	// A process that never folded this group acks -1.
-	fresh := &ResumeAck{ProcRank: 0, GroupID: 5, LastStep: -1}
+	// A process that never folded this group acks -1; without checkpointing
+	// the durable frontier is the NoDurability sentinel.
+	fresh := &ResumeAck{ProcRank: 0, GroupID: 5, LastStep: -1, DurableStep: NoDurability}
 	if got := roundTrip(t, fresh); !reflect.DeepEqual(got, fresh) {
 		t.Fatalf("fresh ack: %+v", got)
 	}
 }
 
+func TestCheckpointReqRoundTrip(t *testing.T) {
+	in := &CheckpointReq{GroupID: 12}
+	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
+		t.Fatalf("got %+v want %+v", got, in)
+	}
+}
+
 func TestWelcomeRoundTrip(t *testing.T) {
 	in := &Welcome{
-		Timesteps:  100,
-		Cells:      9603840,
-		P:          6,
-		ServerAddr: []string{"a:1", "b:2", "c:3"},
-		Partitions: []mesh.Partition{{Lo: 0, Hi: 3201280}, {Lo: 3201280, Hi: 6402560}, {Lo: 6402560, Hi: 9603840}},
-		Caps:       CapWireCodec,
-		FoldShards: []int{8, 8, 8},
-		LastStep:   37,
+		Timesteps:   100,
+		Cells:       9603840,
+		P:           6,
+		ServerAddr:  []string{"a:1", "b:2", "c:3"},
+		Partitions:  []mesh.Partition{{Lo: 0, Hi: 3201280}, {Lo: 3201280, Hi: 6402560}, {Lo: 6402560, Hi: 9603840}},
+		Caps:        CapWireCodec,
+		FoldShards:  []int{8, 8, 8},
+		LastStep:    37,
+		DurableStep: 30,
 	}
 	got := roundTrip(t, in)
 	if !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
 	}
-	// Non-resume handshakes carry -1 (no frontier).
+	// Non-resume handshakes carry -1 (no frontier); a server without
+	// checkpointing advertises the NoDurability sentinel.
 	in.LastStep = -1
+	in.DurableStep = NoDurability
 	if got := roundTrip(t, in); !reflect.DeepEqual(got, in) {
 		t.Fatalf("got %+v want %+v", got, in)
 	}

@@ -167,6 +167,20 @@ type StudyConfig struct {
 	// ResendWindow is the per-route retention depth in timesteps backing
 	// post-reconnect resends (0 = a deep default).
 	ResendWindow int
+	// CheckpointHighWater caps how many retained-but-not-durable timesteps a
+	// group route accumulates before it asks the server for an early
+	// checkpoint (fire-and-forget advice, never an ingest stall). 0 picks 3/4
+	// of the retention window. Only meaningful with CheckpointDir set and a
+	// Retry budget — it keeps the durable frontier close enough behind the
+	// stream that a server crash resumes out of the retention rings instead
+	// of forcing full group replays.
+	CheckpointHighWater int
+	// DurableDrainTimeout bounds the completion-time durable drain each group
+	// performs: before exiting, a group waits for the server's checkpoint to
+	// cover its final timestep, so a later server crash cannot roll a
+	// finished group's contribution back. 0 uses a 30 s default; negative
+	// disables the drain.
+	DurableDrainTimeout time.Duration
 	// Chaos, when non-nil, wraps the study's transport in a deterministic
 	// fault-injecting ChaosNetwork — connection refusals, mid-stream cuts
 	// with lost tails, latency, duplicated and corrupted frames, scheduled
@@ -200,6 +214,11 @@ type StudyStats struct {
 	// Reconnects counts server connections groups re-established in place
 	// (resume + windowed resend) instead of failing the attempt.
 	Reconnects int
+	// ResumesAfterServerRestart counts group jobs that survived a server
+	// restart: kept running, reconnected, and resumed against the restored
+	// durable frontier instead of being killed and replayed (which would
+	// count into Restarts).
+	ResumesAfterServerRestart int
 }
 
 // FieldResult exposes the assembled ubiquitous statistics of a study.
@@ -375,24 +394,26 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 			Quantiles:     cfg.Quantiles,
 			QuantileEps:   cfg.QuantileEps,
 		},
-		Network:            studyNetwork(cfg),
-		Cluster:            cluster,
-		ServerProcs:        cfg.ServerProcs,
-		FoldWorkers:        cfg.FoldWorkers,
-		BatchSteps:         cfg.BatchSteps,
-		MaxBatchSteps:      cfg.MaxBatchSteps,
-		WireCodec:          cfg.WireCodec,
-		ServerNodes:        cfg.ServerNodes,
-		GroupNodes:         cfg.GroupNodes,
-		MaxRetries:         cfg.MaxRetries,
-		GroupTimeout:       cfg.GroupTimeout,
-		CheckpointDir:      cfg.CheckpointDir,
-		CheckpointInterval: cfg.CheckpointInterval,
-		SyncCheckpoints:    cfg.SyncCheckpoints,
-		ConvergenceTarget:  cfg.ConvergenceTarget,
-		MetricsAddr:        cfg.MetricsAddr,
-		Retry:              cfg.Retry,
-		ResendWindow:       cfg.ResendWindow,
+		Network:             studyNetwork(cfg),
+		Cluster:             cluster,
+		ServerProcs:         cfg.ServerProcs,
+		FoldWorkers:         cfg.FoldWorkers,
+		BatchSteps:          cfg.BatchSteps,
+		MaxBatchSteps:       cfg.MaxBatchSteps,
+		WireCodec:           cfg.WireCodec,
+		ServerNodes:         cfg.ServerNodes,
+		GroupNodes:          cfg.GroupNodes,
+		MaxRetries:          cfg.MaxRetries,
+		GroupTimeout:        cfg.GroupTimeout,
+		CheckpointDir:       cfg.CheckpointDir,
+		CheckpointInterval:  cfg.CheckpointInterval,
+		SyncCheckpoints:     cfg.SyncCheckpoints,
+		ConvergenceTarget:   cfg.ConvergenceTarget,
+		MetricsAddr:         cfg.MetricsAddr,
+		Retry:               cfg.Retry,
+		ResendWindow:        cfg.ResendWindow,
+		CheckpointHighWater: cfg.CheckpointHighWater,
+		DurableDrainTimeout: cfg.DurableDrainTimeout,
 	}
 	l, err := launcher.New(lcfg)
 	if err != nil {
@@ -403,17 +424,18 @@ func RunStudy(cfg StudyConfig) (*FieldResult, StudyStats, error) {
 		return nil, stats, err
 	}
 	stats = StudyStats{
-		WallClock:      lstats.WallClock,
-		GroupsFinished: lstats.GroupsFinished,
-		GroupsGivenUp:  lstats.GroupsGivenUp,
-		Restarts:       lstats.Restarts,
-		TimeoutKills:   lstats.TimeoutKills,
-		ServerRestarts: lstats.ServerRestarts,
-		Converged:      lstats.Converged,
-		PeakNodes:      lstats.PeakNodes,
-		MessagesFolded: res.Messages(),
-		ServerMemory:   res.MemoryBytes(),
-		Reconnects:     lstats.Reconnects,
+		WallClock:                 lstats.WallClock,
+		GroupsFinished:            lstats.GroupsFinished,
+		GroupsGivenUp:             lstats.GroupsGivenUp,
+		Restarts:                  lstats.Restarts,
+		TimeoutKills:              lstats.TimeoutKills,
+		ServerRestarts:            lstats.ServerRestarts,
+		Converged:                 lstats.Converged,
+		PeakNodes:                 lstats.PeakNodes,
+		MessagesFolded:            res.Messages(),
+		ServerMemory:              res.MemoryBytes(),
+		Reconnects:                lstats.Reconnects,
+		ResumesAfterServerRestart: lstats.ResumesAfterServerRestart,
 	}
 	// Data volume the study avoided writing: every simulation's every
 	// timestep at 8 bytes per cell.
