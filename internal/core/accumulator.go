@@ -41,14 +41,30 @@ type Options struct {
 // quantilesEnabled reports whether per-cell quantile sketches are tracked.
 func (o Options) quantilesEnabled() bool { return len(o.Quantiles) > 0 }
 
+// withoutQuantiles returns a copy of o with quantile tracking disabled — the
+// option set snapshot buffers are built with, since snapshots share frozen
+// sketch views instead of owning sketch state.
+func (o Options) withoutQuantiles() Options {
+	o.Quantiles = nil
+	o.QuantileEps = 0
+	return o
+}
+
 // Interleaved per-cell record layout. Each cell owns one contiguous block of
-// recStride(p) = 4 + 4p float64 slots:
+// float64 slots: the shared A/B moments, one 4-slot block per parameter, and
+// — when enabled — the optional tracker state:
 //
-//	[meanA, m2A, meanB, m2B, {meanC_k, m2C_k, c2BC_k, c2AC_k} for k = 0..p-1]
+//	[meanA, m2A, meanB, m2B,
+//	 {meanC_k, m2C_k, c2BC_k, c2AC_k} for k = 0..p-1,
+//	 {min, max}?, {exceedCount}?, {hMean, hM2, hM3, hM4}?]
 //
 // so one group fold streams through the state exactly once, touching every
 // cache line a single time, instead of making p+1 passes over 4+4p parallel
-// arrays (see the package comment for the full rationale).
+// arrays — and enabling trackers widens that single sweep instead of
+// reintroducing separate strided passes (see the package comment for the
+// full rationale). The exceedance count is stored as a float64 holding an
+// integer value (exact below 2^53, far beyond any ensemble size); the codec
+// converts to the historical int64 wire form.
 const (
 	offMeanA = 0
 	offM2A   = 1
@@ -65,8 +81,37 @@ const (
 	blkC2AC  = 3
 )
 
-// recStride returns the record size in floats for p parameters.
-func recStride(p int) int { return recHeader + recPerParam*p }
+// recLayout is the record geometry for one (p, Options) combination: the
+// total stride and the offsets of the optional tracker slots (-1 when the
+// tracker is disabled). sob is the end of the Sobol' parameter blocks —
+// loops over parameter blocks run [recHeader, sob), never to stride, which
+// now also covers tracker slots.
+type recLayout struct {
+	stride int
+	sob    int // recHeader + recPerParam*p
+	min    int // [min, max] slot pair, -1 when Options.MinMax is off
+	exc    int // exceedance-count slot, -1 when Options.Threshold is nil
+	hig    int // [mean, m2, m3, m4] quad, -1 when Options.HigherMoments is off
+}
+
+// layoutFor computes the record geometry for p parameters under opts.
+func layoutFor(p int, opts Options) recLayout {
+	l := recLayout{sob: recHeader + recPerParam*p, min: -1, exc: -1, hig: -1}
+	l.stride = l.sob
+	if opts.MinMax {
+		l.min = l.stride
+		l.stride += 2
+	}
+	if opts.Threshold != nil {
+		l.exc = l.stride
+		l.stride++
+	}
+	if opts.HigherMoments {
+		l.hig = l.stride
+		l.stride += 4
+	}
+	return l
+}
 
 // Accumulator holds the ubiquitous Sobol' state for one spatial partition
 // across all timesteps. It is not safe for concurrent use; each server
@@ -77,7 +122,10 @@ type Accumulator struct {
 	timesteps int
 	p         int
 	stride    int
+	lay       recLayout
 	opts      Options
+	// threshold is *opts.Threshold hoisted for the fused kernel (0 unused).
+	threshold float64
 	// buf is the single flat allocation backing every timestep's interleaved
 	// records; steps[t].rec is its t-th window.
 	buf   []float64
@@ -85,24 +133,28 @@ type Accumulator struct {
 	// ciLevel is the confidence level the per-step ciWidth caches were
 	// computed at (0 = never computed).
 	ciLevel float64
-	// encScratch is the reusable transpose buffer for Encode/Decode, which
-	// keep the dense per-statistic-array checkpoint format.
-	encScratch []float64
+	// encScratch/encScratchI are the reusable transpose buffers for
+	// Encode/Decode, which keep the dense per-statistic-array checkpoint
+	// format (the int64 buffer carries the exceedance counts).
+	encScratch  []float64
+	encScratchI []int64
 }
 
-// stepAccum is the per-timestep one-pass state: n, the interleaved Sobol'
-// record block, the optional trackers, and the incremental convergence
-// cache.
+// stepAccum is the per-timestep one-pass state: n, the interleaved record
+// block (Sobol' co-moments plus any enabled tracker slots), the incremental
+// convergence cache, and the quantile sketches. The tracker sample counts
+// (2 per folded group: the A and B members) are the only tracker state kept
+// outside the records.
 type stepAccum struct {
 	n   int64
-	rec []float64 // cells × recStride(p) interleaved records
+	rec []float64 // cells × lay.stride interleaved records
 	// ciDirty marks that the Sobol' state changed since ciWidth was cached;
 	// MaxCIWidth rescans only dirty steps.
 	ciDirty bool
 	ciWidth float64
-	minmax  *stats.FieldMinMax
-	exceed  *stats.FieldExceedance
-	higher  *stats.FieldMoments
+	minmaxN int64
+	exceedN int64
+	higherN int64
 	quant   *quantiles.Field
 }
 
@@ -117,29 +169,31 @@ func NewAccumulator(cells, timesteps, p int, opts Options) *Accumulator {
 			panic(fmt.Sprintf("core: quantile probe %v out of (0,1)", q))
 		}
 	}
-	stride := recStride(p)
-	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, stride: stride, opts: opts}
-	a.buf = make([]float64, timesteps*cells*stride)
+	lay := layoutFor(p, opts)
+	a := &Accumulator{cells: cells, timesteps: timesteps, p: p, stride: lay.stride, lay: lay, opts: opts}
+	if opts.Threshold != nil {
+		a.threshold = *opts.Threshold
+	}
+	a.buf = make([]float64, timesteps*cells*lay.stride)
 	a.steps = make([]stepAccum, timesteps)
-	window := cells * stride
+	window := cells * lay.stride
 	for t := range a.steps {
 		a.steps[t] = newStepAccum(cells, opts)
 		a.steps[t].rec = a.buf[t*window : (t+1)*window : (t+1)*window]
+	}
+	if lay.min >= 0 {
+		// Min/max slots start at the identity of the running min/max, like
+		// stats.NewFieldMinMax; every other slot starts at zero.
+		for ri := lay.min; ri < len(a.buf); ri += lay.stride {
+			a.buf[ri] = math.Inf(1)
+			a.buf[ri+1] = math.Inf(-1)
+		}
 	}
 	return a
 }
 
 func newStepAccum(cells int, opts Options) stepAccum {
 	s := stepAccum{ciDirty: true}
-	if opts.MinMax {
-		s.minmax = stats.NewFieldMinMax(cells)
-	}
-	if opts.Threshold != nil {
-		s.exceed = stats.NewFieldExceedance(cells, *opts.Threshold)
-	}
-	if opts.HigherMoments {
-		s.higher = stats.NewFieldMoments(cells)
-	}
 	if opts.quantilesEnabled() {
 		s.quant = quantiles.NewField(cells, opts.QuantileEps)
 	}
@@ -162,10 +216,23 @@ func (a *Accumulator) N(t int) int64 { return a.steps[t].n }
 // yA and yB are the fields of f(A_i) and f(B_i) restricted to this
 // partition, yC[k] the field of f(C^k_i). All slices must have length
 // Cells(). This is the O(cells·p) inner loop of Melissa Server, fused into a
-// single sweep over the interleaved records: each cell's 4+4p floats are
-// loaded and stored exactly once per group. The per-cell arithmetic order is
-// the one of the original multi-pass kernel (all C blocks read the pre-update
-// A/B means), so results are bitwise identical to it.
+// single sweep over the interleaved records: each cell's record — Sobol'
+// co-moments and any enabled tracker slots — is loaded and stored exactly
+// once per group. The parameter blocks are hand-unrolled two at a time
+// (pairs of blocks are independent, so their FP chains interleave for
+// instruction-level parallelism; gc does not auto-vectorize this loop) and
+// every record access goes through a full slice expression with constant
+// indices so the bounds checks hoist to one per cell and one per block
+// pair — spot-check with `go build -gcflags=-S`. An eight-cell-block
+// variant with k-major inner loops and per-block hoisted yC headers
+// measured ~15% slower than this form on amd64 (the extra passes over the
+// block cost more than the header reloads they save), so the sweep stays
+// cell-major.
+//
+// The per-cell arithmetic order is the one of the original multi-pass
+// kernel (all C blocks read the pre-update A/B means; the A/B moments
+// update next; the trackers see yA then yB last; slots only ever combine
+// with their own block's values), so results are bitwise identical to it.
 func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
 	if t < 0 || t >= a.timesteps {
 		panic(fmt.Sprintf("core: timestep %d out of range [0,%d)", t, a.timesteps))
@@ -183,34 +250,126 @@ func (a *Accumulator) UpdateGroup(t int, yA, yB []float64, yC [][]float64) {
 	s.n++
 	s.ciDirty = true
 	n := float64(s.n)
-	stride := a.stride
+	lay := a.lay
+	stride := lay.stride
 	rec := s.rec
+	th := a.threshold
+	// Higher-moment factors for this group's A-then-B pair, hoisted out of
+	// the sweep: they depend only on the tracker sample count (2 per group).
+	var nA1, nA, nB, nnA, nnB float64
+	if lay.hig >= 0 {
+		nA1 = float64(s.higherN)
+		nA = nA1 + 1
+		nB = nA + 1
+		nnA = nA*nA - 3*nA + 3
+		nnB = nB*nB - 3*nB + 3
+		s.higherN += 2
+	}
+	if lay.min >= 0 {
+		s.minmaxN += 2
+	}
+	if lay.exc >= 0 {
+		s.exceedN += 2
+	}
+	kPairs := a.p / 2 // unrolled-by-two parameter blocks; odd p leaves a tail
 	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+stride {
 		r := rec[ri : ri+stride : ri+stride]
-		dA := yA[i] - r[offMeanA] // deviations from the *old* A/B means
-		dB := yB[i] - r[offMeanB]
-		for k, off := 0, recHeader; k < len(yC); k, off = k+1, off+recPerParam {
-			y := yC[k][i]
-			dC := y - r[off+blkMeanC]
-			r[off+blkMeanC] += dC / n
-			e := y - r[off+blkMeanC] // deviation from the *new* C mean
-			r[off+blkM2C] += dC * e
-			r[off+blkC2BC] += dB * e
-			r[off+blkC2AC] += dA * e
+		ya, yb := yA[i], yB[i]
+		dA := ya - r[offMeanA] // deviations from the *old* A/B means
+		dB := yb - r[offMeanB]
+		// Parameter blocks, unrolled two at a time: each pair shares one
+		// 8-slot bounds check and the two blocks' FP chains interleave
+		// (they are independent, so the unroll buys instruction-level
+		// parallelism the serial chain can't).
+		off := recHeader
+		for k := 0; k < kPairs; k++ {
+			y0 := yC[2*k][i]
+			y1 := yC[2*k+1][i]
+			c := r[off : off+8 : off+8]
+			mC0 := c[blkMeanC]
+			mC1 := c[recPerParam+blkMeanC]
+			dC0 := y0 - mC0
+			dC1 := y1 - mC1
+			mC0 += dC0 / n
+			mC1 += dC1 / n
+			e0 := y0 - mC0 // deviations from the *new* C means
+			e1 := y1 - mC1
+			c[blkMeanC] = mC0
+			c[recPerParam+blkMeanC] = mC1
+			c[blkM2C] += dC0 * e0
+			c[recPerParam+blkM2C] += dC1 * e1
+			c[blkC2BC] += dB * e0
+			c[recPerParam+blkC2BC] += dB * e1
+			c[blkC2AC] += dA * e0
+			c[recPerParam+blkC2AC] += dA * e1
+			off += 2 * recPerParam
+		}
+		if off < lay.sob { // odd p: the last parameter block
+			y := yC[a.p-1][i]
+			c := r[off : off+4 : off+4]
+			mC := c[blkMeanC]
+			dC := y - mC
+			mC += dC / n
+			e := y - mC
+			c[blkMeanC] = mC
+			c[blkM2C] += dC * e
+			c[blkC2BC] += dB * e
+			c[blkC2AC] += dA * e
 		}
 		r[offMeanA] += dA / n
-		r[offM2A] += dA * (yA[i] - r[offMeanA])
+		r[offM2A] += dA * (ya - r[offMeanA])
 		r[offMeanB] += dB / n
-		r[offM2B] += dB * (yB[i] - r[offMeanB])
-	}
-	if s.minmax != nil {
-		s.minmax.UpdatePair(yA, yB)
-	}
-	if s.exceed != nil {
-		s.exceed.UpdatePair(yA, yB)
-	}
-	if s.higher != nil {
-		s.higher.UpdatePair(yA, yB)
+		r[offM2B] += dB * (yb - r[offMeanB])
+		// Tracker slots ride the same record while it is register/cache-warm.
+		// Each tracker sees yA then yB — the UpdatePair order of the
+		// historical stats passes, replicated bitwise.
+		if mo := lay.min; mo >= 0 {
+			lo, hi := r[mo], r[mo+1]
+			if ya < lo {
+				lo = ya
+			}
+			if ya > hi {
+				hi = ya
+			}
+			if yb < lo {
+				lo = yb
+			}
+			if yb > hi {
+				hi = yb
+			}
+			r[mo], r[mo+1] = lo, hi
+		}
+		if eo := lay.exc; eo >= 0 {
+			c := r[eo]
+			if ya > th {
+				c++
+			}
+			if yb > th {
+				c++
+			}
+			r[eo] = c
+		}
+		if ho := lay.hig; ho >= 0 {
+			m := r[ho : ho+4 : ho+4]
+			mean, m2, m3, m4 := m[0], m[1], m[2], m[3]
+			delta := ya - mean
+			deltaN := delta / nA
+			deltaN2 := deltaN * deltaN
+			term1 := delta * deltaN * nA1
+			mean += deltaN
+			m4 += term1*deltaN2*nnA + 6*deltaN2*m2 - 4*deltaN*m3
+			m3 += term1*deltaN*(nA-2) - 3*deltaN*m2
+			m2 += term1
+			delta = yb - mean
+			deltaN = delta / nB
+			deltaN2 = deltaN * deltaN
+			term1 = delta * deltaN * nA
+			mean += deltaN
+			m4 += term1*deltaN2*nnB + 6*deltaN2*m2 - 4*deltaN*m3
+			m3 += term1*deltaN*(nB-2) - 3*deltaN*m2
+			m2 += term1
+			m[0], m[1], m[2], m[3] = mean, m2, m3, m4
+		}
 	}
 	if s.quant != nil {
 		s.quant.UpdatePair(yA, yB)
@@ -309,7 +468,7 @@ func (a *Accumulator) InteractionField(t int, dst []float64) []float64 {
 	for i, ri := 0, 0; i < a.cells; i, ri = i+1, ri+a.stride {
 		r := rec[ri : ri+a.stride]
 		sum := 0.0
-		for off := recHeader; off < a.stride; off += recPerParam {
+		for off := recHeader; off < a.lay.sob; off += recPerParam {
 			sum += correlation(r[off+blkC2BC], r[offM2B], r[off+blkM2C])
 		}
 		dst[i] = 1 - sum
@@ -317,15 +476,60 @@ func (a *Accumulator) InteractionField(t int, dst []float64) []float64 {
 	return dst
 }
 
-// MinMax returns the optional per-cell min/max tracker for step t (nil when
-// not enabled).
-func (a *Accumulator) MinMax(t int) *stats.FieldMinMax { return a.steps[t].minmax }
+// MinMax materializes the per-cell min/max tracker for step t as a
+// stats.FieldMinMax view (nil when not enabled). The tracker state lives
+// interleaved in the per-cell records; this accessor gathers it into a
+// standalone copy, so the result is a point-in-time value, not a live
+// reference.
+func (a *Accumulator) MinMax(t int) *stats.FieldMinMax {
+	if a.lay.min < 0 {
+		return nil
+	}
+	s := &a.steps[t]
+	lo := make([]float64, a.cells)
+	hi := make([]float64, a.cells)
+	for i, ri := 0, a.lay.min; i < a.cells; i, ri = i+1, ri+a.stride {
+		lo[i] = s.rec[ri]
+		hi[i] = s.rec[ri+1]
+	}
+	return stats.MinMaxFromState(s.minmaxN, lo, hi)
+}
 
-// Exceedance returns the optional per-cell threshold counter for step t.
-func (a *Accumulator) Exceedance(t int) *stats.FieldExceedance { return a.steps[t].exceed }
+// Exceedance materializes the per-cell threshold counter for step t (nil
+// when not enabled). Like MinMax it returns a gathered copy of the
+// interleaved state.
+func (a *Accumulator) Exceedance(t int) *stats.FieldExceedance {
+	if a.lay.exc < 0 {
+		return nil
+	}
+	s := &a.steps[t]
+	counts := make([]int64, a.cells)
+	for i, ri := 0, a.lay.exc; i < a.cells; i, ri = i+1, ri+a.stride {
+		counts[i] = int64(s.rec[ri])
+	}
+	return stats.ExceedanceFromState(a.threshold, s.exceedN, counts)
+}
 
-// HigherMoments returns the optional pooled-moments tracker for step t.
-func (a *Accumulator) HigherMoments(t int) *stats.FieldMoments { return a.steps[t].higher }
+// HigherMoments materializes the pooled-moments tracker for step t (nil when
+// not enabled). Like MinMax it returns a gathered copy of the interleaved
+// state.
+func (a *Accumulator) HigherMoments(t int) *stats.FieldMoments {
+	if a.lay.hig < 0 {
+		return nil
+	}
+	s := &a.steps[t]
+	means := make([]float64, a.cells)
+	m2 := make([]float64, a.cells)
+	m3 := make([]float64, a.cells)
+	m4 := make([]float64, a.cells)
+	for i, ri := 0, a.lay.hig; i < a.cells; i, ri = i+1, ri+a.stride {
+		means[i] = s.rec[ri]
+		m2[i] = s.rec[ri+1]
+		m3[i] = s.rec[ri+2]
+		m4[i] = s.rec[ri+3]
+	}
+	return stats.MomentsFromState(s.higherN, means, m2, m3, m4)
+}
 
 // Quantiles returns the optional per-cell quantile sketches for step t (nil
 // when not enabled).
@@ -382,9 +586,10 @@ func (a *Accumulator) QuantileTelemetry() (tuples, bytes int64) {
 }
 
 // CompactQuantiles runs the sketch compaction pass on every timestep's
-// quantile field (no-op when quantiles are disabled). Called before
-// checkpoint writes to shrink the encoded sketch state; see
-// quantiles.Field.Compact.
+// quantile field (no-op when quantiles are disabled). With copy-on-write
+// snapshots the checkpoint path no longer calls this — the background writer
+// compacts frozen views instead — but it remains the explicit compaction
+// knob; see quantiles.Field.Compact.
 func (a *Accumulator) CompactQuantiles() {
 	for t := range a.steps {
 		if q := a.steps[t].quant; q != nil {
@@ -446,7 +651,7 @@ func (a *Accumulator) scanStepCIWidth(s *stepAccum, level float64) float64 {
 	for ri := 0; ri < len(s.rec); ri += a.stride {
 		r := s.rec[ri : ri+a.stride]
 		m2A, m2B := r[offM2A], r[offM2B]
-		for off := recHeader; off < a.stride; off += recPerParam {
+		for off := recHeader; off < a.lay.sob; off += recPerParam {
 			m2C := r[off+blkM2C]
 			if m2B == 0 || m2C == 0 {
 				continue
@@ -467,14 +672,20 @@ func (a *Accumulator) scanStepCIWidth(s *stepAccum, level float64) float64 {
 	return worst
 }
 
-// Merge folds another accumulator (same shape) into a, cell by cell and
-// timestep by timestep, using the pairwise co-moment merge formulas — one
-// fused sweep over both interleaved buffers per timestep.
+// Merge folds another accumulator (same shape and options) into a, cell by
+// cell and timestep by timestep, using the pairwise co-moment merge formulas
+// — one fused sweep over both interleaved buffers per timestep, tracker
+// slots included. The per-cell tracker arithmetic replicates the
+// internal/stats merge formulas bitwise.
 func (a *Accumulator) Merge(other *Accumulator) {
 	if other.cells != a.cells || other.timesteps != a.timesteps || other.p != a.p {
 		panic("core: merging accumulators of different shapes")
 	}
-	stride := a.stride
+	if other.lay != a.lay {
+		panic("core: merging accumulators with different tracker options")
+	}
+	lay := a.lay
+	stride := lay.stride
 	for t := range a.steps {
 		sa, sb := &a.steps[t], &other.steps[t]
 		if sb.n == 0 {
@@ -488,12 +699,26 @@ func (a *Accumulator) Merge(other *Accumulator) {
 		na, nb := float64(sa.n), float64(sb.n)
 		nx := na + nb
 		w := na * nb / nx
+		// Higher-moment merge factors (the tracker counts 2 samples per
+		// group). copyHig covers a decoded state whose tracker count is
+		// empty on one side.
+		var ha, hb, hx float64
+		mergeHig, copyHig := false, false
+		if lay.hig >= 0 && sb.higherN > 0 {
+			if sa.higherN == 0 {
+				copyHig = true
+			} else {
+				mergeHig = true
+				ha, hb = float64(sa.higherN), float64(sb.higherN)
+				hx = ha + hb
+			}
+		}
 		for ri := 0; ri < len(sa.rec); ri += stride {
 			r := sa.rec[ri : ri+stride : ri+stride]
 			q := sb.rec[ri : ri+stride : ri+stride]
 			dA := q[offMeanA] - r[offMeanA]
 			dB := q[offMeanB] - r[offMeanB]
-			for off := recHeader; off < stride; off += recPerParam {
+			for off := recHeader; off < lay.sob; off += recPerParam {
 				dC := q[off+blkMeanC] - r[off+blkMeanC]
 				r[off+blkC2BC] += q[off+blkC2BC] + dB*dC*w
 				r[off+blkC2AC] += q[off+blkC2AC] + dA*dC*w
@@ -504,16 +729,36 @@ func (a *Accumulator) Merge(other *Accumulator) {
 			r[offM2B] += q[offM2B] + dB*dB*w
 			r[offMeanA] += dA * nb / nx
 			r[offMeanB] += dB * nb / nx
+			if mo := lay.min; mo >= 0 {
+				if q[mo] < r[mo] {
+					r[mo] = q[mo]
+				}
+				if q[mo+1] > r[mo+1] {
+					r[mo+1] = q[mo+1]
+				}
+			}
+			if eo := lay.exc; eo >= 0 {
+				r[eo] += q[eo]
+			}
+			if hg := lay.hig; mergeHig {
+				delta := q[hg] - r[hg]
+				delta2 := delta * delta
+				r[hg+3] += q[hg+3] +
+					delta2*delta2*ha*hb*(ha*ha-ha*hb+hb*hb)/(hx*hx*hx) +
+					6*delta2*(ha*ha*q[hg+1]+hb*hb*r[hg+1])/(hx*hx) +
+					4*delta*(ha*q[hg+2]-hb*r[hg+2])/hx
+				r[hg+2] += q[hg+2] +
+					delta*delta2*ha*hb*(ha-hb)/(hx*hx) +
+					3*delta*(ha*q[hg+1]-hb*r[hg+1])/hx
+				r[hg+1] += q[hg+1] + delta2*ha*hb/hx
+				r[hg] += delta * hb / hx
+			} else if copyHig {
+				copy(r[hg:hg+4], q[hg:hg+4])
+			}
 		}
-		if sa.minmax != nil && sb.minmax != nil {
-			sa.minmax.Merge(sb.minmax)
-		}
-		if sa.exceed != nil && sb.exceed != nil {
-			sa.exceed.Merge(sb.exceed)
-		}
-		if sa.higher != nil && sb.higher != nil {
-			sa.higher.Merge(sb.higher)
-		}
+		sa.minmaxN += sb.minmaxN
+		sa.exceedN += sb.exceedN
+		sa.higherN += sb.higherN
 		if sa.quant != nil && sb.quant != nil {
 			sa.quant.Merge(sb.quant)
 		}
@@ -525,15 +770,9 @@ func copyStep(dst, src *stepAccum) {
 	dst.n = src.n
 	dst.ciDirty = true
 	copy(dst.rec, src.rec)
-	if dst.minmax != nil && src.minmax != nil {
-		dst.minmax.Merge(src.minmax)
-	}
-	if dst.exceed != nil && src.exceed != nil {
-		dst.exceed.Merge(src.exceed)
-	}
-	if dst.higher != nil && src.higher != nil {
-		dst.higher.Merge(src.higher)
-	}
+	dst.minmaxN = src.minmaxN
+	dst.exceedN = src.exceedN
+	dst.higherN = src.higherN
 	if dst.quant != nil && src.quant != nil {
 		dst.quant.Merge(src.quant)
 	}
@@ -542,19 +781,10 @@ func copyStep(dst, src *stepAccum) {
 // MemoryBytes returns the size of the float64 state, the quantity of the
 // Sec. 4.1.1 memory model (timesteps × cells × statistics × 8 bytes), plus
 // the dynamic quantile-sketch state when enabled — O(cells/ε), bounded
-// regardless of the number of groups folded.
+// regardless of the number of groups folded. With the interleaved trackers
+// the record stride *is* the per-cell statistic count.
 func (a *Accumulator) MemoryBytes() int64 {
-	perCellFloats := int64(4 + 4*a.p)
-	if a.opts.MinMax {
-		perCellFloats += 2
-	}
-	if a.opts.Threshold != nil {
-		perCellFloats++ // int64 counter
-	}
-	if a.opts.HigherMoments {
-		perCellFloats += 4
-	}
-	total := 8 * perCellFloats * int64(a.cells) * int64(a.timesteps)
+	total := 8 * int64(a.stride) * int64(a.cells) * int64(a.timesteps)
 	if a.opts.quantilesEnabled() {
 		for t := range a.steps {
 			total += a.steps[t].quant.MemoryBytes()
@@ -570,11 +800,12 @@ func (a *Accumulator) MemoryBytes() int64 {
 // sketch ε and one per-cell quantile sketch field per timestep; LayoutV3
 // leaves the accumulator block unchanged from V2 and only changes the
 // GroupTracker block (contiguous frontier plus ahead-set instead of a single
-// last-step per group — see tracker.go). All layouts store the Sobol' state
-// as dense per-statistic arrays (meanA, m2A, ... then per k: meanC, m2C,
-// c2BC, c2AC); Encode/Decode transpose between that wire form and the
-// in-memory interleaved records, so files are byte-identical to the ones
-// written before the interleave and interchange freely with older builds.
+// last-step per group — see tracker.go). All layouts store the state as
+// dense per-statistic arrays (meanA, m2A, ... then per k: meanC, m2C, c2BC,
+// c2AC, then the tracker sections); Encode/Decode transpose between that
+// wire form and the in-memory interleaved records — tracker slots included —
+// so files are byte-identical to the ones written before the interleave and
+// interchange freely with older builds.
 const (
 	LayoutV1      = 1
 	LayoutV2      = 2
@@ -592,6 +823,19 @@ func (a *Accumulator) gatherColumn(s *stepAccum, off int) []float64 {
 	col := a.encScratch[:a.cells]
 	for i, ri := 0, off; i < a.cells; i, ri = i+1, ri+a.stride {
 		col[i] = s.rec[ri]
+	}
+	return col
+}
+
+// gatherCountColumn is gatherColumn for the exceedance counts: the records
+// hold them as integral float64s, the wire format as int64.
+func (a *Accumulator) gatherCountColumn(s *stepAccum, off int) []int64 {
+	if cap(a.encScratchI) < a.cells {
+		a.encScratchI = make([]int64, a.cells)
+	}
+	col := a.encScratchI[:a.cells]
+	for i, ri := 0, off; i < a.cells; i, ri = i+1, ri+a.stride {
+		col[i] = int64(s.rec[ri])
 	}
 	return col
 }
@@ -636,20 +880,30 @@ func (a *Accumulator) EncodeVersion(w *enc.Writer, version int) {
 		w.F64Slice(a.gatherColumn(s, offM2A))
 		w.F64Slice(a.gatherColumn(s, offMeanB))
 		w.F64Slice(a.gatherColumn(s, offM2B))
-		for off := recHeader; off < a.stride; off += recPerParam {
+		for off := recHeader; off < a.lay.sob; off += recPerParam {
 			w.F64Slice(a.gatherColumn(s, off+blkMeanC))
 			w.F64Slice(a.gatherColumn(s, off+blkM2C))
 			w.F64Slice(a.gatherColumn(s, off+blkC2BC))
 			w.F64Slice(a.gatherColumn(s, off+blkC2AC))
 		}
-		if s.minmax != nil {
-			s.minmax.Encode(w)
+		// Tracker sections in the historical stats.Field* byte layouts,
+		// gathered straight out of the interleaved records.
+		if a.lay.min >= 0 {
+			w.I64(s.minmaxN)
+			w.F64Slice(a.gatherColumn(s, a.lay.min))
+			w.F64Slice(a.gatherColumn(s, a.lay.min+1))
 		}
-		if s.exceed != nil {
-			s.exceed.Encode(w)
+		if a.lay.exc >= 0 {
+			w.F64(a.threshold)
+			w.I64(s.exceedN)
+			w.I64Slice(a.gatherCountColumn(s, a.lay.exc))
 		}
-		if s.higher != nil {
-			s.higher.Encode(w)
+		if a.lay.hig >= 0 {
+			w.I64(s.higherN)
+			w.F64Slice(a.gatherColumn(s, a.lay.hig))
+			w.F64Slice(a.gatherColumn(s, a.lay.hig+1))
+			w.F64Slice(a.gatherColumn(s, a.lay.hig+2))
+			w.F64Slice(a.gatherColumn(s, a.lay.hig+3))
 		}
 		if version >= LayoutV2 && s.quant != nil {
 			s.quant.Encode(w)
@@ -717,20 +971,36 @@ func DecodeAccumulatorVersion(r *enc.Reader, version int) (*Accumulator, error) 
 		readCol(offM2A)
 		readCol(offMeanB)
 		readCol(offM2B)
-		for off := recHeader; off < a.stride; off += recPerParam {
+		for off := recHeader; off < a.lay.sob; off += recPerParam {
 			readCol(off + blkMeanC)
 			readCol(off + blkM2C)
 			readCol(off + blkC2BC)
 			readCol(off + blkC2AC)
 		}
-		if s.minmax != nil {
-			s.minmax.Decode(r)
+		if a.lay.min >= 0 {
+			s.minmaxN = r.I64()
+			readCol(a.lay.min)
+			readCol(a.lay.min + 1)
 		}
-		if s.exceed != nil {
-			s.exceed.Decode(r)
+		if a.lay.exc >= 0 {
+			r.F64() // per-section threshold copy; the header value governs
+			s.exceedN = r.I64()
+			counts := r.I64Slice()
+			if r.Err() == nil {
+				if len(counts) != cells {
+					return nil, fmt.Errorf("core: exceedance section has %d cells, want %d", len(counts), cells)
+				}
+				for i, ri := 0, a.lay.exc; i < cells; i, ri = i+1, ri+a.stride {
+					s.rec[ri] = float64(counts[i])
+				}
+			}
 		}
-		if s.higher != nil {
-			s.higher.Decode(r)
+		if a.lay.hig >= 0 {
+			s.higherN = r.I64()
+			readCol(a.lay.hig)
+			readCol(a.lay.hig + 1)
+			readCol(a.lay.hig + 2)
+			readCol(a.lay.hig + 3)
 		}
 		if version >= LayoutV2 && s.quant != nil {
 			s.quant.Decode(r)

@@ -177,6 +177,40 @@ func BenchmarkUpdateGroupQuantiles10kCellsP6(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdateGroupTrackers10kCellsP6 is the hot path with every float
+// tracker enabled (min/max, threshold exceedance, higher moments) — the
+// configuration where tracker state layout matters: interleaved tracker
+// slots ride the same per-cell record sweep as the Sobol' state, instead of
+// three extra strided passes over separate arrays. Compare against
+// BenchmarkUpdateGroup10kCellsP6 for the marginal tracker cost.
+func BenchmarkUpdateGroupTrackers10kCellsP6(b *testing.B) {
+	const cells, p = 10000, 6
+	rng := rand.New(rand.NewSource(1))
+	field := func() []float64 {
+		f := make([]float64, cells)
+		for i := range f {
+			f[i] = rng.NormFloat64()
+		}
+		return f
+	}
+	th := 0.5
+	a := NewAccumulator(cells, 1, p, Options{
+		MinMax:        true,
+		Threshold:     &th,
+		HigherMoments: true,
+	})
+	yA, yB := field(), field()
+	yC := make([][]float64, p)
+	for k := range yC {
+		yC[k] = field()
+	}
+	b.SetBytes(8 * cells * (p + 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UpdateGroup(0, yA, yB, yC)
+	}
+}
+
 // BenchmarkMemoryModel reports the Sec. 4.1.1 server memory at the paper's
 // full scale (9.6M cells, 100 timesteps, p = 6) without allocating it.
 func BenchmarkMemoryModel(b *testing.B) {

@@ -7,39 +7,69 @@
 // process holds exactly one) and, per timestep, the one-pass moments needed
 // by the Martinez estimator.
 //
-// # Memory layout: interleaved per-cell records
+// # Memory layout: interleaved per-cell records, trackers included
 //
 // The fold is memory-bandwidth bound, not FLOP bound: the arithmetic per
 // state float is a handful of multiply-adds, so what dominates is how many
 // times the state streams through the cache hierarchy. The accumulator
-// therefore stores the Sobol' state as one contiguous record per cell,
+// therefore stores all per-cell state as one contiguous record per cell,
 //
-//	[meanA, m2A, meanB, m2B, {meanC_k, m2C_k, c2BC_k, c2AC_k} k=0..p-1]
+//	[meanA, m2A, meanB, m2B,
+//	 {meanC_k, m2C_k, c2BC_k, c2AC_k} k=0..p-1,
+//	 (min, max)?  (exceedCount)?  (mean, m2, m3, m4)?]
 //
-// i.e. 4+4p float64 per (cell, timestep), all timesteps backed by a single
-// flat allocation. UpdateGroup is a single fused sweep: cell i's record is
-// loaded once, all p parameter blocks and the shared A/B moments are updated
-// while it sits in cache, and it is never touched again that fold. The
-// historical layout — 4+4p parallel per-statistic arrays updated in p+1
-// separate passes — moved the same bytes through DRAM p+1 times per group;
-// the record layout moves them once, which is where the UpdateGroup
-// speedup in BENCH_PR3.json comes from. (Ribés et al. make the same
+// — a fixed 4+4p-float64 Sobol' prefix, then one optional slot group per
+// enabled tracker (Options.MinMax, Options.Threshold, Options.HigherMoments),
+// all timesteps backed by a single flat allocation. UpdateGroup is a single
+// fused sweep: cell i's record is loaded once, all p parameter blocks, the
+// shared A/B moments *and* the enabled tracker slots are updated while it
+// sits in cache, and it is never touched again that fold.
+//
+// Two historical layouts motivated this. The seed kept 4+4p parallel
+// per-statistic arrays updated in p+1 separate passes, moving the same bytes
+// through DRAM p+1 times per group; interleaving the Sobol' state into
+// records fixed that (BENCH_PR3.json). But the optional trackers stayed in
+// separate internal/stats field arrays swept by their own UpdatePair passes
+// after the main fold, so enabling them reintroduced exactly the strided
+// multi-pass traffic the records removed. Folding the tracker words into the
+// record ends that: trackers now cost a few extra slots in the already-resident
+// cache line instead of extra passes (compare BenchmarkUpdateGroupTrackers
+// against the multi-pass numbers in BENCH_PR10.json). Tracker state is
+// materialized on demand — MinMax/Exceedance/HigherMoments gather the
+// interleaved slots into standalone internal/stats values, point-in-time
+// copies rather than live references. (Ribés et al. make the same
 // observation for in-transit quantiles: per-cell state layout, not
 // arithmetic, sets the throughput ceiling at scale.)
 //
-// The memory total is unchanged: 8·(4+4p) bytes per cell per timestep — the
-// "order of the size of the results of one simulation for each computed
-// statistic" model of Sec. 4.1.1, independent of the number of simulation
-// groups. Sharing the A/B means across all p parameters (instead of
-// composing p independent covariance accumulators) still halves memory, and
-// tests verify cell-by-cell equality with the scalar accumulators of
+// The memory total is unchanged: 8·(4+4p+trackers) bytes per cell per
+// timestep — the "order of the size of the results of one simulation for
+// each computed statistic" model of Sec. 4.1.1, independent of the number of
+// simulation groups. Sharing the A/B means across all p parameters (instead
+// of composing p independent covariance accumulators) still halves memory,
+// and tests verify cell-by-cell equality with the scalar accumulators of
 // internal/stats.
+//
+// # The kernel
+//
+// UpdateGroup's inner loop is shaped for the compiler rather than the
+// reader: the per-cell record is rebound through full slice expressions
+// (r[off : off+8 : off+8]) so gc proves the bounds once per block instead of
+// per element, the parameter loop is hand-unrolled two blocks per iteration
+// with independent floating-point chains interleaved for instruction-level
+// parallelism, and the group values yA[i]/yB[i] are read into locals once.
+// gc (1.24) does not auto-vectorize this loop; the unroll plus hoisted
+// checks is what a `go build -gcflags=-S` spot check rewards. A wider
+// restructuring — fixed 8-cell blocks walked parameter-major — measured
+// ~15% *slower* than the fused per-cell sweep on amd64 (it breaks the
+// one-load-per-record property); the kernel comment records that dead end.
 //
 // Per-cell arithmetic order in the fused sweep is exactly the order of the
 // historical multi-pass kernel (every parameter block reads the pre-update
-// A/B means; the A/B moments update last), so results are **bitwise
+// A/B means; the A/B moments update next; trackers observe yA then yB last;
+// the unrolled blocks touch disjoint slots), so results are **bitwise
 // identical** to it — internal/core's equivalence tests drive both kernels
-// with the same streams and compare every statistic bit for bit.
+// with the same streams over all 16 Options combinations and compare every
+// statistic bit for bit.
 //
 // Checkpoints and the wire format keep the historical dense per-statistic-
 // array layout: Encode gathers each statistic column out of the records and
@@ -65,8 +95,9 @@
 // Under that contract the per-cell floating-point operation sequence is
 // identical to the single-threaded Accumulator, so sharded results are
 // bitwise equal to dense results for any shard count. A cell range of the
-// interleaved layout is one contiguous block per timestep, so shard
-// extraction, injection and the dense stitch are plain memmoves. Read
+// interleaved layout is one contiguous block per timestep — tracker slots
+// ride inside the records — so shard extraction, injection and the dense
+// stitch are plain memmoves plus a handful of scalar sample counts. Read
 // methods present the stitched dense view and must only run while no worker
 // is folding. Checkpoints use the dense format (Encode/DecodeSharded),
 // making them interchangeable across shard counts.
@@ -84,7 +115,7 @@
 // the same ownership rules as UpdateGroup; the server runs it per shard
 // *inside* the fold workers, so reports never stall the pipeline.
 //
-// # Quantile statistics
+// # Quantile statistics and copy-on-write snapshots
 //
 // Options.Quantiles adds per-cell per-timestep quantile sketches
 // (internal/quantiles, after Ribés et al.) over the pooled A/B samples —
@@ -92,8 +123,21 @@
 // (a Greenwald-Khanna summary) rather than a handful of floats. The sketch
 // is a deterministic function of its update sequence, so it inherits the
 // bitwise FoldWorkers-invariance above unchanged; Extract/Inject/Merge and
-// the checkpoint codec treat it like any other field tracker, and
-// CompactQuantiles runs the pre-checkpoint compaction pass. Checkpoints
+// the checkpoint codec treat it like any other field tracker. Checkpoints
 // carrying quantile state use layout version LayoutV2; LayoutV1 files from
 // older builds restore with quantiles disabled (DecodeAccumulatorVersion).
+//
+// Because sketch state is variable-sized, checkpoint snapshots used to
+// deep-copy and eagerly compact every sketch while the fold pipeline
+// stalled — the dominant stall term, two orders of magnitude above the
+// plain record memmove. SnapshotShard now freezes sketches copy-on-write
+// instead (quantiles.Field.FreezeInto): O(1) per sketch at snapshot time,
+// with the next mutating fold privatizing only the arrays it touches, and
+// compaction deferred to the background checkpoint writer working from the
+// frozen view. On the benchmark shape (4096 cells × 8 steps, steady-state
+// sketches) the quantile snapshot stall dropped from ~52 ms to ~1 ms —
+// within ~2× of the plain-statistics floor — while the checkpoint bytes
+// remain identical to the eager path (see BenchmarkCheckpointSnapshot and
+// BENCH_PR10.json). CompactQuantiles remains as an explicit compaction knob
+// but is no longer on the checkpoint path.
 package core

@@ -305,6 +305,9 @@ func checkEqual(t *testing.T, a *core.Accumulator, ts int, ref *refAccum) {
 	}
 	if ref.exceed != nil {
 		ex := a.Exceedance(ts)
+		if ex.N() != ref.exceed.N() {
+			t.Fatalf("exceedance n: %d != %d", ex.N(), ref.exceed.N())
+		}
 		for i := 0; i < ref.cells; i++ {
 			if ex.Probability(i) != ref.exceed.Probability(i) {
 				t.Fatalf("step %d exceedance cell %d differs", ts, i)
@@ -485,6 +488,53 @@ func TestShardedFoldWorkerInvariance(t *testing.T) {
 					if got, want := sacc.MaxCIWidth(0.95), dense.MaxCIWidth(0.95); got != want {
 						t.Fatalf("workers=%d: MaxCIWidth %v != dense %v", workers, got, want)
 					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTrackerEquivalence is the tracker-value counterpart of the
+// fold-worker invariance test: one update stream folded through worker pools
+// of width 1 and 4 (one goroutine per shard, as the server pipeline runs),
+// shards stitched back dense, and every tracker statistic — min/max,
+// exceedance sample counts and probabilities, skewness/kurtosis, quantiles —
+// required bitwise equal to the seed-replica kernel, for every Options
+// combination. Under -race this also proves the interleaved tracker slots
+// keep the shard ownership contract data-race free.
+func TestShardedTrackerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for _, opts := range optionCombos() {
+		opts := opts
+		t.Run(optionName(opts), func(t *testing.T) {
+			const cells, p, steps, groups = 31, 5, 2, 10
+			samples := make([][]refSample, steps)
+			refs := make([]*refAccum, steps)
+			for ts := range samples {
+				samples[ts] = refSamples(rng, groups, cells, p)
+				refs[ts] = newRefAccum(cells, p, opts)
+				for _, s := range samples[ts] {
+					refs[ts].update(s.yA, s.yB, s.yC)
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				sacc := core.NewSharded(cells, steps, p, opts, workers)
+				var wg sync.WaitGroup
+				for w := 0; w < sacc.NumShards(); w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for ts := range samples {
+							for _, s := range samples[ts] {
+								sacc.UpdateGroupShard(w, ts, s.yA, s.yB, s.yC)
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				dense := sacc.Dense()
+				for ts := 0; ts < steps; ts++ {
+					checkEqual(t, dense, ts, refs[ts])
 				}
 			}
 		})

@@ -110,23 +110,18 @@ func (a *Accumulator) Shard(i, n int) *Accumulator {
 }
 
 // extractRange copies cells [lo, hi) of a into a fresh accumulator. A cell
-// range of the interleaved layout is one contiguous block per timestep, so
-// the Sobol' state moves with a single copy per step.
+// range of the interleaved layout is one contiguous block per timestep —
+// tracker slots ride inside the records — so everything but the quantile
+// sketches moves with a single copy per step.
 func (a *Accumulator) extractRange(lo, hi int) *Accumulator {
 	out := NewAccumulator(hi-lo, a.timesteps, a.p, a.opts)
 	for t := range a.steps {
 		src, dst := &a.steps[t], &out.steps[t]
 		dst.n = src.n
+		dst.minmaxN = src.minmaxN
+		dst.exceedN = src.exceedN
+		dst.higherN = src.higherN
 		copy(dst.rec, src.rec[lo*a.stride:hi*a.stride])
-		if src.minmax != nil {
-			dst.minmax = src.minmax.Extract(lo, hi)
-		}
-		if src.exceed != nil {
-			dst.exceed = src.exceed.Extract(lo, hi)
-		}
-		if src.higher != nil {
-			dst.higher = src.higher.Extract(lo, hi)
-		}
 		if src.quant != nil {
 			dst.quant = src.quant.Extract(lo, hi)
 		}
@@ -141,17 +136,11 @@ func (a *Accumulator) injectRange(src *Accumulator, lo int) {
 	for t := range a.steps {
 		from, to := &src.steps[t], &a.steps[t]
 		to.n = from.n
+		to.minmaxN = from.minmaxN
+		to.exceedN = from.exceedN
+		to.higherN = from.higherN
 		to.ciDirty = true
 		copy(to.rec[lo*a.stride:(lo+src.cells)*a.stride], from.rec)
-		if to.minmax != nil && from.minmax != nil {
-			to.minmax.Inject(from.minmax, lo)
-		}
-		if to.exceed != nil && from.exceed != nil {
-			to.exceed.Inject(from.exceed, lo)
-		}
-		if to.higher != nil && from.higher != nil {
-			to.higher.Inject(from.higher, lo)
-		}
 		if to.quant != nil && from.quant != nil {
 			to.quant.Inject(from.quant, lo)
 		}

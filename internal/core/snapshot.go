@@ -5,19 +5,27 @@ import (
 
 	"melissa/internal/enc"
 	"melissa/internal/quantiles"
-	"melissa/internal/stats"
 )
 
-// Snapshot is a deep, reusable copy of a ShardedAccumulator's state, taken
-// one shard at a time: fold worker i calls SnapshotShard(i, snap) — a
-// contiguous memmove of the shard's interleaved Sobol' records plus deep
-// copies of its tracker and (pre-compacted) quantile state — and resumes
-// folding immediately. Once every shard has copied, the snapshot is a frozen,
-// self-consistent image of the accumulator at one fold state, and a
-// background writer can encode it into the unchanged dense checkpoint layout
-// (EncodeHeader/EncodeStep) while the live accumulator keeps folding. This is
-// the phase split that takes checkpoint encode+I/O off the ingest path: the
-// fold pipeline stalls only for the copy, never for the file.
+// Snapshot is a reusable frozen image of a ShardedAccumulator's state, taken
+// one shard at a time: fold worker i calls SnapshotShard(i, snap) and
+// resumes folding immediately. The float state — interleaved Sobol' records
+// with any tracker slots riding inside them — moves with one contiguous
+// memmove of the shard's flat buffer. The quantile sketches are NOT copied:
+// SnapshotShard freezes them in O(1) per sketch, capturing the live tuple
+// and pending arrays by reference and marking them shared; the next mutating
+// fold on a sketch copies that sketch's state on first write
+// (copy-on-write), so the snapshot cost no longer scales with the retained
+// tuple count and the eager pre-snapshot Compact pass is gone entirely —
+// compaction happens on the background writer, from the frozen view, while
+// ingest keeps folding.
+//
+// Once every shard has snapshotted, the snapshot is a self-consistent image
+// of the accumulator at one fold state, and a background writer can encode
+// it into the unchanged dense checkpoint layout (EncodeHeader/EncodeStep).
+// This is the phase split that takes checkpoint encode+I/O off the ingest
+// path: the fold pipeline stalls only for the memmove + freeze, never for
+// compaction or the file.
 //
 // Snapshots are pooled: NewSnapshot allocates the buffers once and
 // SnapshotShard refreshes them in place, so steady-state checkpointing
@@ -28,7 +36,19 @@ type Snapshot struct {
 	p         int
 	opts      Options
 	bounds    []int
-	shards    []*Accumulator
+	// shards are quantile-free deep copies (built with opts.withoutQuantiles;
+	// the record layout is identical since sketches never lived in the
+	// records).
+	shards []*Accumulator
+	// frozen[i][t] is shard i's frozen quantile view at timestep t; nil
+	// outer slice when quantiles are disabled.
+	frozen [][]*quantiles.FrozenField
+	// qscratch is the writer-side scratch sketch EncodeStep canonicalizes
+	// (flush + compact) each frozen sketch into before encoding, keeping the
+	// emitted bytes identical to the historical compact-then-encode path.
+	qscratch *quantiles.Sketch
+	// fzParts is the reusable per-step stitch argument.
+	fzParts []*quantiles.FrozenField
 }
 
 // NewSnapshot returns an empty snapshot shaped like s, ready to be filled by
@@ -42,15 +62,26 @@ func (s *ShardedAccumulator) NewSnapshot() *Snapshot {
 		bounds:    append([]int(nil), s.bounds...),
 		shards:    make([]*Accumulator, len(s.shards)),
 	}
+	shardOpts := s.opts.withoutQuantiles()
 	for i := range snap.shards {
-		snap.shards[i] = NewAccumulator(s.bounds[i+1]-s.bounds[i], s.timesteps, s.p, s.opts)
+		snap.shards[i] = NewAccumulator(s.bounds[i+1]-s.bounds[i], s.timesteps, s.p, shardOpts)
+	}
+	if s.opts.quantilesEnabled() {
+		snap.frozen = make([][]*quantiles.FrozenField, len(s.shards))
+		for i := range snap.frozen {
+			snap.frozen[i] = make([]*quantiles.FrozenField, s.timesteps)
+		}
+		snap.qscratch = new(quantiles.Sketch)
+		snap.fzParts = make([]*quantiles.FrozenField, 0, len(s.shards))
 	}
 	return snap
 }
 
-// SnapshotShard deep-copies shard i into snap, reusing snap's storage. Only
-// the goroutine owning shard i may call it (the same contract as
-// UpdateGroupShard); distinct shards may snapshot concurrently.
+// SnapshotShard captures shard i into snap, reusing snap's storage: one
+// memmove for the records (trackers included) plus an O(sketches) freeze of
+// the quantile state. Only the goroutine owning shard i may call it (the
+// same contract as UpdateGroupShard); distinct shards may snapshot
+// concurrently.
 func (s *ShardedAccumulator) SnapshotShard(i int, snap *Snapshot) {
 	if len(snap.shards) != len(s.shards) || snap.cells != s.cells ||
 		snap.timesteps != s.timesteps || snap.p != s.p {
@@ -58,13 +89,21 @@ func (s *ShardedAccumulator) SnapshotShard(i int, snap *Snapshot) {
 			len(snap.shards), snap.cells, snap.timesteps, snap.p,
 			len(s.shards), s.cells, s.timesteps, s.p))
 	}
-	s.shards[i].copyInto(snap.shards[i])
+	sh := s.shards[i]
+	sh.copyInto(snap.shards[i])
+	if snap.frozen != nil {
+		fz := snap.frozen[i]
+		for t := range sh.steps {
+			fz[t] = sh.steps[t].quant.FreezeInto(fz[t])
+		}
+	}
 }
 
-// copyInto deep-copies a into dst, which must have the same shape and
-// options. The interleaved Sobol' state of every timestep moves with one
-// contiguous copy of the flat backing buffer; tracker and sketch state reuse
-// dst's storage.
+// copyInto deep-copies a's float state into dst, which must have the same
+// shape and record layout. Every timestep's records — Sobol' co-moments and
+// tracker slots alike — move with one contiguous copy of the flat backing
+// buffer. Quantile sketches are NOT copied here (snapshot shards don't have
+// them; see SnapshotShard's freeze path).
 func (a *Accumulator) copyInto(dst *Accumulator) {
 	if dst.cells != a.cells || dst.timesteps != a.timesteps || dst.p != a.p {
 		panic(fmt.Sprintf("core: copyInto between shapes %dx%dx%d and %dx%dx%d",
@@ -74,19 +113,10 @@ func (a *Accumulator) copyInto(dst *Accumulator) {
 	for t := range a.steps {
 		src, d := &a.steps[t], &dst.steps[t]
 		d.n = src.n
+		d.minmaxN = src.minmaxN
+		d.exceedN = src.exceedN
+		d.higherN = src.higherN
 		d.ciDirty = true
-		if src.minmax != nil && d.minmax != nil {
-			d.minmax.Inject(src.minmax, 0)
-		}
-		if src.exceed != nil && d.exceed != nil {
-			d.exceed.Inject(src.exceed, 0)
-		}
-		if src.higher != nil && d.higher != nil {
-			d.higher.Inject(src.higher, 0)
-		}
-		if src.quant != nil && d.quant != nil {
-			src.quant.CopyInto(d.quant)
-		}
 	}
 }
 
@@ -97,7 +127,7 @@ func (snap *Snapshot) Timesteps() int { return snap.timesteps }
 // layout version — the first section of the streamed checkpoint encode.
 // EncodeHeader followed by EncodeStep for every timestep produces bytes
 // identical to ShardedAccumulator.Encode on the source accumulator at the
-// snapshot's fold state.
+// snapshot's fold state (with compacted quantile sketches).
 func (snap *Snapshot) EncodeHeader(w *enc.Writer, version int) {
 	if version < LayoutV1 || version > LayoutCurrent {
 		panic(fmt.Sprintf("core: unknown accumulator layout version %d", version))
@@ -118,57 +148,64 @@ func (snap *Snapshot) EncodeHeader(w *enc.Writer, version int) {
 }
 
 // EncodeStep appends timestep t's dense-layout section: the per-statistic
-// arrays are stitched across shards (each shard contributes its contiguous
+// arrays — tracker columns included — are stitched across shards straight
+// out of the interleaved records (each shard contributes its contiguous
 // cell sub-range), so no dense intermediate copy of the state ever exists.
+// Frozen quantile sketches are canonicalized (flushed + compacted) into the
+// snapshot's scratch sketch one at a time as they stream out, producing the
+// same bytes the eager pre-snapshot Compact pass used to.
 func (snap *Snapshot) EncodeStep(w *enc.Writer, version, t int) {
 	if version < LayoutV1 || version > LayoutCurrent {
 		panic(fmt.Sprintf("core: unknown accumulator layout version %d", version))
 	}
-	w.I64(snap.shards[0].steps[t].n)
+	sh0 := snap.shards[0]
+	w.I64(sh0.steps[t].n)
 	writeColumn := func(off int) {
 		w.U64(uint64(snap.cells))
 		for _, sh := range snap.shards {
 			w.F64Raw(sh.gatherColumn(&sh.steps[t], off))
 		}
 	}
-	stride := snap.shards[0].stride
+	lay := sh0.lay
 	writeColumn(offMeanA)
 	writeColumn(offM2A)
 	writeColumn(offMeanB)
 	writeColumn(offM2B)
-	for off := recHeader; off < stride; off += recPerParam {
+	for off := recHeader; off < lay.sob; off += recPerParam {
 		writeColumn(off + blkMeanC)
 		writeColumn(off + blkM2C)
 		writeColumn(off + blkC2BC)
 		writeColumn(off + blkC2AC)
 	}
-	if snap.opts.MinMax {
-		parts := make([]*stats.FieldMinMax, len(snap.shards))
-		for i, sh := range snap.shards {
-			parts[i] = sh.steps[t].minmax
-		}
-		stats.EncodeMinMaxStitched(w, parts)
+	// Tracker sections in the historical stats stitched byte layouts,
+	// gathered out of the records like everything else.
+	if lay.min >= 0 {
+		w.I64(sh0.steps[t].minmaxN)
+		writeColumn(lay.min)
+		writeColumn(lay.min + 1)
 	}
-	if snap.opts.Threshold != nil {
-		parts := make([]*stats.FieldExceedance, len(snap.shards))
-		for i, sh := range snap.shards {
-			parts[i] = sh.steps[t].exceed
+	if lay.exc >= 0 {
+		w.F64(sh0.threshold)
+		w.I64(sh0.steps[t].exceedN)
+		w.U64(uint64(snap.cells))
+		for _, sh := range snap.shards {
+			w.I64Raw(sh.gatherCountColumn(&sh.steps[t], lay.exc))
 		}
-		stats.EncodeExceedanceStitched(w, parts)
 	}
-	if snap.opts.HigherMoments {
-		parts := make([]*stats.FieldMoments, len(snap.shards))
-		for i, sh := range snap.shards {
-			parts[i] = sh.steps[t].higher
-		}
-		stats.EncodeMomentsStitched(w, parts)
+	if lay.hig >= 0 {
+		w.I64(sh0.steps[t].higherN)
+		writeColumn(lay.hig)
+		writeColumn(lay.hig + 1)
+		writeColumn(lay.hig + 2)
+		writeColumn(lay.hig + 3)
 	}
-	if version >= LayoutV2 && snap.opts.quantilesEnabled() {
-		parts := make([]*quantiles.Field, len(snap.shards))
-		for i, sh := range snap.shards {
-			parts[i] = sh.steps[t].quant
+	if version >= LayoutV2 && snap.frozen != nil {
+		parts := snap.fzParts[:0]
+		for i := range snap.shards {
+			parts = append(parts, snap.frozen[i][t])
 		}
-		quantiles.EncodeStitched(w, parts)
+		snap.fzParts = parts
+		quantiles.EncodeFrozenStitched(w, parts, snap.qscratch)
 	}
 }
 

@@ -150,13 +150,21 @@ func (g *GroupTracker) Frontiers() map[int]int {
 
 // Running returns the sorted ids of started-but-unfinished groups — the list
 // every server process periodically reports to the launcher (Sec. 4.2.2).
-func (g *GroupTracker) Running() []int { return g.byState(GroupRunning) }
+func (g *GroupTracker) Running() []int { return g.byState(nil, GroupRunning) }
 
 // Finished returns the sorted ids of finished groups.
-func (g *GroupTracker) Finished() []int { return g.byState(GroupFinished) }
+func (g *GroupTracker) Finished() []int { return g.byState(nil, GroupFinished) }
 
-func (g *GroupTracker) byState(want GroupState) []int {
-	var out []int
+// AppendRunning is Running with caller-owned storage: the ids are appended
+// to dst[:0] so a periodic report loop reuses one slice instead of
+// allocating per scan.
+func (g *GroupTracker) AppendRunning(dst []int) []int { return g.byState(dst, GroupRunning) }
+
+// AppendFinished is Finished with caller-owned storage (see AppendRunning).
+func (g *GroupTracker) AppendFinished(dst []int) []int { return g.byState(dst, GroupFinished) }
+
+func (g *GroupTracker) byState(dst []int, want GroupState) []int {
+	out := dst[:0]
 	for id := range g.last {
 		if g.State(id) == want {
 			out = append(out, id)

@@ -54,6 +54,15 @@ type Sketch struct {
 	tuples  []tuple
 	pending []float64 // buffered inserts, folded in sorted batches
 	scratch []tuple   // reusable merge/compress target
+
+	// Copy-on-write freeze support (see FreezeInto): when a snapshot has
+	// captured the current tuple/pending arrays by reference, the matching
+	// flag is set and the next mutation replaces the array with a private
+	// copy instead of writing through the shared one. The frozen reader
+	// never looks at the flags, so the owner goroutine can set and clear
+	// them without synchronization.
+	sharedTuples  bool
+	sharedPending bool
 }
 
 // New returns an empty sketch with rank error eps. Non-positive eps selects
@@ -109,9 +118,38 @@ func (s *Sketch) Update(v float64) {
 	if math.IsNaN(v) {
 		return
 	}
+	if s.sharedPending {
+		s.unsharePending()
+	}
 	s.pending = append(s.pending, v)
 	if len(s.pending) >= s.bufCap() {
 		s.flushPending()
+	}
+}
+
+// unsharePending replaces the pending buffer with a private copy, leaving
+// the shared array to its frozen readers — the copy-on-first-write step of
+// the snapshot freeze protocol.
+func (s *Sketch) unsharePending() {
+	c := s.bufCap()
+	if c < len(s.pending) {
+		c = len(s.pending)
+	}
+	fresh := make([]float64, len(s.pending), c)
+	copy(fresh, s.pending)
+	s.pending = fresh
+	s.sharedPending = false
+}
+
+// unshareTuplesTarget prepares the compress/merge output target: normally
+// the outgoing tuple array is recycled as the next scratch, but a frozen
+// array must be abandoned to its readers instead.
+func (s *Sketch) unshareTuplesTarget() {
+	if s.sharedTuples {
+		s.scratch = nil
+		s.sharedTuples = false
+	} else {
+		s.scratch = s.tuples[:0]
 	}
 }
 
@@ -122,6 +160,9 @@ func (s *Sketch) Update(v float64) {
 func (s *Sketch) flushPending() {
 	if len(s.pending) == 0 {
 		return
+	}
+	if s.sharedPending {
+		s.unsharePending() // the in-place sort below must not touch a frozen array
 	}
 	sort.Float64s(s.pending)
 	out := s.scratch[:0]
@@ -145,7 +186,7 @@ func (s *Sketch) flushPending() {
 		out = append(out, tuple{v: v, g: 1, delta: delta})
 	}
 	out = append(out, s.tuples[ti:]...)
-	s.scratch = s.tuples[:0]
+	s.unshareTuplesTarget()
 	s.tuples = out
 	s.pending = s.pending[:0]
 	s.compress()
@@ -174,7 +215,7 @@ func (s *Sketch) compress() {
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
 	}
-	s.scratch = s.tuples[:0]
+	s.unshareTuplesTarget()
 	s.tuples = out
 }
 
@@ -197,6 +238,7 @@ func (s *Sketch) Compact() {
 		}
 	}
 	s.pending = nil
+	s.sharedPending = false
 	s.scratch = nil
 }
 
@@ -216,6 +258,10 @@ func (s *Sketch) Merge(other *Sketch) {
 	}
 	if s.n == 0 {
 		s.n = other.n
+		if s.sharedTuples {
+			s.tuples = nil
+			s.sharedTuples = false
+		}
 		s.tuples = append(s.tuples[:0], other.tuples...)
 		return
 	}
@@ -242,7 +288,7 @@ func (s *Sketch) Merge(other *Sketch) {
 		}
 		merged = append(merged, t)
 	}
-	s.scratch = s.tuples[:0] // the old array becomes compress's target
+	s.unshareTuplesTarget() // the old array becomes compress's target unless frozen
 	s.tuples = merged
 	s.n += other.n
 	s.compress()
@@ -311,6 +357,14 @@ func (s *Sketch) Decode(r *enc.Reader) {
 	if r.Err() == nil && (s.n < 0 || m < 0 || (s.n > 0 && m == 0) || (s.n == 0 && m > 0)) {
 		r.Fail(fmt.Errorf("quantiles: corrupt sketch state (n=%d, %d tuples)", s.n, m))
 	}
+	if s.sharedTuples {
+		s.tuples = nil
+		s.sharedTuples = false
+	}
+	if s.sharedPending {
+		s.pending = nil
+		s.sharedPending = false
+	}
 	s.tuples = s.tuples[:0]
 	s.pending = s.pending[:0]
 	for i := 0; i < m && r.Err() == nil; i++ {
@@ -335,6 +389,14 @@ func (s *Sketch) copyInto(dst *Sketch) {
 	s.flushPending()
 	dst.eps = s.eps
 	dst.n = s.n
+	if dst.sharedTuples {
+		dst.tuples = nil
+		dst.sharedTuples = false
+	}
+	if dst.sharedPending {
+		dst.pending = nil
+		dst.sharedPending = false
+	}
 	dst.tuples = append(dst.tuples[:0], s.tuples...)
 	dst.pending = dst.pending[:0]
 }

@@ -59,11 +59,13 @@ func fillBenchAccumulator(s *core.ShardedAccumulator) {
 }
 
 // BenchmarkCheckpointSnapshot measures phase 1 of the two-phase checkpoint
-// in isolation: per-shard quantile compaction plus the deep copy into the
-// pooled snapshot buffer. This is the *only* work the fold pipeline ever
-// stalls for under the pipelined design — encode, CRC, write and fsync all
-// run on the background writer. Compare against BenchmarkCheckpointWrite's
-// sync variants for how much hot-path time the split removes.
+// in isolation: the memmove of each shard's interleaved records (tracker
+// slots ride inside) plus the O(sketches) copy-on-write freeze of the
+// quantile state. This is the *only* work the fold pipeline ever stalls for
+// under the pipelined design — quantile compaction, encode, CRC, write and
+// fsync all run on the background writer from the frozen views. Compare
+// against BenchmarkCheckpointWrite's sync variants for how much hot-path
+// time the split removes.
 func BenchmarkCheckpointSnapshot(b *testing.B) {
 	for _, oc := range benchCkptOptions() {
 		for _, shards := range []int{1, 4} {
@@ -74,7 +76,6 @@ func BenchmarkCheckpointSnapshot(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					for s := 0; s < acc.NumShards(); s++ {
-						acc.ShardAccum(s).CompactQuantiles()
 						acc.SnapshotShard(s, snap)
 					}
 				}

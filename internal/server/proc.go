@@ -372,7 +372,16 @@ type Proc struct {
 	pending  map[groupStep]*assembly
 	lastMsg  map[int]time.Time
 	messages int64
-	folds    int64 // completed (group, timestep) updates; read concurrently
+
+	// Per-report scratch for the periodic status scan (inbox-owned):
+	// sendReport rebuilds the running/finished/timed-out id lists every
+	// interval, and wire.Encode serializes them before the call returns, so
+	// the backing arrays are reusable across reports instead of reallocated
+	// per scan.
+	repRunning  []int
+	repFinished []int
+	repTimedOut []int
+	folds       int64 // completed (group, timestep) updates; read concurrently
 
 	// Wire telemetry (read concurrently via Result.WireStats): bytes of bulk
 	// payloads as received vs what the same content costs in the raw framing.
@@ -393,6 +402,11 @@ type Proc struct {
 	ckptMade int
 	ckptWG   sync.WaitGroup
 	writerWG sync.WaitGroup
+	// syncSnap is the lazily created snapshot buffer of the quiesced
+	// -sync-checkpoints path, which encodes through a snapshot for the same
+	// reason the pipeline does: checkpoints must not mutate live sketch
+	// state (quantile compaction happens on the snapshot's copy).
+	syncSnap *core.Snapshot
 
 	// Fold pipeline. workCh[i] feeds shard i's worker; every task is
 	// enqueued on every channel in arrival order, which makes the per-cell
@@ -819,16 +833,15 @@ func (p *Proc) foldWorker(i int, ch chan foldTask) {
 				p.foldWG.Done()
 			}
 		case task.ckpt != nil:
-			// Phase 1 of a checkpoint: compact this shard's quantile
-			// sketches (parallelized across the pool instead of serialized
-			// on the inbox) and deep-copy the shard into the job's pooled
-			// snapshot buffer — a contiguous memmove of the interleaved
-			// records plus tracker/sketch copies. The shard resumes folding
-			// the moment the copy completes; encode and I/O happen on the
-			// background writer.
+			// Phase 1 of a checkpoint: capture this shard into the job's
+			// pooled snapshot buffer — one contiguous memmove of the
+			// interleaved records (tracker slots ride inside them) plus an
+			// O(sketches) copy-on-write freeze of the quantile state. No
+			// sketch is compacted or copied here: the background writer
+			// compacts the frozen views off the ingest path, and the shard
+			// resumes folding the moment the freeze completes.
 			job := task.ckpt.job
 			t0 := time.Now()
-			p.acc.ShardAccum(i).CompactQuantiles()
 			p.acc.SnapshotShard(i, job.snap)
 			d := time.Since(t0)
 			job.noteStall(d)
@@ -1321,11 +1334,14 @@ func (p *Proc) sendReport(final bool) {
 	if s == nil {
 		return
 	}
+	p.repRunning = p.tracker.AppendRunning(p.repRunning)
+	p.repFinished = p.tracker.AppendFinished(p.repFinished)
+	p.repTimedOut = p.repTimedOut[:0]
 	rep := &wire.Report{
 		ProcRank: p.cfg.Rank,
 		Epoch:    p.cfg.Epoch,
-		Running:  p.tracker.Running(),
-		Finished: p.tracker.Finished(),
+		Running:  p.repRunning,
+		Finished: p.repFinished,
 		Messages: atomic.LoadInt64(&p.messages),
 		// The congestion hint of the adaptive-batching loop: how full the
 		// fold-pipeline queues are right now (0 after the stop-path quiesce).
@@ -1339,9 +1355,10 @@ func (p *Proc) sendReport(final bool) {
 		cutoff := time.Now().Add(-p.cfg.GroupTimeout)
 		for _, g := range rep.Running {
 			if last, ok := p.lastMsg[g]; ok && last.Before(cutoff) {
-				rep.TimedOut = append(rep.TimedOut, g)
+				p.repTimedOut = append(p.repTimedOut, g)
 			}
 		}
+		rep.TimedOut = p.repTimedOut
 	}
 	if p.cfg.ConvergenceReports {
 		if final {
@@ -1517,14 +1534,24 @@ func (p *Proc) writeSnapshot(job *ckptJob) {
 func (p *Proc) writeCheckpointSync() {
 	start := time.Now()
 	p.quiesce()
-	p.acc.CompactQuantiles()
+	// Encode through a snapshot rather than the live accumulator: the
+	// snapshot path canonicalizes (compacts) the quantile sketches on its
+	// own copy of the state, so — like the pipelined path — a checkpoint
+	// never mutates live sketch state, and both paths emit byte-identical
+	// files at the same fold state, checkpoint after checkpoint.
+	if p.syncSnap == nil {
+		p.syncSnap = p.acc.NewSnapshot()
+	}
+	for i := 0; i < p.acc.NumShards(); i++ {
+		p.acc.SnapshotShard(i, p.syncSnap)
+	}
 	frontiers := p.tracker.Frontiers()
 	path := checkpoint.Filename(p.cfg.CheckpointDir, p.cfg.Rank)
 	err := checkpoint.Write(path, func(w *enc.Writer) {
 		w.Int(p.cfg.Partition.Lo)
 		w.Int(p.cfg.Partition.Hi)
 		w.I64(atomic.LoadInt64(&p.messages))
-		p.acc.Encode(w)
+		p.syncSnap.Encode(w)
 		p.tracker.Encode(w)
 	})
 	elapsed := time.Since(start)

@@ -28,6 +28,12 @@ type Result struct {
 
 	partitions []mesh.Partition
 	procs      []*Proc
+
+	// scratch is the per-partition staging slice assemble reuses across
+	// field scans — FirstField/TotalField/etc. allocate only the returned
+	// global field, not a fresh partition buffer per call. Like the
+	// accumulator accessors, the field getters are single-goroutine.
+	scratch []float64
 }
 
 func newResult(cfg Config, partitions []mesh.Partition, procs []*Proc) *Result {
@@ -52,11 +58,10 @@ func (r *Result) GroupsFolded(t int) int64 {
 // assemble stitches per-partition fields into one global field.
 func (r *Result) assemble(get func(p *Proc, dst []float64) []float64) []float64 {
 	out := make([]float64, r.Cells)
-	var scratch []float64
 	for i, p := range r.procs {
 		part := r.partitions[i]
-		scratch = get(p, scratch)
-		copy(out[part.Lo:part.Hi], scratch[:part.Len()])
+		r.scratch = get(p, r.scratch)
+		copy(out[part.Lo:part.Hi], r.scratch[:part.Len()])
 	}
 	return out
 }

@@ -6,19 +6,37 @@
 //
 //	go test -run '^$' -bench . ./... | go run ./tools/benchjson
 //	go run ./tools/benchjson before=/tmp/before.txt after=/tmp/after.txt
+//	go test -bench Snapshot ./... | go run ./tools/benchjson -max 'quantiles.*=5e6'
 //
 // With no arguments it reads one benchmark run from stdin and emits a JSON
 // object {context, benchmarks}. With label=path arguments it reads each file
 // and emits {label: {context, benchmarks}, ...}, which is the layout of the
 // BENCH_PRn.json files.
+//
+// Each run's context block records the toolchain lines go test prints
+// (goos/goarch/pkg/cpu) plus host facts that make BENCH files comparable
+// across machines: host_num_cpu (runtime.NumCPU), host_gomaxprocs, and
+// cpu_list — the -cpu parallelism levels recovered from the -N benchmark
+// name suffixes — so a 1-core CI number is never mistaken for a multi-core
+// one.
+//
+// The repeatable -max regex=ns flag turns the converter into a smoke gate:
+// every benchmark whose name matches the regex must come in at or under the
+// ns/op ceiling, and at least one benchmark must match (so a renamed
+// benchmark cannot silently pass). Violations report on stderr and exit
+// non-zero after the JSON is emitted.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -32,19 +50,40 @@ type Benchmark struct {
 	MBPerSec    float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"b_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	// Extra holds custom ReportMetric values, e.g. "fullscale-GB".
+	// Extra holds custom ReportMetric values, e.g. "stall-ns/op".
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Run is the output of one benchmark invocation: the goos/goarch/pkg/cpu
-// context lines plus every result line, in order.
+// context lines, the host facts, plus every result line, in order.
 type Run struct {
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
+// cpuLevels recovers the -cpu parallelism levels from the benchmark names:
+// go test appends "-N" for GOMAXPROCS=N runs and nothing for N=1. A trailing
+// "-N" is ambiguous with sub-benchmark names like "workers-8", so a suffix
+// only counts as a cpu level when the suffix-stripped name also appears in
+// the run (its GOMAXPROCS=1 sibling) — which it always does for the -cpu
+// 1,... invocations the BENCH records and CI use.
+func cpuLevels(names map[string]bool) map[int]bool {
+	levels := map[int]bool{}
+	for name := range names {
+		if i := strings.LastIndexByte(name, '-'); i >= 0 {
+			if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 1 && names[name[:i]] {
+				levels[n] = true
+				continue
+			}
+		}
+		levels[1] = true
+	}
+	return levels
+}
+
 func parse(r io.Reader) (Run, error) {
 	run := Run{Context: map[string]string{}}
+	names := map[string]bool{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -94,10 +133,77 @@ func parse(r io.Reader) (Run, error) {
 			}
 		}
 		if ok {
+			names[b.Name] = true
 			run.Benchmarks = append(run.Benchmarks, b)
 		}
 	}
+	if cpus := cpuLevels(names); len(cpus) > 0 {
+		list := make([]int, 0, len(cpus))
+		for n := range cpus {
+			list = append(list, n)
+		}
+		sort.Ints(list)
+		parts := make([]string, len(list))
+		for i, n := range list {
+			parts[i] = strconv.Itoa(n)
+		}
+		run.Context["cpu_list"] = strings.Join(parts, ",")
+	}
+	run.Context["host_num_cpu"] = strconv.Itoa(runtime.NumCPU())
+	run.Context["host_gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
 	return run, sc.Err()
+}
+
+// ceiling is one -max assertion: benchmarks matching re must run at or
+// under ns nanoseconds per op.
+type ceiling struct {
+	re   *regexp.Regexp
+	ns   float64
+	spec string
+}
+
+type ceilingFlags []ceiling
+
+func (c *ceilingFlags) String() string { return fmt.Sprint(len(*c), " ceilings") }
+
+func (c *ceilingFlags) Set(spec string) error {
+	pat, nsText, ok := strings.Cut(spec, "=")
+	if !ok {
+		return fmt.Errorf("-max %q is not regex=ns", spec)
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return err
+	}
+	ns, err := strconv.ParseFloat(nsText, 64)
+	if err != nil {
+		return fmt.Errorf("-max %q: %v", spec, err)
+	}
+	*c = append(*c, ceiling{re: re, ns: ns, spec: spec})
+	return nil
+}
+
+// check applies one ceiling to every benchmark in every run; a ceiling that
+// matches nothing is itself a failure.
+func (c ceiling) check(runs []Run) []string {
+	var bad []string
+	matched := false
+	for _, run := range runs {
+		for _, b := range run.Benchmarks {
+			if !c.re.MatchString(b.Name) {
+				continue
+			}
+			matched = true
+			if b.NsPerOp > c.ns {
+				bad = append(bad, fmt.Sprintf("%s: %.0f ns/op exceeds ceiling %.0f (-max %s)",
+					b.Name, b.NsPerOp, c.ns, c.spec))
+			}
+		}
+	}
+	if !matched {
+		bad = append(bad, fmt.Sprintf("no benchmark matched -max %s", c.spec))
+	}
+	return bad
 }
 
 func fail(err error) {
@@ -106,9 +212,15 @@ func fail(err error) {
 }
 
 func main() {
+	var ceilings ceilingFlags
+	flag.Var(&ceilings, "max", "regex=ns ceiling on ns/op for matching benchmarks (repeatable)")
+	flag.Parse()
+	args := flag.Args()
+
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")
-	if len(os.Args) == 1 {
+	var runs []Run
+	if len(args) == 0 {
 		run, err := parse(os.Stdin)
 		if err != nil {
 			fail(err)
@@ -119,32 +231,42 @@ func main() {
 		if err := out.Encode(run); err != nil {
 			fail(err)
 		}
-		return
-	}
-	labeled := make(map[string]Run, len(os.Args)-1)
-	order := make([]string, 0, len(os.Args)-1)
-	for _, arg := range os.Args[1:] {
-		label, path, ok := strings.Cut(arg, "=")
-		if !ok {
-			fail(fmt.Errorf("argument %q is not label=path", arg))
+		runs = append(runs, run)
+	} else {
+		labeled := make(map[string]Run, len(args))
+		for _, arg := range args {
+			label, path, ok := strings.Cut(arg, "=")
+			if !ok {
+				fail(fmt.Errorf("argument %q is not label=path", arg))
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			run, err := parse(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			if len(run.Benchmarks) == 0 {
+				fail(fmt.Errorf("%s: no benchmark lines found", path))
+			}
+			labeled[label] = run
+			runs = append(runs, run)
 		}
-		f, err := os.Open(path)
-		if err != nil {
+		if err := out.Encode(labeled); err != nil {
 			fail(err)
 		}
-		run, err := parse(f)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		if len(run.Benchmarks) == 0 {
-			fail(fmt.Errorf("%s: no benchmark lines found", path))
-		}
-		labeled[label] = run
-		order = append(order, label)
 	}
-	_ = order // JSON objects are key-sorted by encoding/json; labels stay self-describing
-	if err := out.Encode(labeled); err != nil {
-		fail(err)
+
+	failed := false
+	for _, c := range ceilings {
+		for _, msg := range c.check(runs) {
+			fmt.Fprintln(os.Stderr, "benchjson:", msg)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
